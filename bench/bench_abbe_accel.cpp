@@ -1,0 +1,108 @@
+// Reproduces the Sec. 3.1 / Sec. 4.1 acceleration study: per-iteration
+// runtime of the (accelerated) Abbe engine vs the Hopkins engine across
+// parallel widths P, the effective-source-point vs kernel-count ratio
+// sigma/Q that governs the theoretical ceil(sigma/P)/ceil(Q/P) model, and
+// the TCC/SOCS rebuild cost that penalizes the Abbe-Hopkins hybrid AM-SMO.
+#include <chrono>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "fft/fft.hpp"
+#include "grad/hopkins_grad.hpp"
+#include "io/table.hpp"
+#include "litho/hopkins.hpp"
+#include "math/grid_ops.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double time_ms(const std::function<void()>& fn, int reps) {
+  fn();  // warm-up
+  const auto t0 = Clock::now();
+  for (int i = 0; i < reps; ++i) fn();
+  return std::chrono::duration<double>(Clock::now() - t0).count() * 1e3 /
+         reps;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bismo;
+  using namespace bismo::bench;
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  args.print_banner("Sec. 4.1: Abbe vs Hopkins per-iteration runtime");
+
+  const SmoConfig cfg = args.config();
+  const BenchDatasets data = make_bench_datasets(args);
+  const Layout& clip = data.suites[0].clips[0];
+
+  const std::size_t hw = std::max<std::size_t>(
+      1, std::thread::hardware_concurrency());
+  TablePrinter table({"engine", "P (threads)", "fwd+grad ms/iter", "vs P=1"});
+  double abbe_p1 = 0.0;
+  double hopkins_p1 = 0.0;
+  std::size_t sigma_eff = 0;
+  std::size_t q_kernels = 0;
+
+  for (std::size_t p = 1; p <= hw; p *= 2) {
+    ThreadPool pool(p);
+    const SmoProblem problem(cfg, clip, &pool);
+    const RealGrid theta_m = problem.initial_theta_m();
+    const RealGrid theta_j = problem.initial_theta_j();
+    sigma_eff = effective_point_count(
+        problem.geometry(), problem.source_image(theta_j), 1e-4);
+
+    const double abbe_ms = time_ms(
+        [&] {
+          (void)problem.engine().evaluate(theta_m, theta_j, GradRequest{});
+        },
+        3);
+    if (p == 1) abbe_p1 = abbe_ms;
+    table.add_row({"Abbe (sigma=" + std::to_string(sigma_eff) + ")",
+                   std::to_string(p), TablePrinter::num(abbe_ms, 1),
+                   TablePrinter::num(abbe_p1 / abbe_ms, 2) + "x"});
+
+    const RealGrid source = problem.source_image(theta_j);
+    const SocsDecomposition socs(problem.abbe(), source, cfg.socs_kernels);
+    q_kernels = socs.kernels().size();
+    const HopkinsImaging hopkins(cfg.optics, socs, &pool);
+    const HopkinsGradientEngine hengine(hopkins, problem.target(), cfg.resist,
+                                        cfg.activation, cfg.weights,
+                                        cfg.process_window);
+    const double hopkins_ms =
+        time_ms([&] { (void)hengine.evaluate(theta_m); }, 3);
+    if (p == 1) hopkins_p1 = hopkins_ms;
+    table.add_row({"Hopkins (Q=" + std::to_string(q_kernels) + ")",
+                   std::to_string(p), TablePrinter::num(hopkins_ms, 1),
+                   TablePrinter::num(hopkins_p1 / hopkins_ms, 2) + "x"});
+  }
+  table.print(std::cout);
+
+  // TCC rebuild cost: the per-cycle penalty of the Abbe-Hopkins hybrid.
+  {
+    ThreadPool pool(hw);
+    const SmoProblem problem(cfg, clip, &pool);
+    const RealGrid source = problem.source_image(problem.initial_theta_j());
+    const double rebuild_ms = time_ms(
+        [&] {
+          const SocsDecomposition socs(problem.abbe(), source,
+                                       cfg.socs_kernels);
+          (void)socs.kernels().size();
+        },
+        3);
+    std::cout << "\nSOCS/TCC rebuild (Gram + Jacobi eig + kernel map): "
+              << TablePrinter::num(rebuild_ms, 1)
+              << " ms -- paid by AM-SMO(A-H) every cycle.\n";
+  }
+
+  const double ratio =
+      static_cast<double>(sigma_eff) / static_cast<double>(q_kernels);
+  std::cout << "theoretical serial Abbe/Hopkins cost ratio sigma/Q = "
+            << TablePrinter::num(ratio, 2)
+            << "; with P >= sigma the parallel ratio approaches"
+               " ceil(sigma/P)/ceil(Q/P) -> 1 (paper: 0.16 s vs 0.12 s per"
+               " iteration on GPU).\n";
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Reproduces Figure 3: log10(Lsmo) convergence curves comparing MO methods
+// (dashed in the paper) against SMO methods (solid) on one random case per
+// dataset plus a second ICCAD13 case -- four panels, six methods.  Emits
+// one CSV per case (fig3_<case>.csv: step + one column per method) and a
+// first/last summary to stdout.
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/am_smo.hpp"
+#include "io/csv.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace bismo;
+using namespace bismo::bench;
+
+const std::vector<Method> kFig3Methods = {
+    Method::kDac23Proxy, Method::kAbbeMo,  Method::kAmAbbeAbbe,
+    Method::kBismoFd,    Method::kBismoCg, Method::kBismoNmn,
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  args.print_banner("Figure 3: loss convergence, MO (dashed) vs SMO (solid)");
+  ThreadPool pool(args.threads);
+  const BenchDatasets data = make_bench_datasets(args);
+
+  // Panels: ICCAD13 case 0, ICCAD13 case 1, ICCAD-L case 0, ISPD19 case 0
+  // (stand-ins for the paper's test5 / test7 / test17 / test62).
+  struct Panel {
+    std::size_t suite;
+    std::size_t clip;
+  };
+  std::vector<Panel> panels{{0, 0}, {0, 1}, {1, 0}, {2, 0}};
+
+  for (const Panel& panel : panels) {
+    const Dataset& suite = data.suites[panel.suite];
+    if (panel.clip >= suite.clips.size()) continue;
+    const std::string case_name = suite.names[panel.clip];
+    std::cout << "case " << case_name << ":\n";
+
+    const SmoConfig cfg = args.config();
+    const SmoProblem problem(cfg, suite.clips[panel.clip], &pool);
+
+    std::vector<std::string> columns{"step"};
+    std::vector<std::vector<double>> series;
+    std::size_t max_len = 0;
+    std::vector<std::vector<double>> logs;
+    for (Method method : kFig3Methods) {
+      const RunResult run = run_method(problem, method);
+      std::vector<double> curve;
+      curve.reserve(run.trace.size());
+      for (const StepRecord& rec : run.trace) {
+        curve.push_back(std::log10(std::max(rec.loss, 1e-12)));
+      }
+      std::cout << "  " << to_string(method) << ": log10(L) "
+                << (curve.empty() ? 0.0 : curve.front()) << " -> "
+                << (curve.empty() ? 0.0 : curve.back()) << " ("
+                << curve.size() << " steps)\n";
+      columns.push_back(to_string(method));
+      max_len = std::max(max_len, curve.size());
+      logs.push_back(std::move(curve));
+    }
+    // Pad ragged traces (methods step at different granularity) with their
+    // last value so the CSV is rectangular.
+    std::vector<double> steps(max_len);
+    for (std::size_t i = 0; i < max_len; ++i) steps[i] = static_cast<double>(i);
+    series.push_back(std::move(steps));
+    for (auto& curve : logs) {
+      if (!curve.empty()) curve.resize(max_len, curve.back());
+      if (curve.empty()) curve.assign(max_len, 0.0);
+      series.push_back(std::move(curve));
+    }
+    std::string file = "fig3_" + case_name + ".csv";
+    std::replace(file.begin(), file.end(), ':', '_');
+    write_csv(file, columns, series);
+    std::cout << "  wrote " << file << "\n\n";
+  }
+  std::cout << "Reproduction target (paper Fig. 3): SMO curves settle below"
+               " MO curves; AM-SMO shows a zig-zag; BiSMO variants converge"
+               " lowest and smoothest.\n";
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Reproduces Figure 5: per-step mean and standard deviation of Lsmo across
+// the ICCAD13 (panel a) and ICCAD-L (panel b) suites for the three BiSMO
+// variants -- the ablation showing NMN's stability and CG's large STD.
+// Emits fig5_<suite>.csv (step, mean/std per variant) and a summary.
+#include <iostream>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/bismo.hpp"
+#include "io/csv.hpp"
+#include "math/statistics.hpp"
+#include "parallel/thread_pool.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bismo;
+  using namespace bismo::bench;
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  args.print_banner("Figure 5: mean/STD of Lsmo across each dataset");
+  ThreadPool pool(args.threads);
+  const BenchDatasets data = make_bench_datasets(args);
+
+  const std::vector<BismoVariant> variants{
+      BismoVariant::kFd, BismoVariant::kCg, BismoVariant::kNmn};
+
+  for (std::size_t suite_idx : {std::size_t{0}, std::size_t{1}}) {
+    const Dataset& suite = data.suites[suite_idx];
+    std::cout << "suite " << suite.spec.name << " (" << suite.clips.size()
+              << " clips):\n";
+    const SmoConfig cfg = args.config();
+
+    std::vector<std::string> names{"step"};
+    std::vector<std::vector<double>> columns;
+    std::size_t steps = 0;
+    std::vector<std::vector<double>> all_mean;
+    std::vector<std::vector<double>> all_std;
+
+    for (BismoVariant variant : variants) {
+      // One trace per clip.
+      std::vector<std::vector<double>> traces;
+      for (std::size_t c = 0; c < suite.clips.size(); ++c) {
+        const SmoProblem problem(cfg, suite.clips[c], &pool);
+        BismoOptions opt;
+        opt.outer_steps = cfg.outer_steps;
+        opt.unroll_steps =
+            variant == BismoVariant::kFd ? 1 : cfg.unroll_steps;
+        opt.hyper_terms = cfg.hyper_terms;
+        opt.lr_mask = cfg.lr_mask;
+        opt.lr_source = cfg.lr_source;
+        const RunResult run = run_bismo(problem, variant, opt);
+        std::vector<double> losses;
+        losses.reserve(run.trace.size());
+        for (const StepRecord& rec : run.trace) losses.push_back(rec.loss);
+        traces.push_back(std::move(losses));
+      }
+      steps = traces.front().size();
+      std::vector<double> mean_curve(steps, 0.0);
+      std::vector<double> std_curve(steps, 0.0);
+      for (std::size_t s = 0; s < steps; ++s) {
+        RunningStats stats;
+        for (const auto& t : traces) {
+          if (s < t.size()) stats.push(t[s]);
+        }
+        mean_curve[s] = stats.mean();
+        std_curve[s] = stats.stddev();
+      }
+      const double final_mean = mean_curve.back();
+      RunningStats overall_std;
+      for (double s : std_curve) overall_std.push(s);
+      std::cout << "  " << to_string(variant) << ": final mean loss "
+                << final_mean << ", avg STD " << overall_std.mean() << "\n";
+      names.push_back(to_string(variant) + " mean");
+      names.push_back(to_string(variant) + " std");
+      all_mean.push_back(std::move(mean_curve));
+      all_std.push_back(std::move(std_curve));
+    }
+
+    std::vector<double> step_col(steps);
+    for (std::size_t s = 0; s < steps; ++s) step_col[s] = static_cast<double>(s);
+    columns.push_back(std::move(step_col));
+    for (std::size_t v = 0; v < variants.size(); ++v) {
+      columns.push_back(std::move(all_mean[v]));
+      columns.push_back(std::move(all_std[v]));
+    }
+    const std::string file = "fig5_" + suite.spec.name + ".csv";
+    write_csv(file, names, columns);
+    std::cout << "  wrote " << file << "\n\n";
+  }
+  std::cout << "Reproduction target (paper Fig. 5): NMN converges lowest;"
+               " CG exhibits the largest standard deviation (instability"
+               " from indefinite inner Hessians); FD weakest but cheapest.\n";
+  return 0;
+}

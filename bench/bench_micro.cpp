@@ -1,0 +1,147 @@
+// Engineering micro-benchmarks (google-benchmark): throughput of the
+// substrates every experiment sits on -- FFTs, Abbe/Hopkins forward
+// imaging, manual gradients, HVPs, and the TCC/SOCS build.
+#include <benchmark/benchmark.h>
+
+#include "fft/fft.hpp"
+#include "grad/abbe_grad.hpp"
+#include "grad/hvp.hpp"
+#include "litho/hopkins.hpp"
+#include "math/grid_ops.hpp"
+#include "math/rng.hpp"
+
+namespace {
+
+using namespace bismo;
+
+OpticsConfig optics_for(std::size_t n) {
+  OpticsConfig o;
+  o.mask_dim = n;
+  o.pixel_nm = 8.0;
+  return o;
+}
+
+RealGrid bench_target(std::size_t n) {
+  RealGrid t(n, n, 0.0);
+  for (std::size_t r = n / 2 - 2; r < n / 2 + 2; ++r) {
+    for (std::size_t c = n / 8; c < 7 * n / 8; ++c) t(r, c) = 1.0;
+  }
+  return t;
+}
+
+void BM_Fft2(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  ComplexGrid g(n, n);
+  for (auto& v : g) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto _ : state) {
+    fft2(g);
+    benchmark::DoNotOptimize(g.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n * n));
+}
+BENCHMARK(BM_Fft2)->Arg(64)->Arg(128)->Arg(256)->Unit(benchmark::kMicrosecond);
+
+void BM_Fft2Bluestein(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  ComplexGrid g(n, n);
+  for (auto& v : g) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  for (auto _ : state) {
+    fft2(g);
+    benchmark::DoNotOptimize(g.data());
+  }
+}
+BENCHMARK(BM_Fft2Bluestein)->Arg(96)->Arg(100)->Unit(benchmark::kMicrosecond);
+
+void BM_AbbeForward(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const OpticsConfig optics = optics_for(n);
+  const SourceGeometry geometry(9, optics);
+  const AbbeImaging abbe(optics, geometry);
+  SourceSpec spec;
+  const RealGrid j = make_source(geometry, spec);
+  ComplexGrid o = to_complex(bench_target(n));
+  fft2(o);
+  for (auto _ : state) {
+    const AbbeAerial a = abbe.aerial(o, j);
+    benchmark::DoNotOptimize(a.intensity.data());
+  }
+}
+BENCHMARK(BM_AbbeForward)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_AbbeDualGradient(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const OpticsConfig optics = optics_for(n);
+  const SourceGeometry geometry(9, optics);
+  const AbbeImaging abbe(optics, geometry);
+  const RealGrid target = bench_target(n);
+  const AbbeGradientEngine engine(abbe, target);
+  const RealGrid theta_m = init_mask_params(target, {});
+  SourceSpec spec;
+  const RealGrid theta_j = init_source_params(make_source(geometry, spec), {});
+  for (auto _ : state) {
+    const SmoGradient g = engine.evaluate(theta_m, theta_j, GradRequest{});
+    benchmark::DoNotOptimize(g.loss);
+  }
+}
+BENCHMARK(BM_AbbeDualGradient)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_Hvp(benchmark::State& state) {
+  const std::size_t n = 64;
+  const OpticsConfig optics = optics_for(n);
+  const SourceGeometry geometry(9, optics);
+  const AbbeImaging abbe(optics, geometry);
+  const RealGrid target = bench_target(n);
+  const AbbeGradientEngine engine(abbe, target);
+  const HypergradientOps ops(engine);
+  const RealGrid theta_m = init_mask_params(target, {});
+  SourceSpec spec;
+  const RealGrid theta_j = init_source_params(make_source(geometry, spec), {});
+  Rng rng(3);
+  RealGrid v(9, 9);
+  for (auto& x : v) x = rng.uniform(-1, 1);
+  for (auto _ : state) {
+    const RealGrid hv = ops.hvp_source(theta_m, theta_j, v);
+    benchmark::DoNotOptimize(hv.data());
+  }
+}
+BENCHMARK(BM_Hvp)->Unit(benchmark::kMillisecond);
+
+void BM_SocsBuild(benchmark::State& state) {
+  const std::size_t n = 64;
+  const OpticsConfig optics = optics_for(n);
+  const SourceGeometry geometry(static_cast<std::size_t>(state.range(0)),
+                                optics);
+  const AbbeImaging abbe(optics, geometry);
+  SourceSpec spec;
+  const RealGrid j = make_source(geometry, spec);
+  for (auto _ : state) {
+    const SocsDecomposition socs(abbe, j, 24);
+    benchmark::DoNotOptimize(socs.kernels().size());
+  }
+}
+BENCHMARK(BM_SocsBuild)->Arg(9)->Arg(13)->Unit(benchmark::kMillisecond);
+
+void BM_HopkinsForward(benchmark::State& state) {
+  const std::size_t n = 64;
+  const OpticsConfig optics = optics_for(n);
+  const SourceGeometry geometry(9, optics);
+  const AbbeImaging abbe(optics, geometry);
+  SourceSpec spec;
+  const RealGrid j = make_source(geometry, spec);
+  const SocsDecomposition socs(abbe, j,
+                               static_cast<std::size_t>(state.range(0)));
+  const HopkinsImaging hopkins(optics, socs);
+  ComplexGrid o = to_complex(bench_target(n));
+  fft2(o);
+  for (auto _ : state) {
+    const RealGrid i = hopkins.aerial(o);
+    benchmark::DoNotOptimize(i.data());
+  }
+}
+BENCHMARK(BM_HopkinsForward)->Arg(8)->Arg(24)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

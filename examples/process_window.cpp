@@ -1,0 +1,88 @@
+// Process-window analysis: how the printed pattern degrades across a dose
+// sweep (and, as the extension axis, through focus) before vs after SMO --
+// the motivation for the PVB term (Eq. 8) in the unified objective.
+//
+// Prints a dose-sweep table of printed-area error and the PVB band, and a
+// defocus sweep using the pupil-phase extension.
+#include <cstdio>
+
+#include "core/problem.hpp"
+#include "core/runner.hpp"
+#include "fft/fft.hpp"
+#include "layout/generators.hpp"
+#include "math/grid_ops.hpp"
+#include "metrics/metrics.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace bismo;
+
+/// Printed-pattern L2 error at an arbitrary dose factor.
+double l2_at_dose(const SmoProblem& problem, const RealGrid& theta_m,
+                  const RealGrid& theta_j, double dose) {
+  const RealGrid mask = problem.mask_image(theta_m, /*binary=*/true);
+  const RealGrid source = problem.source_image(theta_j);
+  ComplexGrid o = to_complex(mask);
+  fft2(o);
+  const RealGrid intensity =
+      problem.abbe().aerial(o, source).intensity * (dose * dose);
+  const RealGrid print = problem.config().resist.print(intensity);
+  return squared_l2_nm2(print, problem.target(),
+                        problem.config().optics.pixel_nm);
+}
+
+}  // namespace
+
+int main() {
+  SmoConfig config;
+  config.optics.mask_dim = 64;
+  config.optics.pixel_nm = 8.0;
+  config.source_dim = 9;
+  config.outer_steps = 25;
+  config.unroll_steps = 2;
+  config.hyper_terms = 3;
+  config.initial_source.shape = SourceShape::kConventional;
+  config.activation.source_init = 1.5;
+
+  DatasetSpec spec = dataset_spec(DatasetKind::kIccadL);
+  spec.tile_nm = config.optics.tile_nm();
+  const Layout clip = generate_clip(spec, 3);
+  ThreadPool pool;
+  const SmoProblem problem(config, clip, &pool);
+
+  const RealGrid theta_m0 = problem.initial_theta_m();
+  const RealGrid theta_j0 = problem.initial_theta_j();
+  const RunResult run = run_method(problem, Method::kBismoNmn);
+
+  std::printf("dose sweep (printed L2 error vs target, nm^2):\n");
+  std::printf("  dose   | before SMO | after SMO\n");
+  for (double dose : {0.94, 0.96, 0.98, 1.00, 1.02, 1.04, 1.06}) {
+    std::printf("  %.2f   | %10.0f | %9.0f\n", dose,
+                l2_at_dose(problem, theta_m0, theta_j0, dose),
+                l2_at_dose(problem, run.theta_m, run.theta_j, dose));
+  }
+  const SolutionMetrics before =
+      problem.evaluate_solution(theta_m0, theta_j0);
+  const SolutionMetrics after =
+      problem.evaluate_solution(run.theta_m, run.theta_j);
+  std::printf("\nPVB (+/-2%% dose band): %.0f -> %.0f nm^2\n", before.pvb_nm2,
+              after.pvb_nm2);
+
+  // Defocus extension: rebuild the imaging stack at a defocused pupil and
+  // measure the optimized solution there (nominal-focus optimization,
+  // defocused evaluation -- the classic process-window read-out).
+  std::printf("\ndefocus sweep (evaluating the SMO solution off-focus):\n");
+  std::printf("  defocus | printed L2 (nm^2)\n");
+  for (double dz : {0.0, 40.0, 80.0, 120.0}) {
+    SmoConfig defocused = config;
+    defocused.optics.defocus_nm = dz;
+    const SmoProblem off(defocused, clip, &pool);
+    const double l2 = l2_at_dose(off, run.theta_m, run.theta_j, 1.0);
+    std::printf("  %5.0f nm | %.0f\n", dz, l2);
+  }
+  std::printf("\nexpected: error grows smoothly with dose offset and"
+              " defocus; SMO tightens the whole window, not only the"
+              " nominal corner.\n");
+  return 0;
+}

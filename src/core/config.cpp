@@ -1,0 +1,30 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+
+namespace bismo {
+
+void SmoConfig::validate() const {
+  optics.validate();
+  if (source_dim < 2) {
+    throw std::invalid_argument("SmoConfig: source_dim must be >= 2");
+  }
+  if (lr_mask <= 0.0 || lr_source <= 0.0) {
+    throw std::invalid_argument("SmoConfig: learning rates must be positive");
+  }
+  if (unroll_steps < 0 || hyper_terms < 0) {
+    throw std::invalid_argument("SmoConfig: negative bilevel budgets");
+  }
+  if (outer_steps <= 0 || am_cycles <= 0 || am_so_steps <= 0 ||
+      am_mo_steps <= 0) {
+    throw std::invalid_argument("SmoConfig: iteration budgets must be positive");
+  }
+  if (socs_kernels == 0) {
+    throw std::invalid_argument("SmoConfig: socs_kernels must be >= 1");
+  }
+  if (weights.gamma < 0.0 || weights.eta < 0.0) {
+    throw std::invalid_argument("SmoConfig: negative loss weights");
+  }
+}
+
+}  // namespace bismo

@@ -1,0 +1,170 @@
+#include "core/mask_opt.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+
+#include "grad/hopkins_grad.hpp"
+#include "litho/hopkins.hpp"
+#include "math/grid_ops.hpp"
+
+namespace bismo {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Standard-weight Lsmo for trace comparability regardless of what loss the
+/// driver optimized.
+double standard_loss(const SmoProblem& problem, double l2, double pvb) {
+  const LossWeights& w = problem.config().weights;
+  return w.gamma * l2 + w.eta * pvb;
+}
+
+/// Block-majority downsampling of a binary grid by integer factor.
+RealGrid downsample_binary(const RealGrid& grid, std::size_t factor) {
+  const std::size_t n = grid.rows() / factor;
+  RealGrid out(n, n, 0.0);
+  const double half = static_cast<double>(factor * factor) / 2.0;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      double acc = 0.0;
+      for (std::size_t dr = 0; dr < factor; ++dr) {
+        for (std::size_t dc = 0; dc < factor; ++dc) {
+          acc += grid(r * factor + dr, c * factor + dc);
+        }
+      }
+      out(r, c) = acc > half ? 1.0 : 0.0;
+    }
+  }
+  return out;
+}
+
+/// Nearest-neighbour (pixel-replication) upsampling of parameters by 2x.
+RealGrid upsample_params(const RealGrid& grid, std::size_t factor) {
+  RealGrid out(grid.rows() * factor, grid.cols() * factor, 0.0);
+  for (std::size_t r = 0; r < out.rows(); ++r) {
+    for (std::size_t c = 0; c < out.cols(); ++c) {
+      out(r, c) = grid(r / factor, c / factor);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RunResult run_abbe_mo(const SmoProblem& problem, const MoOptions& options) {
+  const auto start = Clock::now();
+  RunResult result;
+  result.method = "Abbe-MO";
+
+  // A PVB-free variant needs its own engine with eta = 0; gradients are
+  // otherwise identical.
+  LossWeights weights = problem.config().weights;
+  if (!options.use_pvb) weights.eta = 0.0;
+  const AbbeGradientEngine engine(
+      problem.abbe(), problem.target(), problem.config().resist,
+      problem.config().activation, weights, problem.config().process_window,
+      problem.config().source_cutoff);
+
+  RealGrid theta_m = problem.initial_theta_m();
+  const RealGrid theta_j = problem.initial_theta_j();
+  auto opt = make_optimizer(options.optimizer, options.lr);
+
+  GradRequest req;
+  req.mask = true;
+  req.source = false;
+  PlateauDetector plateau(options.stop);
+  for (int step = 0; step < options.steps; ++step) {
+    const SmoGradient g = engine.evaluate(theta_m, theta_j, req);
+    ++result.gradient_evaluations;
+    const double loss = standard_loss(problem, g.l2, g.pvb);
+    result.trace.push_back({step, loss, g.l2, g.pvb,
+                            elapsed_seconds(start)});
+    opt->step(theta_m, g.grad_theta_m);
+    if (plateau.should_stop(loss)) break;
+  }
+  result.theta_m = std::move(theta_m);
+  result.theta_j = theta_j;
+  result.wall_seconds = elapsed_seconds(start);
+  return result;
+}
+
+RunResult run_hopkins_mo(const SmoProblem& problem,
+                         const HopkinsMoOptions& options) {
+  const auto start = Clock::now();
+  RunResult result;
+  result.method = options.levels > 1 ? "DAC23-MILT-proxy" : "Hopkins-MO";
+  if (options.levels < 1) {
+    throw std::invalid_argument("run_hopkins_mo: levels must be >= 1");
+  }
+
+  const SmoConfig& cfg = problem.config();
+  LossWeights weights = cfg.weights;
+  if (!options.base.use_pvb) weights.eta = 0.0;
+
+  const RealGrid theta_j = problem.initial_theta_j();
+  const RealGrid source = problem.source_image(theta_j);
+
+  // Coarse-to-fine schedule: level l uses grid dim / 2^(levels-1-l).
+  const int steps_per_level =
+      std::max(1, options.base.steps / std::max(1, options.levels));
+  RealGrid theta_m;  // initialized at the coarsest level
+  int global_step = 0;
+
+  for (int level = 0; level < options.levels; ++level) {
+    const std::size_t factor = std::size_t{1}
+                               << static_cast<std::size_t>(options.levels - 1 -
+                                                           level);
+    OpticsConfig optics = cfg.optics;
+    optics.mask_dim = cfg.optics.mask_dim / factor;
+    optics.pixel_nm = cfg.optics.pixel_nm * static_cast<double>(factor);
+    optics.validate();
+
+    const RealGrid target =
+        factor == 1 ? problem.target()
+                    : downsample_binary(problem.target(), factor);
+
+    const SourceGeometry geometry(cfg.source_dim, optics);
+    const AbbeImaging abbe(optics, geometry, problem.pool());
+    const SocsDecomposition socs(abbe, source, options.kernels,
+                                 cfg.source_cutoff);
+    const HopkinsImaging hopkins(optics, socs, problem.pool());
+    const HopkinsGradientEngine engine(hopkins, target, cfg.resist,
+                                       cfg.activation, weights,
+                                       cfg.process_window);
+
+    if (level == 0) {
+      theta_m = init_mask_params(target, cfg.activation);
+    }
+    auto opt = make_optimizer(options.base.optimizer, options.base.lr);
+    const int steps =
+        level == options.levels - 1
+            ? std::max(1, options.base.steps -
+                              steps_per_level * (options.levels - 1))
+            : steps_per_level;
+    // Mean-reduced losses are commensurate across resolutions, so coarse
+    // levels trace directly.
+    for (int step = 0; step < steps; ++step) {
+      const SmoGradient g = engine.evaluate(theta_m);
+      ++result.gradient_evaluations;
+      result.trace.push_back({global_step++,
+                              standard_loss(problem, g.l2, g.pvb), g.l2, g.pvb,
+                              elapsed_seconds(start)});
+      opt->step(theta_m, g.grad_theta_m);
+    }
+    if (level + 1 < options.levels) {
+      theta_m = upsample_params(theta_m, 2);
+    }
+  }
+
+  result.theta_m = std::move(theta_m);
+  result.theta_j = theta_j;
+  result.wall_seconds = elapsed_seconds(start);
+  return result;
+}
+
+}  // namespace bismo

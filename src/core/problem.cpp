@@ -1,0 +1,95 @@
+#include "core/problem.hpp"
+
+#include <stdexcept>
+
+#include "fft/fft.hpp"
+#include "math/grid_ops.hpp"
+#include "metrics/metrics.hpp"
+
+namespace bismo {
+
+SmoProblem::SmoProblem(const SmoConfig& config, RealGrid target,
+                       ThreadPool* pool)
+    : config_(config), target_(std::move(target)), pool_(pool) {
+  config_.validate();
+  const std::size_t n = config_.optics.mask_dim;
+  if (target_.rows() != n || target_.cols() != n) {
+    throw std::invalid_argument("SmoProblem: target/mask_dim mismatch");
+  }
+  geometry_ =
+      std::make_unique<SourceGeometry>(config_.source_dim, config_.optics);
+  abbe_ = std::make_unique<AbbeImaging>(config_.optics, *geometry_, pool_);
+  engine_ = std::make_unique<AbbeGradientEngine>(
+      *abbe_, target_, config_.resist, config_.activation, config_.weights,
+      config_.process_window, config_.source_cutoff);
+}
+
+SmoProblem::SmoProblem(const SmoConfig& config, const Layout& clip,
+                       ThreadPool* pool)
+    : SmoProblem(config, clip.rasterize(config.optics.mask_dim), pool) {}
+
+RealGrid SmoProblem::initial_theta_m() const {
+  return init_mask_params(target_, config_.activation);
+}
+
+RealGrid SmoProblem::initial_theta_j() const {
+  const RealGrid j0 = make_source(*geometry_, config_.initial_source);
+  return init_source_params(j0, config_.activation);
+}
+
+RealGrid SmoProblem::source_image(const RealGrid& theta_j) const {
+  return activate_source(theta_j, *geometry_, config_.activation);
+}
+
+RealGrid SmoProblem::mask_image(const RealGrid& theta_m, bool binary) const {
+  RealGrid m = activate_mask(theta_m, config_.activation);
+  return binary ? binarize(m) : m;
+}
+
+RealGrid SmoProblem::resist_image(const RealGrid& theta_m,
+                                  const RealGrid& theta_j, DoseCorner corner,
+                                  bool binary_mask) const {
+  const RealGrid mask = mask_image(theta_m, binary_mask);
+  const RealGrid source = source_image(theta_j);
+  ComplexGrid o = to_complex(mask);
+  fft2(o);
+  const RealGrid intensity =
+      abbe_->aerial(o, source, config_.source_cutoff).intensity;
+  const double d = dose_factor(corner, config_.process_window);
+  return config_.resist.apply(intensity * (d * d));
+}
+
+SolutionMetrics SmoProblem::evaluate_solution(const RealGrid& theta_m,
+                                              const RealGrid& theta_j) const {
+  const RealGrid mask = mask_image(theta_m, /*binary=*/true);
+  const RealGrid source = source_image(theta_j);
+  ComplexGrid o = to_complex(mask);
+  fft2(o);
+  const RealGrid intensity =
+      abbe_->aerial(o, source, config_.source_cutoff).intensity;
+
+  const double pixel = config_.optics.pixel_nm;
+  const ProcessWindow& pw = config_.process_window;
+  const RealGrid print_nom = config_.resist.print(intensity);
+  const RealGrid print_min =
+      config_.resist.print(intensity * (pw.dose_min * pw.dose_min));
+  const RealGrid print_max =
+      config_.resist.print(intensity * (pw.dose_max * pw.dose_max));
+
+  SolutionMetrics out;
+  out.l2_nm2 = squared_l2_nm2(print_nom, target_, pixel);
+  out.pvb_nm2 = pvb_nm2(print_min, print_max, pixel);
+
+  const RealGrid z_cont = config_.resist.apply(intensity);
+  const EpeResult epe = measure_epe(z_cont, target_, pixel, config_.epe);
+  out.epe_violations = epe.violations;
+  out.epe_samples = epe.samples;
+
+  const SmoLoss loss = evaluate_smo_loss(intensity, target_, config_.resist,
+                                         config_.weights, pw,
+                                         /*want_backprop=*/false);
+  out.loss = loss.total;
+  return out;
+}
+
+}  // namespace bismo

@@ -1,0 +1,82 @@
+// SmoProblem: one clip's complete differentiable SMO instance -- target
+// pattern, imaging engines, gradient engine, parameter initialization
+// (Table 1), and final-solution metric evaluation (Sec. 2.2).
+#ifndef BISMO_CORE_PROBLEM_HPP
+#define BISMO_CORE_PROBLEM_HPP
+
+#include <memory>
+
+#include "core/config.hpp"
+#include "grad/abbe_grad.hpp"
+#include "layout/layout.hpp"
+#include "litho/abbe.hpp"
+#include "metrics/epe.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace bismo {
+
+/// Final-solution quality under the paper's evaluation protocol
+/// (binarized mask, grayscale source, Abbe imaging).
+struct SolutionMetrics {
+  double l2_nm2 = 0.0;            ///< Definition 1 at nominal dose
+  double pvb_nm2 = 0.0;           ///< Definition 2 across dose corners
+  std::size_t epe_violations = 0; ///< Definition 3 count
+  std::size_t epe_samples = 0;
+  double loss = 0.0;              ///< Lsmo of the binarized solution
+};
+
+/// One clip's SMO problem instance.  Owns the engines; movable, not
+/// copyable (engines hold internal references).
+class SmoProblem {
+ public:
+  /// Build from a prerasterized binary target grid.
+  SmoProblem(const SmoConfig& config, RealGrid target,
+             ThreadPool* pool = nullptr);
+
+  /// Build from a layout clip (rasterized to the configured mask grid).
+  SmoProblem(const SmoConfig& config, const Layout& clip,
+             ThreadPool* pool = nullptr);
+
+  SmoProblem(const SmoProblem&) = delete;
+  SmoProblem& operator=(const SmoProblem&) = delete;
+
+  const SmoConfig& config() const noexcept { return config_; }
+  const RealGrid& target() const noexcept { return target_; }
+  const SourceGeometry& geometry() const noexcept { return *geometry_; }
+  const AbbeImaging& abbe() const noexcept { return *abbe_; }
+  const AbbeGradientEngine& engine() const noexcept { return *engine_; }
+  ThreadPool* pool() const noexcept { return pool_; }
+
+  /// theta_M0 from the target pattern (Table 1).
+  RealGrid initial_theta_m() const;
+
+  /// theta_J0 from the configured source template (Table 1).
+  RealGrid initial_theta_j() const;
+
+  /// Continuous resist image at a dose corner for the given parameters
+  /// (mask binarized when `binary_mask`).
+  RealGrid resist_image(const RealGrid& theta_m, const RealGrid& theta_j,
+                        DoseCorner corner, bool binary_mask = true) const;
+
+  /// Evaluate the paper's metrics for a solution (binarized mask).
+  SolutionMetrics evaluate_solution(const RealGrid& theta_m,
+                                    const RealGrid& theta_j) const;
+
+  /// The activated (grayscale) source for visualization.
+  RealGrid source_image(const RealGrid& theta_j) const;
+
+  /// The activated mask (continuous or binarized) for visualization.
+  RealGrid mask_image(const RealGrid& theta_m, bool binary = false) const;
+
+ private:
+  SmoConfig config_;
+  RealGrid target_;
+  ThreadPool* pool_;
+  std::unique_ptr<SourceGeometry> geometry_;
+  std::unique_ptr<AbbeImaging> abbe_;
+  std::unique_ptr<AbbeGradientEngine> engine_;
+};
+
+}  // namespace bismo
+
+#endif  // BISMO_CORE_PROBLEM_HPP

@@ -1,0 +1,41 @@
+// Unified method dispatch for the benchmark harness: every column of
+// Tables 3-4 is one `Method`, runnable on any SmoProblem with the budgets
+// taken from the problem's SmoConfig.
+#ifndef BISMO_CORE_RUNNER_HPP
+#define BISMO_CORE_RUNNER_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/problem.hpp"
+#include "core/trace.hpp"
+
+namespace bismo {
+
+/// The eight method columns of Table 3 (and Table 4).
+enum class Method {
+  kNiltProxy,      ///< MO: Hopkins ILT, few kernels, no PVB (NILT [7] proxy)
+  kDac23Proxy,     ///< MO: multi-level Hopkins ILT + PVB (DAC23-MILT [10] proxy)
+  kAbbeMo,         ///< MO: the paper's Abbe-MO
+  kAmAbbeHopkins,  ///< AM-SMO, Abbe SO + Hopkins MO [13]
+  kAmAbbeAbbe,     ///< AM-SMO, Abbe everywhere [12]
+  kBismoFd,        ///< BiSMO, finite-difference hypergradient
+  kBismoCg,        ///< BiSMO, conjugate-gradient hypergradient
+  kBismoNmn,       ///< BiSMO, Neumann-series hypergradient
+};
+
+/// All methods in Table 3 column order.
+const std::vector<Method>& all_methods();
+
+/// Human-readable method name matching the paper's table headers.
+std::string to_string(Method method);
+
+/// True for methods that optimize the source as well as the mask.
+bool optimizes_source(Method method);
+
+/// Run `method` on `problem` with budgets from `problem.config()`.
+RunResult run_method(const SmoProblem& problem, Method method);
+
+}  // namespace bismo
+
+#endif  // BISMO_CORE_RUNNER_HPP

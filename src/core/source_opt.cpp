@@ -1,0 +1,50 @@
+#include "core/source_opt.hpp"
+
+#include <chrono>
+
+namespace bismo {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+RunResult run_source_opt(const SmoProblem& problem, const RealGrid& theta_m,
+                         const SoOptions& options) {
+  const auto start = Clock::now();
+  const LossWeights& w = problem.config().weights;
+  RunResult result;
+  result.method = "SO";
+  result.theta_m = theta_m;
+
+  RealGrid theta_j = problem.initial_theta_j();
+  auto opt = make_optimizer(options.optimizer, options.lr);
+  PlateauDetector plateau(options.stop);
+
+  GradRequest req;
+  req.mask = false;
+  req.source = true;
+  for (int step = 0; step < options.steps; ++step) {
+    const SmoGradient g =
+        problem.engine().evaluate(theta_m, theta_j, req);
+    ++result.gradient_evaluations;
+    const double loss = w.gamma * g.l2 + w.eta * g.pvb;
+    result.trace.push_back({step, loss, g.l2, g.pvb, elapsed_seconds(start)});
+    opt->step(theta_j, g.grad_theta_j);
+    if (plateau.should_stop(loss)) break;
+  }
+  result.theta_j = std::move(theta_j);
+  result.wall_seconds = elapsed_seconds(start);
+  return result;
+}
+
+RunResult run_source_opt(const SmoProblem& problem,
+                         const SoOptions& options) {
+  return run_source_opt(problem, problem.initial_theta_m(), options);
+}
+
+}  // namespace bismo

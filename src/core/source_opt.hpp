@@ -1,0 +1,33 @@
+// Source-only optimization (SO) driver: optimizes the pixelated source for
+// a frozen mask -- the lower-level subproblem of Eq. 11 run standalone.
+// Used by the source_explorer example, by studies of source sensitivity,
+// and as the "SO epoch" building block mirrored in AM-SMO.
+#ifndef BISMO_CORE_SOURCE_OPT_HPP
+#define BISMO_CORE_SOURCE_OPT_HPP
+
+#include "core/problem.hpp"
+#include "core/stop.hpp"
+#include "core/trace.hpp"
+#include "opt/optimizer.hpp"
+
+namespace bismo {
+
+/// Options for source-only optimization.
+struct SoOptions {
+  int steps = 40;
+  OptimizerKind optimizer = OptimizerKind::kAdam;
+  double lr = 0.1;                ///< xi_J
+  StopCriteria stop{};            ///< optional plateau-based early stop
+};
+
+/// Optimize theta_J with theta_M frozen (at `theta_m`); returns the run
+/// with theta_m passed through unchanged.
+RunResult run_source_opt(const SmoProblem& problem, const RealGrid& theta_m,
+                         const SoOptions& options);
+
+/// Convenience overload starting from the Table 1 mask initialization.
+RunResult run_source_opt(const SmoProblem& problem, const SoOptions& options);
+
+}  // namespace bismo
+
+#endif  // BISMO_CORE_SOURCE_OPT_HPP

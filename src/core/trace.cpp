@@ -1,0 +1,12 @@
+#include "core/trace.hpp"
+
+#include <limits>
+
+namespace bismo {
+
+double RunResult::final_loss() const {
+  if (trace.empty()) return std::numeric_limits<double>::infinity();
+  return trace.back().loss;
+}
+
+}  // namespace bismo

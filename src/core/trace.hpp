@@ -1,0 +1,37 @@
+// Run records: per-step convergence traces (Figures 3 and 5 plot these)
+// and final results with wall-clock accounting (Table 4's TAT).
+#ifndef BISMO_CORE_TRACE_HPP
+#define BISMO_CORE_TRACE_HPP
+
+#include <string>
+#include <vector>
+
+#include "math/grid2d.hpp"
+
+namespace bismo {
+
+/// One optimizer step's bookkeeping.
+struct StepRecord {
+  int step = 0;
+  double loss = 0.0;     ///< Lsmo at this step
+  double l2 = 0.0;       ///< unweighted nominal term
+  double pvb = 0.0;      ///< unweighted PVB term
+  double seconds = 0.0;  ///< cumulative wall time when recorded
+};
+
+/// Outcome of one optimization run on one clip.
+struct RunResult {
+  std::string method;            ///< human-readable method name
+  RealGrid theta_m;              ///< final mask parameters
+  RealGrid theta_j;              ///< final source parameters
+  std::vector<StepRecord> trace; ///< per-step loss trajectory
+  double wall_seconds = 0.0;     ///< total optimization time (TAT)
+  long gradient_evaluations = 0; ///< count of backward passes
+
+  /// Final recorded loss (+inf when the trace is empty).
+  double final_loss() const;
+};
+
+}  // namespace bismo
+
+#endif  // BISMO_CORE_TRACE_HPP

@@ -1,0 +1,94 @@
+// FFT engine underlying both imaging models.
+//
+// The Abbe model computes one IFFT per source point (Eq. 2); the Hopkins
+// model one IFFT per SOCS kernel (Eq. 4); the manual reverse-mode gradients
+// require the *adjoint* transforms.  Conventions:
+//
+//   fft  : X[k] = sum_n x[n] exp(-2*pi*i*k*n/N)        (unnormalized)
+//   ifft : x[n] = (1/N) sum_k X[k] exp(+2*pi*i*k*n/N)  (1/N-normalized)
+//
+// so that ifft(fft(x)) == x.  In matrix form F^H F = N*I, hence the adjoints
+//   adjoint(fft)  = N * ifft      adjoint(ifft) = (1/N) * fft
+// which `fft2_adjoint` / `ifft2_adjoint` implement directly.
+//
+// Power-of-two sizes use iterative radix-2 Cooley-Tukey with cached twiddle
+// plans; every other size falls back to Bluestein's chirp-z algorithm, so
+// any grid size is supported.  All entry points are thread-safe (the plan
+// cache is mutex-guarded; transforms touch only caller-owned data), which
+// the per-source-point thread-pool parallelism relies on.
+#ifndef BISMO_FFT_FFT_HPP
+#define BISMO_FFT_FFT_HPP
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "math/grid2d.hpp"
+
+namespace bismo {
+
+/// In-place forward DFT of length-n contiguous data (unnormalized).
+void fft_1d(std::complex<double>* data, std::size_t n);
+
+/// In-place inverse DFT of length-n contiguous data (1/n-normalized).
+void ifft_1d(std::complex<double>* data, std::size_t n);
+
+/// Convenience overloads on vectors.
+void fft_1d(std::vector<std::complex<double>>& data);
+void ifft_1d(std::vector<std::complex<double>>& data);
+
+/// In-place 2-D forward DFT (unnormalized), rows then columns.
+void fft2(ComplexGrid& g);
+
+/// In-place 2-D inverse DFT (1/(rows*cols)-normalized).
+void ifft2(ComplexGrid& g);
+
+/// Out-of-place 2-D forward DFT.
+ComplexGrid fft2_copy(const ComplexGrid& g);
+
+/// Out-of-place 2-D inverse DFT.
+ComplexGrid ifft2_copy(const ComplexGrid& g);
+
+/// Adjoint of `fft2` as a linear operator: returns N * ifft2(g).
+/// If y = fft2(x), then for any cotangent gy, gx = fft2_adjoint(gy).
+ComplexGrid fft2_adjoint(const ComplexGrid& g);
+
+/// Adjoint of `ifft2` as a linear operator: returns (1/N) * fft2(g).
+/// If y = ifft2(x), then for any cotangent gy, gx = ifft2_adjoint(gy).
+ComplexGrid ifft2_adjoint(const ComplexGrid& g);
+
+/// Circularly shift a grid: out((r+dr) mod R, (c+dc) mod C) = in(r, c).
+template <typename T>
+Grid2D<T> circshift(const Grid2D<T>& g, std::size_t dr, std::size_t dc) {
+  Grid2D<T> out(g.rows(), g.cols());
+  for (std::size_t r = 0; r < g.rows(); ++r) {
+    const std::size_t rr = (r + dr) % g.rows();
+    for (std::size_t c = 0; c < g.cols(); ++c) {
+      out(rr, (c + dc) % g.cols()) = g(r, c);
+    }
+  }
+  return out;
+}
+
+/// Move the zero-frequency bin to the grid center (numpy fftshift).
+template <typename T>
+Grid2D<T> fftshift(const Grid2D<T>& g) {
+  return circshift(g, g.rows() / 2, g.cols() / 2);
+}
+
+/// Inverse of fftshift (numpy ifftshift); equals fftshift for even sizes.
+template <typename T>
+Grid2D<T> ifftshift(const Grid2D<T>& g) {
+  return circshift(g, g.rows() - g.rows() / 2, g.cols() - g.cols() / 2);
+}
+
+/// Signed DFT frequency of bin `k` out of `n` with sample pitch `d`:
+/// k in [0, n) maps to {0, 1, ..., n/2, -(n/2-1), ..., -1} / (n*d).
+double fft_freq(std::size_t k, std::size_t n, double d);
+
+/// Signed integer frequency index of bin `k` out of `n` (fft_freq * n * d).
+long fft_freq_index(std::size_t k, std::size_t n);
+
+}  // namespace bismo
+
+#endif  // BISMO_FFT_FFT_HPP

@@ -1,0 +1,159 @@
+#include "grad/abbe_grad.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "math/grid_ops.hpp"
+#include "parallel/reduction.hpp"
+
+namespace bismo {
+
+AbbeGradientEngine::AbbeGradientEngine(const AbbeImaging& abbe,
+                                       const RealGrid& target,
+                                       ResistModel resist,
+                                       ActivationConfig activation,
+                                       LossWeights weights, ProcessWindow pw,
+                                       double source_cutoff)
+    : abbe_(&abbe),
+      target_(target),
+      resist_(resist),
+      activation_(activation),
+      weights_(weights),
+      pw_(pw),
+      source_cutoff_(source_cutoff) {
+  const std::size_t n = abbe.optics().mask_dim;
+  if (target_.rows() != n || target_.cols() != n) {
+    throw std::invalid_argument("AbbeGradientEngine: target shape mismatch");
+  }
+}
+
+RealGrid AbbeGradientEngine::aerial(const RealGrid& theta_m,
+                                    const RealGrid& theta_j) const {
+  const RealGrid mask = activate_mask(theta_m, activation_);
+  const RealGrid source =
+      activate_source(theta_j, abbe_->geometry(), activation_);
+  ComplexGrid o = to_complex(mask);
+  fft2(o);
+  return abbe_->aerial(o, source, source_cutoff_).intensity;
+}
+
+SmoLoss AbbeGradientEngine::loss_only(const RealGrid& theta_m,
+                                      const RealGrid& theta_j) const {
+  return evaluate_smo_loss(aerial(theta_m, theta_j), target_, resist_,
+                           weights_, pw_, /*want_backprop=*/false);
+}
+
+SmoGradient AbbeGradientEngine::evaluate(const RealGrid& theta_m,
+                                         const RealGrid& theta_j,
+                                         const GradRequest& request) const {
+  const SourceGeometry& geometry = abbe_->geometry();
+  const auto& pts = geometry.points();
+  const std::size_t n = abbe_->optics().mask_dim;
+
+  const RealGrid mask = activate_mask(theta_m, activation_);
+  const RealGrid source = activate_source(theta_j, geometry, activation_);
+
+  ComplexGrid o = to_complex(mask);
+  fft2(o);
+
+  const AbbeAerial fwd = abbe_->aerial(o, source, source_cutoff_);
+  const double w_total = fwd.total_weight;
+  if (w_total <= 0.0) {
+    throw std::runtime_error("AbbeGradientEngine: source has no power");
+  }
+
+  const bool want_backprop = request.mask || request.source;
+  const SmoLoss loss = evaluate_smo_loss(fwd.intensity, target_, resist_,
+                                         weights_, pw_, want_backprop);
+
+  SmoGradient out;
+  out.loss = loss.total;
+  out.l2 = loss.l2;
+  out.pvb = loss.pvb;
+  if (!want_backprop) return out;
+
+  const RealGrid& dldi = loss.dl_di;
+
+  // Backward sweep: one coherent-field recomputation per valid source
+  // point, statically partitioned over pool slots for determinism.
+  const std::size_t npts = pts.size();
+  std::vector<double> gj_raw(request.source ? npts : 0, 0.0);
+  ThreadPool* pool = abbe_->pool();
+  const std::size_t slots = reduction_slots(npts);
+  std::vector<ComplexGrid> go_partial;
+  if (request.mask) {
+    go_partial.assign(slots, ComplexGrid(n, n));
+  }
+
+  auto task = [&](std::size_t s) {
+    const std::size_t begin = s * npts / slots;
+    const std::size_t end = (s + 1) * npts / slots;
+    for (std::size_t k = begin; k < end; ++k) {
+      // Mask gradients only need points that contribute to the image; the
+      // source gradient needs |A|^2 even where j ~ 0 (to revive points).
+      const double jw = source(pts[k].row, pts[k].col);
+      const bool mask_path = request.mask && jw > source_cutoff_;
+      if (!mask_path && !request.source) continue;
+
+      const ComplexGrid a = abbe_->field(o, k);
+
+      if (request.source) {
+        double acc = 0.0;
+        for (std::size_t i = 0; i < a.size(); ++i) {
+          acc += dldi[i] * std::norm(a[i]);
+        }
+        gj_raw[k] = acc;
+      }
+      if (mask_path) {
+        const double scale = 2.0 * jw / w_total;
+        ComplexGrid ga(n, n);
+        for (std::size_t i = 0; i < ga.size(); ++i) {
+          ga[i] = scale * dldi[i] * a[i];
+        }
+        const ComplexGrid gb = ifft2_adjoint(ga);
+        const PassBand& band = abbe_->passband(k);
+        ComplexGrid& go = go_partial[s];
+        if (band.values.empty()) {
+          for (std::uint32_t idx : band.indices) go[idx] += gb[idx];
+        } else {
+          for (std::size_t b = 0; b < band.indices.size(); ++b) {
+            go[band.indices[b]] +=
+                std::conj(band.values[b]) * gb[band.indices[b]];
+          }
+        }
+      }
+    }
+  };
+  if (pool != nullptr && slots > 1) {
+    pool->parallel_for(slots, task);
+  } else {
+    for (std::size_t s = 0; s < slots; ++s) task(s);
+  }
+
+  if (request.mask) {
+    ComplexGrid go = std::move(go_partial[0]);
+    for (std::size_t s = 1; s < slots; ++s) go += go_partial[s];
+    const ComplexGrid gm_complex = fft2_adjoint(go);
+    const RealGrid gm = real_part(gm_complex);
+    const RealGrid dact = mask_activation_derivative(theta_m, mask, activation_);
+    out.grad_theta_m = gm * dact;
+  }
+
+  if (request.source) {
+    // dL/dj_s = (sum dL/dI |A_s|^2 - sum dL/dI * I) / W, then the
+    // activation chain rule (zero at invalid sigma points).
+    const double c_term = dot(dldi, fwd.intensity);
+    RealGrid gj(geometry.dim(), geometry.dim(), 0.0);
+    for (std::size_t k = 0; k < npts; ++k) {
+      gj(pts[k].row, pts[k].col) = (gj_raw[k] - c_term) / w_total;
+    }
+    const RealGrid dact =
+        source_activation_derivative(theta_j, source, geometry, activation_);
+    out.grad_theta_j = gj * dact;
+  }
+  return out;
+}
+
+}  // namespace bismo

@@ -1,0 +1,32 @@
+// Numerical gradient checking harness: compares analytic gradients against
+// central finite differences of the loss on a random probe subset of
+// parameters.  Used by the test suite to certify every hand-derived adjoint.
+#ifndef BISMO_GRAD_GRADCHECK_HPP
+#define BISMO_GRAD_GRADCHECK_HPP
+
+#include <cstddef>
+#include <functional>
+
+#include "math/grid2d.hpp"
+#include "math/rng.hpp"
+
+namespace bismo {
+
+/// Result of a gradient check.
+struct GradCheckResult {
+  double max_abs_error = 0.0;  ///< max |analytic - numeric| over probes
+  double max_rel_error = 0.0;  ///< max relative error (guarded denominator)
+  std::size_t probes = 0;      ///< number of entries checked
+};
+
+/// Check `analytic_grad` against central differences of `loss_fn` at
+/// `params`, probing `probes` randomly chosen entries with step `eps`.
+/// `loss_fn` must be deterministic.
+GradCheckResult check_gradient(
+    const std::function<double(const RealGrid&)>& loss_fn,
+    const RealGrid& params, const RealGrid& analytic_grad, Rng& rng,
+    std::size_t probes = 24, double eps = 1e-5);
+
+}  // namespace bismo
+
+#endif  // BISMO_GRAD_GRADCHECK_HPP

@@ -1,0 +1,97 @@
+#include "grad/hopkins_grad.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "math/grid_ops.hpp"
+#include "parallel/reduction.hpp"
+
+namespace bismo {
+
+HopkinsGradientEngine::HopkinsGradientEngine(const HopkinsImaging& hopkins,
+                                             const RealGrid& target,
+                                             ResistModel resist,
+                                             ActivationConfig activation,
+                                             LossWeights weights,
+                                             ProcessWindow pw)
+    : hopkins_(&hopkins),
+      target_(target),
+      resist_(resist),
+      activation_(activation),
+      weights_(weights),
+      pw_(pw) {
+  const std::size_t n = hopkins.optics().mask_dim;
+  if (target_.rows() != n || target_.cols() != n) {
+    throw std::invalid_argument("HopkinsGradientEngine: target shape mismatch");
+  }
+}
+
+RealGrid HopkinsGradientEngine::aerial(const RealGrid& theta_m) const {
+  const RealGrid mask = activate_mask(theta_m, activation_);
+  ComplexGrid o = to_complex(mask);
+  fft2(o);
+  return hopkins_->aerial(o);
+}
+
+SmoLoss HopkinsGradientEngine::loss_only(const RealGrid& theta_m) const {
+  return evaluate_smo_loss(aerial(theta_m), target_, resist_, weights_, pw_,
+                           /*want_backprop=*/false);
+}
+
+SmoGradient HopkinsGradientEngine::evaluate(const RealGrid& theta_m) const {
+  const std::size_t n = hopkins_->optics().mask_dim;
+  const RealGrid mask = activate_mask(theta_m, activation_);
+  ComplexGrid o = to_complex(mask);
+  fft2(o);
+
+  const RealGrid intensity = hopkins_->aerial(o);
+  const SmoLoss loss = evaluate_smo_loss(intensity, target_, resist_,
+                                         weights_, pw_, /*want_backprop=*/true);
+
+  SmoGradient out;
+  out.loss = loss.total;
+  out.l2 = loss.l2;
+  out.pvb = loss.pvb;
+
+  const RealGrid& dldi = loss.dl_di;
+  const auto& kernels = hopkins_->socs().kernels();
+  const auto& band = hopkins_->socs().band();
+  ThreadPool* pool = hopkins_->pool();
+  const std::size_t slots = reduction_slots(kernels.size());
+  std::vector<ComplexGrid> go_partial(slots, ComplexGrid(n, n));
+
+  auto task = [&](std::size_t s) {
+    const std::size_t begin = s * kernels.size() / slots;
+    const std::size_t end = (s + 1) * kernels.size() / slots;
+    for (std::size_t q = begin; q < end; ++q) {
+      const ComplexGrid a = hopkins_->field(o, q);
+      const double scale = 2.0 * kernels[q].weight;
+      ComplexGrid ga(n, n);
+      for (std::size_t i = 0; i < ga.size(); ++i) {
+        ga[i] = scale * dldi[i] * a[i];
+      }
+      const ComplexGrid gb = ifft2_adjoint(ga);
+      ComplexGrid& go = go_partial[s];
+      for (std::size_t b = 0; b < band.size(); ++b) {
+        go[band[b]] += std::conj(kernels[q].values[b]) * gb[band[b]];
+      }
+    }
+  };
+  if (pool != nullptr && slots > 1) {
+    pool->parallel_for(slots, task);
+  } else {
+    for (std::size_t s = 0; s < slots; ++s) task(s);
+  }
+
+  ComplexGrid go = std::move(go_partial[0]);
+  for (std::size_t s = 1; s < slots; ++s) go += go_partial[s];
+  const RealGrid gm = real_part(fft2_adjoint(go));
+  const RealGrid dact =
+      mask_activation_derivative(theta_m, mask, activation_);
+  out.grad_theta_m = gm * dact;
+  return out;
+}
+
+}  // namespace bismo

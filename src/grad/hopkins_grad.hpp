@@ -1,0 +1,56 @@
+// Reverse-mode mask gradients through the Hopkins/SOCS model (Eq. 4) --
+// the gradient path used by the Hopkins-based MO baselines (NILT proxy,
+// DAC23-MILT proxy) and by the Abbe-Hopkins hybrid AM-SMO [13].
+//
+// Identical adjoint structure to the Abbe engine with source points
+// replaced by SOCS kernels:
+//   g_{A_q} = 2 kappa_q * dL/dI .* A_q
+//   g_O    += conj(phi_q) .* ifft2_adjoint(g_{A_q})   over the band
+//   g_M     = Re(fft2_adjoint(g_O)),  then the activation chain rule.
+// Source gradients do not exist here: the TCC absorbs the source (the very
+// limitation -- Sec. 2.1 -- that motivates Abbe-based SMO).
+#ifndef BISMO_GRAD_HOPKINS_GRAD_HPP
+#define BISMO_GRAD_HOPKINS_GRAD_HPP
+
+#include "grad/abbe_grad.hpp"
+#include "grad/loss.hpp"
+#include "litho/activation.hpp"
+#include "litho/hopkins.hpp"
+#include "litho/resist.hpp"
+#include "math/grid2d.hpp"
+
+namespace bismo {
+
+/// Differentiable Hopkins-based MO objective (mask gradients only).
+class HopkinsGradientEngine {
+ public:
+  /// `hopkins` is borrowed and must outlive the engine.
+  HopkinsGradientEngine(const HopkinsImaging& hopkins, const RealGrid& target,
+                        ResistModel resist = {},
+                        ActivationConfig activation = {},
+                        LossWeights weights = {}, ProcessWindow pw = {});
+
+  /// Loss and dL/dtheta_M at theta_M.
+  SmoGradient evaluate(const RealGrid& theta_m) const;
+
+  /// Loss only.
+  SmoLoss loss_only(const RealGrid& theta_m) const;
+
+  /// Normalized aerial intensity (activation applied internally).
+  RealGrid aerial(const RealGrid& theta_m) const;
+
+  const HopkinsImaging& hopkins() const noexcept { return *hopkins_; }
+  const RealGrid& target() const noexcept { return target_; }
+
+ private:
+  const HopkinsImaging* hopkins_;
+  RealGrid target_;
+  ResistModel resist_;
+  ActivationConfig activation_;
+  LossWeights weights_;
+  ProcessWindow pw_;
+};
+
+}  // namespace bismo
+
+#endif  // BISMO_GRAD_HOPKINS_GRAD_HPP

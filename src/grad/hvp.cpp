@@ -1,0 +1,53 @@
+#include "grad/hvp.hpp"
+
+#include "math/grid_ops.hpp"
+
+namespace bismo {
+namespace {
+
+/// Perturbation step: eps_scale normalized by ||v||; zero signals a zero v.
+double step_size(const RealGrid& v, double eps_scale) {
+  const double n = norm2(v);
+  if (n < 1e-30) return 0.0;
+  return eps_scale / n;
+}
+
+}  // namespace
+
+RealGrid HypergradientOps::hvp_source(const RealGrid& theta_m,
+                                      const RealGrid& theta_j,
+                                      const RealGrid& v) const {
+  const double eps = step_size(v, eps_scale_);
+  if (eps == 0.0) return RealGrid(theta_j.rows(), theta_j.cols(), 0.0);
+  GradRequest req;
+  req.mask = false;
+  req.source = true;
+  const SmoGradient plus =
+      engine_->evaluate(theta_m, axpy(theta_j, eps, v), req);
+  const SmoGradient minus =
+      engine_->evaluate(theta_m, axpy(theta_j, -eps, v), req);
+  evals_ += 2;
+  RealGrid out = plus.grad_theta_j - minus.grad_theta_j;
+  out *= 1.0 / (2.0 * eps);
+  return out;
+}
+
+RealGrid HypergradientOps::mixed_mask_source(const RealGrid& theta_m,
+                                             const RealGrid& theta_j,
+                                             const RealGrid& w) const {
+  const double eps = step_size(w, eps_scale_);
+  if (eps == 0.0) return RealGrid(theta_m.rows(), theta_m.cols(), 0.0);
+  GradRequest req;
+  req.mask = true;
+  req.source = false;
+  const SmoGradient plus =
+      engine_->evaluate(theta_m, axpy(theta_j, eps, w), req);
+  const SmoGradient minus =
+      engine_->evaluate(theta_m, axpy(theta_j, -eps, w), req);
+  evals_ += 2;
+  RealGrid out = plus.grad_theta_m - minus.grad_theta_m;
+  out *= 1.0 / (2.0 * eps);
+  return out;
+}
+
+}  // namespace bismo

@@ -1,0 +1,59 @@
+#include "grad/loss.hpp"
+
+#include <stdexcept>
+
+#include "math/grid_ops.hpp"
+
+namespace bismo {
+
+SmoLoss evaluate_smo_loss(const RealGrid& intensity, const RealGrid& target,
+                          const ResistModel& resist,
+                          const LossWeights& weights, const ProcessWindow& pw,
+                          bool want_backprop) {
+  if (!intensity.same_shape(target)) {
+    throw std::invalid_argument("evaluate_smo_loss: shape mismatch");
+  }
+  SmoLoss out;
+  const std::size_t n = intensity.size();
+  if (want_backprop) out.dl_di = RealGrid(intensity.rows(), intensity.cols());
+  out.z_nominal = RealGrid(intensity.rows(), intensity.cols());
+
+  const double d_min_sq = pw.dose_min * pw.dose_min;
+  const double d_max_sq = pw.dose_max * pw.dose_max;
+
+  const double inv_n = 1.0 / static_cast<double>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double base = intensity[i];
+    const double t = target[i];
+
+    const double z_nom = sigmoid(resist.beta * (base - resist.threshold));
+    const double z_min =
+        sigmoid(resist.beta * (d_min_sq * base - resist.threshold));
+    const double z_max =
+        sigmoid(resist.beta * (d_max_sq * base - resist.threshold));
+    out.z_nominal[i] = z_nom;
+
+    const double diff_nom = z_nom - t;
+    const double diff_min = z_min - t;
+    const double diff_max = z_max - t;
+    out.l2 += diff_nom * diff_nom;
+    out.pvb += diff_min * diff_min + diff_max * diff_max;
+
+    if (want_backprop) {
+      // dL/dI = (1/Npx) sum_c w_c * 2 * diff_c * beta * Z_c(1-Z_c) * d_c^2.
+      double g = weights.gamma * 2.0 * diff_nom * resist.beta * z_nom *
+                 (1.0 - z_nom);
+      g += weights.eta * 2.0 * diff_min * resist.beta * z_min *
+           (1.0 - z_min) * d_min_sq;
+      g += weights.eta * 2.0 * diff_max * resist.beta * z_max *
+           (1.0 - z_max) * d_max_sq;
+      out.dl_di[i] = g * inv_n;
+    }
+  }
+  out.l2 *= inv_n;
+  out.pvb *= inv_n;
+  out.total = weights.gamma * out.l2 + weights.eta * out.pvb;
+  return out;
+}
+
+}  // namespace bismo

@@ -1,0 +1,63 @@
+#include "io/csv.hpp"
+
+#include <iomanip>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+namespace bismo {
+
+void CsvWriter::row(const std::vector<double>& values) {
+  std::vector<std::string> fields;
+  fields.reserve(values.size());
+  for (double v : values) {
+    std::ostringstream ss;
+    ss << std::setprecision(std::numeric_limits<double>::max_digits10) << v;
+    fields.push_back(ss.str());
+  }
+  row_strings(fields);
+}
+
+void CsvWriter::row_strings(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) (*out_) << ',';
+    (*out_) << escape(fields[i]);
+  }
+  (*out_) << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string quoted = "\"";
+  for (char ch : field) {
+    if (ch == '"') quoted += '"';
+    quoted += ch;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void write_csv(const std::string& path, const std::vector<std::string>& names,
+               const std::vector<std::vector<double>>& columns) {
+  if (names.size() != columns.size()) {
+    throw std::invalid_argument("write_csv: names/columns count mismatch");
+  }
+  const std::size_t len = columns.empty() ? 0 : columns.front().size();
+  for (const auto& col : columns) {
+    if (col.size() != len) {
+      throw std::invalid_argument("write_csv: ragged columns");
+    }
+  }
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_csv: cannot open " + path);
+  CsvWriter writer(out);
+  writer.header(names);
+  for (std::size_t r = 0; r < len; ++r) {
+    std::vector<double> row(columns.size());
+    for (std::size_t c = 0; c < columns.size(); ++c) row[c] = columns[c][r];
+    writer.row(row);
+  }
+  if (!out) throw std::runtime_error("write_csv: write failed for " + path);
+}
+
+}  // namespace bismo

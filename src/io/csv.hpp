@@ -1,0 +1,46 @@
+// Minimal CSV emission for the figure-series benches (Fig. 3 convergence
+// curves, Fig. 5 mean/STD bands) so results can be re-plotted directly.
+#ifndef BISMO_IO_CSV_HPP
+#define BISMO_IO_CSV_HPP
+
+#include <fstream>
+#include <initializer_list>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bismo {
+
+/// Streams rows of a CSV table to any std::ostream.
+///
+/// Fields containing commas, quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Write to an externally owned stream (e.g. std::cout).
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Write the header row.
+  void header(const std::vector<std::string>& names) { row_strings(names); }
+
+  /// Write a row of doubles (formatted with max_digits10 precision).
+  void row(const std::vector<double>& values);
+
+  /// Write a row of preformatted strings.
+  void row_strings(const std::vector<std::string>& fields);
+
+ private:
+  static std::string escape(const std::string& field);
+  std::ostream* out_;
+};
+
+/// Convenience: write a whole table of named columns to a file.
+/// `columns` maps name -> series; all series must have equal length.
+/// Throws std::invalid_argument on ragged input, std::runtime_error on I/O
+/// failure.
+void write_csv(const std::string& path,
+               const std::vector<std::string>& names,
+               const std::vector<std::vector<double>>& columns);
+
+}  // namespace bismo
+
+#endif  // BISMO_IO_CSV_HPP

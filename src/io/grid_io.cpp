@@ -1,0 +1,59 @@
+#include "io/grid_io.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace bismo {
+namespace {
+
+constexpr char kMagic[4] = {'B', 'S', 'M', 'G'};
+constexpr std::uint32_t kVersion = 1;
+
+}  // namespace
+
+void save_grid(const std::string& path, const RealGrid& grid) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_grid: cannot open " + path);
+  out.write(kMagic, sizeof(kMagic));
+  const std::uint32_t version = kVersion;
+  const auto rows = static_cast<std::uint64_t>(grid.rows());
+  const auto cols = static_cast<std::uint64_t>(grid.cols());
+  out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+  out.write(reinterpret_cast<const char*>(&rows), sizeof(rows));
+  out.write(reinterpret_cast<const char*>(&cols), sizeof(cols));
+  out.write(reinterpret_cast<const char*>(grid.data()),
+            static_cast<std::streamsize>(grid.size() * sizeof(double)));
+  if (!out) throw std::runtime_error("save_grid: write failed for " + path);
+}
+
+RealGrid load_grid(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_grid: cannot open " + path);
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error("load_grid: not a BSMG file: " + path);
+  }
+  std::uint32_t version = 0;
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  in.read(reinterpret_cast<char*>(&version), sizeof(version));
+  in.read(reinterpret_cast<char*>(&rows), sizeof(rows));
+  in.read(reinterpret_cast<char*>(&cols), sizeof(cols));
+  if (!in || version != kVersion) {
+    throw std::runtime_error("load_grid: unsupported version in " + path);
+  }
+  if (rows > (1u << 20) || cols > (1u << 20)) {
+    throw std::runtime_error("load_grid: implausible dimensions in " + path);
+  }
+  RealGrid grid(static_cast<std::size_t>(rows),
+                static_cast<std::size_t>(cols));
+  in.read(reinterpret_cast<char*>(grid.data()),
+          static_cast<std::streamsize>(grid.size() * sizeof(double)));
+  if (!in) throw std::runtime_error("load_grid: truncated data in " + path);
+  return grid;
+}
+
+}  // namespace bismo

@@ -1,0 +1,22 @@
+// Checkpointing for parameter grids: a small self-describing binary format
+// ("BSMG") storing shape + IEEE-754 doubles, so optimized masks/sources can
+// be saved, reloaded and resumed exactly (bit-identical round trip).
+#ifndef BISMO_IO_GRID_IO_HPP
+#define BISMO_IO_GRID_IO_HPP
+
+#include <string>
+
+#include "math/grid2d.hpp"
+
+namespace bismo {
+
+/// Write a real grid as a BSMG binary checkpoint.
+/// Throws std::runtime_error on I/O failure.
+void save_grid(const std::string& path, const RealGrid& grid);
+
+/// Read a BSMG checkpoint.  Throws std::runtime_error on malformed input.
+RealGrid load_grid(const std::string& path);
+
+}  // namespace bismo
+
+#endif  // BISMO_IO_GRID_IO_HPP

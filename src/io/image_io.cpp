@@ -1,0 +1,114 @@
+#include "io/image_io.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+#include "math/grid_ops.hpp"
+
+namespace bismo {
+namespace {
+
+std::uint8_t quantize(double v, double lo, double hi) {
+  if (hi <= lo) return 0;
+  const double t = std::clamp((v - lo) / (hi - lo), 0.0, 1.0);
+  return static_cast<std::uint8_t>(t * 255.0 + 0.5);
+}
+
+}  // namespace
+
+void write_pgm(const std::string& path, const RealGrid& image, double lo,
+               double hi) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_pgm: cannot open " + path);
+  out << "P5\n" << image.cols() << " " << image.rows() << "\n255\n";
+  std::vector<std::uint8_t> row(image.cols());
+  for (std::size_t r = 0; r < image.rows(); ++r) {
+    for (std::size_t c = 0; c < image.cols(); ++c) {
+      row[c] = quantize(image(r, c), lo, hi);
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  if (!out) throw std::runtime_error("write_pgm: write failed for " + path);
+}
+
+void write_pgm_autoscale(const std::string& path, const RealGrid& image) {
+  write_pgm(path, image, min_value(image), max_value(image));
+}
+
+RealGrid read_pgm(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("read_pgm: cannot open " + path);
+  std::string magic;
+  in >> magic;
+  if (magic != "P5") throw std::runtime_error("read_pgm: not a binary PGM");
+  // Skip whitespace and comment lines between header tokens.
+  auto next_token = [&in]() {
+    std::string tok;
+    while (in >> tok) {
+      if (tok[0] == '#') {
+        std::string rest;
+        std::getline(in, rest);
+        continue;
+      }
+      return tok;
+    }
+    throw std::runtime_error("read_pgm: truncated header");
+  };
+  const std::size_t cols = std::stoul(next_token());
+  const std::size_t rows = std::stoul(next_token());
+  const int maxval = std::stoi(next_token());
+  if (maxval <= 0 || maxval > 255) {
+    throw std::runtime_error("read_pgm: unsupported max value");
+  }
+  in.get();  // single whitespace after header
+  RealGrid image(rows, cols);
+  std::vector<std::uint8_t> row(cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size()));
+    if (!in) throw std::runtime_error("read_pgm: truncated pixel data");
+    for (std::size_t c = 0; c < cols; ++c) {
+      image(r, c) = static_cast<double>(row[c]) / static_cast<double>(maxval);
+    }
+  }
+  return image;
+}
+
+void write_compare_ppm(const std::string& path, const RealGrid& z,
+                       const RealGrid& target) {
+  if (!z.same_shape(target)) {
+    throw std::invalid_argument("write_compare_ppm: shape mismatch");
+  }
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("write_compare_ppm: cannot open " + path);
+  out << "P6\n" << z.cols() << " " << z.rows() << "\n255\n";
+  std::vector<std::uint8_t> row(z.cols() * 3);
+  for (std::size_t r = 0; r < z.rows(); ++r) {
+    for (std::size_t c = 0; c < z.cols(); ++c) {
+      const bool printed = z(r, c) > 0.5;
+      const bool wanted = target(r, c) > 0.5;
+      std::uint8_t rgb[3] = {0, 0, 0};
+      if (printed && wanted) {
+        rgb[0] = rgb[1] = rgb[2] = 255;
+      } else if (wanted) {
+        rgb[0] = 220;  // missing pattern: red
+      } else if (printed) {
+        rgb[2] = 220;  // extra pattern: blue
+      }
+      row[3 * c + 0] = rgb[0];
+      row[3 * c + 1] = rgb[1];
+      row[3 * c + 2] = rgb[2];
+    }
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size()));
+  }
+  if (!out) {
+    throw std::runtime_error("write_compare_ppm: write failed for " + path);
+  }
+}
+
+}  // namespace bismo

@@ -1,0 +1,34 @@
+// Image output for masks, sources, aerial and resist images (Figure 4 of
+// the paper shows source/mask/resist panels; examples/smo_full_flow dumps
+// the same panels as PGM/PPM files), plus a PGM reader for round-trip tests.
+#ifndef BISMO_IO_IMAGE_IO_HPP
+#define BISMO_IO_IMAGE_IO_HPP
+
+#include <string>
+
+#include "math/grid2d.hpp"
+
+namespace bismo {
+
+/// Write a real grid as an 8-bit binary PGM, mapping [lo, hi] to [0, 255]
+/// (values outside the range are clamped).  Throws std::runtime_error when
+/// the file cannot be written.
+void write_pgm(const std::string& path, const RealGrid& image, double lo = 0.0,
+               double hi = 1.0);
+
+/// Write a real grid as PGM auto-scaled to its own [min, max] range.
+void write_pgm_autoscale(const std::string& path, const RealGrid& image);
+
+/// Read an 8-bit binary PGM back into a grid with values in [0, 1].
+/// Throws std::runtime_error on malformed input.
+RealGrid read_pgm(const std::string& path);
+
+/// Write a false-color PPM comparing a printed resist `z` against the target
+/// `target`: white = match (both 1), black = match (both 0), red = missing
+/// pattern (target only), blue = extra pattern (resist only).
+void write_compare_ppm(const std::string& path, const RealGrid& z,
+                       const RealGrid& target);
+
+}  // namespace bismo
+
+#endif  // BISMO_IO_IMAGE_IO_HPP

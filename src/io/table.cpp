@@ -1,0 +1,62 @@
+#include "io/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace bismo {
+
+void TablePrinter::add_row(std::vector<std::string> cells) {
+  if (cells.size() != headers_.size()) {
+    throw std::invalid_argument("TablePrinter: cell count mismatch");
+  }
+  rows_.push_back(Row{false, std::move(cells)});
+}
+
+void TablePrinter::add_separator() { rows_.push_back(Row{true, {}}); }
+
+std::string TablePrinter::num(double v, int digits) {
+  std::ostringstream ss;
+  ss << std::fixed << std::setprecision(digits) << v;
+  return ss.str();
+}
+
+void TablePrinter::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    if (row.separator) continue;
+    for (std::size_t c = 0; c < row.cells.size(); ++c) {
+      widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+  }
+  auto print_line = [&] {
+    out << '+';
+    for (std::size_t w : widths) out << std::string(w + 2, '-') << '+';
+    out << '\n';
+  };
+  auto print_cells = [&](const std::vector<std::string>& cells) {
+    out << '|';
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out << ' ' << std::left << std::setw(static_cast<int>(widths[c]))
+          << cells[c] << " |";
+    }
+    out << '\n';
+  };
+  print_line();
+  print_cells(headers_);
+  print_line();
+  for (const auto& row : rows_) {
+    if (row.separator) {
+      print_line();
+    } else {
+      print_cells(row.cells);
+    }
+  }
+  print_line();
+}
+
+}  // namespace bismo

@@ -1,0 +1,43 @@
+// Fixed-width ASCII table rendering for the benchmark harness, so the bench
+// binaries print rows in the same layout as the paper's Tables 2-4.
+#ifndef BISMO_IO_TABLE_HPP
+#define BISMO_IO_TABLE_HPP
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bismo {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class TablePrinter {
+ public:
+  /// Define the column headers.
+  explicit TablePrinter(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  /// Append one row; must have the same number of cells as headers.
+  /// Throws std::invalid_argument otherwise.
+  void add_row(std::vector<std::string> cells);
+
+  /// Append a horizontal separator line.
+  void add_separator();
+
+  /// Format a double with `digits` decimal places.
+  static std::string num(double v, int digits = 1);
+
+  /// Render the table to `out`.
+  void print(std::ostream& out) const;
+
+ private:
+  struct Row {
+    bool separator = false;
+    std::vector<std::string> cells;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace bismo
+
+#endif  // BISMO_IO_TABLE_HPP

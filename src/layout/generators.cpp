@@ -1,0 +1,195 @@
+#include "layout/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "math/rng.hpp"
+
+namespace bismo {
+namespace {
+
+/// Add every rectangle of `group` if none violates spacing against the
+/// rectangles already in the layout (group members may touch each other --
+/// jogs and connectors are intentionally connected).
+bool try_add_group(Layout& layout, const std::vector<Rect>& group,
+                   double spacing, double lo, double hi) {
+  for (const Rect& r : group) {
+    if (!r.valid() || r.x0 < lo || r.y0 < lo || r.x1 > hi || r.y1 > hi) {
+      return false;
+    }
+    if (layout.violates_spacing(r, spacing)) return false;
+  }
+  for (const Rect& r : group) layout.add_rect(r);
+  return true;
+}
+
+/// Snap `y` to the routing track grid (pitch = 2 * cd above `lo`).
+double snap_to_track(double y, double lo, double pitch) {
+  const double k = std::round((y - lo) / pitch);
+  return lo + std::max(0.0, k) * pitch;
+}
+
+/// One horizontal wire, optionally with a jog to the adjacent track
+/// (an L/Z-shaped metal segment typical of the ICCAD13 clips).
+std::vector<Rect> make_wire(Rng& rng, double lo, double hi, double cd,
+                            bool vertical) {
+  const double pitch = 2.0 * cd;
+  const double span = hi - lo;
+  const double width = rng.bernoulli(0.2) ? 2.0 * cd : cd;
+  const double length =
+      rng.uniform(0.18 * span, 0.55 * span);
+  const double along0 = rng.uniform(lo, hi - length);
+  double across0 = snap_to_track(rng.uniform(lo, hi - width), lo, pitch);
+  across0 = std::min(across0, hi - width);
+
+  std::vector<Rect> group;
+  auto push = [&group, vertical](double a0, double c0, double a1, double c1) {
+    if (vertical) {
+      group.push_back({c0, a0, c1, a1});
+    } else {
+      group.push_back({a0, c0, a1, c1});
+    }
+  };
+  push(along0, across0, along0 + length, across0 + width);
+
+  if (rng.bernoulli(0.35)) {
+    // Jog: connector at the wire end plus a continuation on the next track.
+    const double dir = rng.bernoulli(0.5) ? 1.0 : -1.0;
+    const double across1 = across0 + dir * pitch;
+    if (across1 >= lo && across1 + width <= hi) {
+      const double jog_len = rng.uniform(0.1 * span, 0.3 * span);
+      const double a_end = along0 + length;
+      // Vertical connector spanning both tracks.
+      push(a_end - cd, std::min(across0, across1), a_end,
+           std::max(across0, across1) + width);
+      // Continuation segment.
+      const double a1_end = std::min(hi, a_end + jog_len);
+      if (a1_end > a_end) push(a_end, across1, a1_end, across1 + width);
+    }
+  }
+  return group;
+}
+
+/// A rows x cols via array (ISPD19-like Metal+Via composition).
+std::vector<Rect> make_via_array(Rng& rng, double lo, double hi,
+                                 double via_nm) {
+  const auto rows = static_cast<std::size_t>(rng.uniform_int(1, 3));
+  const auto cols = static_cast<std::size_t>(rng.uniform_int(1, 4));
+  const double pitch = 2.0 * via_nm;
+  const double w = static_cast<double>(cols - 1) * pitch + via_nm;
+  const double h = static_cast<double>(rows - 1) * pitch + via_nm;
+  const double x0 = rng.uniform(lo, std::max(lo, hi - w));
+  const double y0 = rng.uniform(lo, std::max(lo, hi - h));
+  std::vector<Rect> group;
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      const double x = x0 + static_cast<double>(c) * pitch;
+      const double y = y0 + static_cast<double>(r) * pitch;
+      group.push_back({x, y, x + via_nm, y + via_nm});
+    }
+  }
+  return group;
+}
+
+/// A wide landing pad (isolated feature stressing the process window).
+/// Size is capped relative to the usable span so a single pad cannot
+/// satisfy a small tile's whole density budget.
+std::vector<Rect> make_pad(Rng& rng, double lo, double hi, double cd) {
+  const double span = hi - lo;
+  const double max_side = std::max(2.0 * cd, std::min(5.0 * cd, 0.18 * span));
+  const double min_side = std::max(cd, 0.5 * max_side);
+  const double w = rng.uniform(min_side, max_side);
+  const double h = rng.uniform(min_side, max_side);
+  const double x0 = rng.uniform(lo, std::max(lo, hi - w));
+  const double y0 = rng.uniform(lo, std::max(lo, hi - h));
+  return {{x0, y0, x0 + w, y0 + h}};
+}
+
+}  // namespace
+
+DatasetSpec dataset_spec(DatasetKind kind) {
+  DatasetSpec spec;
+  spec.kind = kind;
+  switch (kind) {
+    case DatasetKind::kIccad13:
+      // Table 2: avg area 202655 nm^2 on 4 um^2 => 5.07% density, CD 32.
+      spec.name = "ICCAD13";
+      spec.layer = "Metal";
+      spec.cd_nm = 32.0;
+      spec.target_density = 0.0507;
+      spec.default_count = 10;
+      break;
+    case DatasetKind::kIccadL:
+      // Table 2: avg area 475571 nm^2 => 11.9% density, CD 32.
+      spec.name = "ICCAD-L";
+      spec.layer = "Metal";
+      spec.cd_nm = 32.0;
+      spec.target_density = 0.1189;
+      spec.default_count = 10;
+      break;
+    case DatasetKind::kIspd19:
+      // Table 2: avg area 698743 nm^2 => 17.5% density, CD 28, Metal+Via.
+      spec.name = "ISPD19";
+      spec.layer = "Metal+Via";
+      spec.cd_nm = 28.0;
+      spec.target_density = 0.1747;
+      spec.include_vias = true;
+      spec.via_nm = 28.0;
+      spec.default_count = 100;
+      break;
+  }
+  return spec;
+}
+
+std::string to_string(DatasetKind kind) { return dataset_spec(kind).name; }
+
+Layout generate_clip(const DatasetSpec& spec, std::uint64_t seed) {
+  Rng rng(seed * 0x9E3779B97F4A7C15ULL + static_cast<std::uint64_t>(spec.kind));
+  Layout layout(spec.tile_nm);
+  const double margin = std::max(2.0 * spec.cd_nm, 0.06 * spec.tile_nm);
+  const double lo = margin;
+  const double hi = spec.tile_nm - margin;
+  const double spacing = spec.cd_nm;  // 1:1 line/space minimum
+  const double target_area =
+      spec.target_density * spec.tile_nm * spec.tile_nm;
+
+  double area = 0.0;
+  int attempts = 0;
+  const int max_attempts = 4000;
+  while (area < target_area && attempts < max_attempts) {
+    ++attempts;
+    std::vector<Rect> group;
+    const double roll = rng.uniform();
+    if (spec.include_vias && roll < 0.30) {
+      group = make_via_array(rng, lo, hi, spec.via_nm);
+    } else if (roll < 0.42) {
+      group = make_pad(rng, lo, hi, spec.cd_nm);
+    } else {
+      // Mix orientations; metal-only suites are predominantly horizontal
+      // (single preferred routing direction), the via suite is mixed.
+      const bool vertical =
+          spec.include_vias ? rng.bernoulli(0.5) : rng.bernoulli(0.25);
+      group = make_wire(rng, lo, hi, spec.cd_nm, vertical);
+    }
+    if (try_add_group(layout, group, spacing, 0.0, spec.tile_nm)) {
+      area = layout.union_area_nm2();
+    }
+  }
+  return layout;
+}
+
+Dataset make_dataset(const DatasetSpec& spec, std::size_t count,
+                     std::uint64_t base_seed) {
+  Dataset ds;
+  ds.spec = spec;
+  const std::size_t n = count == 0 ? spec.default_count : count;
+  ds.names.reserve(n);
+  ds.clips.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ds.names.push_back(spec.name + ":test" + std::to_string(i + 1));
+    ds.clips.push_back(generate_clip(spec, base_seed + i * 101));
+  }
+  return ds;
+}
+
+}  // namespace bismo

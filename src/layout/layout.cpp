@@ -1,0 +1,139 @@
+#include "layout/layout.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bismo {
+
+void Layout::add_rect(const Rect& r) {
+  if (!r.valid()) {
+    throw std::invalid_argument("Layout::add_rect: degenerate rectangle");
+  }
+  if (r.x0 < 0.0 || r.y0 < 0.0 || r.x1 > tile_nm_ || r.y1 > tile_nm_) {
+    throw std::invalid_argument("Layout::add_rect: rectangle outside tile");
+  }
+  rects_.push_back(r);
+}
+
+double Layout::union_area_nm2() const {
+  if (rects_.empty()) return 0.0;
+  // Coordinate compression: the union area is the sum of covered cells of
+  // the grid induced by all rectangle edges.  O(n^2) cells of O(n) overlap
+  // tests each -- fine for clip-scale inputs (tens of rectangles).
+  std::vector<double> xs;
+  std::vector<double> ys;
+  xs.reserve(rects_.size() * 2);
+  ys.reserve(rects_.size() * 2);
+  for (const Rect& r : rects_) {
+    xs.push_back(r.x0);
+    xs.push_back(r.x1);
+    ys.push_back(r.y0);
+    ys.push_back(r.y1);
+  }
+  std::sort(xs.begin(), xs.end());
+  xs.erase(std::unique(xs.begin(), xs.end()), xs.end());
+  std::sort(ys.begin(), ys.end());
+  ys.erase(std::unique(ys.begin(), ys.end()), ys.end());
+
+  double area = 0.0;
+  for (std::size_t i = 0; i + 1 < xs.size(); ++i) {
+    const double cx = 0.5 * (xs[i] + xs[i + 1]);
+    for (std::size_t j = 0; j + 1 < ys.size(); ++j) {
+      const double cy = 0.5 * (ys[j] + ys[j + 1]);
+      for (const Rect& r : rects_) {
+        if (cx >= r.x0 && cx < r.x1 && cy >= r.y0 && cy < r.y1) {
+          area += (xs[i + 1] - xs[i]) * (ys[j + 1] - ys[j]);
+          break;
+        }
+      }
+    }
+  }
+  return area;
+}
+
+RealGrid Layout::rasterize(std::size_t dim) const {
+  if (dim == 0) throw std::invalid_argument("Layout::rasterize: dim == 0");
+  const double pixel = tile_nm_ / static_cast<double>(dim);
+  RealGrid grid(dim, dim, 0.0);
+  for (const Rect& r : rects_) {
+    // Pixel (row, col) center: ((col + 0.5) p, (row + 0.5) p).
+    const auto c0 = static_cast<std::size_t>(
+        std::max(0.0, std::ceil(r.x0 / pixel - 0.5)));
+    const auto r0 = static_cast<std::size_t>(
+        std::max(0.0, std::ceil(r.y0 / pixel - 0.5)));
+    for (std::size_t row = r0; row < dim; ++row) {
+      const double cy = (static_cast<double>(row) + 0.5) * pixel;
+      if (cy >= r.y1) break;
+      for (std::size_t col = c0; col < dim; ++col) {
+        const double cx = (static_cast<double>(col) + 0.5) * pixel;
+        if (cx >= r.x1) break;
+        grid(row, col) = 1.0;
+      }
+    }
+  }
+  return grid;
+}
+
+bool Layout::violates_spacing(const Rect& r, double spacing) const {
+  const Rect probe = r.inflated(spacing);
+  for (const Rect& existing : rects_) {
+    if (probe.overlaps(existing)) return true;
+  }
+  return false;
+}
+
+void write_layout(const std::string& path, const Layout& layout) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_layout: cannot open " + path);
+  out << "TILE " << layout.tile_nm() << "\n";
+  out.precision(17);
+  for (const Rect& r : layout.rects()) {
+    out << "RECT " << r.x0 << " " << r.y0 << " " << r.x1 << " " << r.y1
+        << "\n";
+  }
+  if (!out) throw std::runtime_error("write_layout: write failed " + path);
+}
+
+Layout read_layout(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_layout: cannot open " + path);
+  std::string line;
+  Layout layout;
+  bool have_tile = false;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ss(line);
+    std::string tag;
+    ss >> tag;
+    if (tag == "TILE") {
+      double tile = 0.0;
+      if (!(ss >> tile) || tile <= 0.0) {
+        throw std::runtime_error("read_layout: bad TILE at line " +
+                                 std::to_string(line_no));
+      }
+      layout = Layout(tile);
+      have_tile = true;
+    } else if (tag == "RECT") {
+      if (!have_tile) {
+        throw std::runtime_error("read_layout: RECT before TILE");
+      }
+      Rect r;
+      if (!(ss >> r.x0 >> r.y0 >> r.x1 >> r.y1)) {
+        throw std::runtime_error("read_layout: bad RECT at line " +
+                                 std::to_string(line_no));
+      }
+      layout.add_rect(r);
+    } else {
+      throw std::runtime_error("read_layout: unknown tag '" + tag +
+                               "' at line " + std::to_string(line_no));
+    }
+  }
+  if (!have_tile) throw std::runtime_error("read_layout: missing TILE");
+  return layout;
+}
+
+}  // namespace bismo

@@ -1,0 +1,83 @@
+// Rectilinear layout substrate: the target patterns that SMO optimizes
+// toward.  A Layout is a bag of axis-aligned rectangles (nm coordinates)
+// within a square tile, with exact union-area computation, rasterization to
+// the mask grid, and a simple text serialization (GLP-like) used by the
+// examples and golden tests.
+#ifndef BISMO_LAYOUT_LAYOUT_HPP
+#define BISMO_LAYOUT_LAYOUT_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "math/grid2d.hpp"
+
+namespace bismo {
+
+/// Axis-aligned rectangle in nm, half-open: [x0, x1) x [y0, y1).
+struct Rect {
+  double x0 = 0.0;
+  double y0 = 0.0;
+  double x1 = 0.0;
+  double y1 = 0.0;
+
+  double width() const noexcept { return x1 - x0; }
+  double height() const noexcept { return y1 - y0; }
+  double area() const noexcept { return width() * height(); }
+  bool valid() const noexcept { return x1 > x0 && y1 > y0; }
+
+  /// True when the interiors intersect.
+  bool overlaps(const Rect& o) const noexcept {
+    return x0 < o.x1 && o.x0 < x1 && y0 < o.y1 && o.y0 < y1;
+  }
+
+  /// Rectangle grown by `margin` on every side.
+  Rect inflated(double margin) const noexcept {
+    return {x0 - margin, y0 - margin, x1 + margin, y1 + margin};
+  }
+};
+
+/// A clip: rectangles within a tile of side `tile_nm`.
+class Layout {
+ public:
+  Layout() = default;
+  explicit Layout(double tile_nm) : tile_nm_(tile_nm) {}
+
+  /// Tile side length in nm.
+  double tile_nm() const noexcept { return tile_nm_; }
+
+  /// Append a rectangle (must be valid and inside the tile; throws
+  /// std::invalid_argument otherwise).
+  void add_rect(const Rect& r);
+
+  const std::vector<Rect>& rects() const noexcept { return rects_; }
+  std::size_t size() const noexcept { return rects_.size(); }
+  bool empty() const noexcept { return rects_.empty(); }
+
+  /// Exact union area in nm^2 (overlaps counted once), via coordinate
+  /// compression.
+  double union_area_nm2() const;
+
+  /// Rasterize to a dim x dim binary grid: pixel centers covered by any
+  /// rectangle become 1.
+  RealGrid rasterize(std::size_t dim) const;
+
+  /// Would `r` (inflated by `spacing`) collide with an existing rect?
+  bool violates_spacing(const Rect& r, double spacing) const;
+
+ private:
+  double tile_nm_ = 0.0;
+  std::vector<Rect> rects_;
+};
+
+/// Serialize to the text format:
+///   TILE <tile_nm>
+///   RECT <x0> <y0> <x1> <y1>   (one per rectangle)
+void write_layout(const std::string& path, const Layout& layout);
+
+/// Parse the text format; throws std::runtime_error on malformed input.
+Layout read_layout(const std::string& path);
+
+}  // namespace bismo
+
+#endif  // BISMO_LAYOUT_LAYOUT_HPP

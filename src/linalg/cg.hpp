@@ -1,0 +1,44 @@
+// Matrix-free conjugate-gradient solver on Grid2D-shaped vector spaces.
+//
+// BiSMO-CG (Sec. 3.2.3, Eq. 17-18) solves  [d2Lso/dthetaJ^2] w = dLmo/dthetaJ
+// with the Hessian available only through Hessian-vector products.  This CG
+// implementation takes the operator as a callable, supports warm starting
+// (Algorithm 2 line 10 re-initializes w0 from the previous outer step) and
+// optional Tikhonov damping  (H + damping*I) w = b  for the indefinite-
+// Hessian case responsible for CG's instability in the paper's ablation.
+#ifndef BISMO_LINALG_CG_HPP
+#define BISMO_LINALG_CG_HPP
+
+#include <cstddef>
+#include <functional>
+
+#include "math/grid2d.hpp"
+
+namespace bismo {
+
+/// Outcome of a conjugate-gradient solve.
+struct CgResult {
+  RealGrid x;              ///< approximate solution
+  double residual_norm = 0.0;  ///< ||b - A x|| at exit
+  int iterations = 0;          ///< CG steps actually taken
+  bool converged = false;      ///< residual below tolerance
+};
+
+/// Options controlling the CG iteration.
+struct CgOptions {
+  int max_iterations = 5;   ///< paper: K = 5
+  double tolerance = 1e-10; ///< relative residual ||r||/||b|| stop threshold
+  double damping = 0.0;     ///< Tikhonov term: solves (A + damping*I) x = b
+};
+
+/// Solve A x = b where `apply` computes A*v for an implicitly represented
+/// symmetric (ideally positive-definite) operator.  `x0` provides the warm
+/// start; pass a zero grid when none is available.
+/// Shapes of b and x0 must match; throws std::invalid_argument otherwise.
+CgResult conjugate_gradient(
+    const std::function<RealGrid(const RealGrid&)>& apply, const RealGrid& b,
+    const RealGrid& x0, const CgOptions& options = {});
+
+}  // namespace bismo
+
+#endif  // BISMO_LINALG_CG_HPP

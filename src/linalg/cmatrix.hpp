@@ -1,0 +1,94 @@
+// Small dense complex matrix used by the Hopkins/SOCS pipeline.
+//
+// The TCC Gram matrix G = A A^H (one row/column per effective source point)
+// is a few-hundred-square Hermitian matrix; this container plus the Jacobi
+// eigensolver in hermitian_eig.hpp is all the dense linear algebra the
+// library needs.
+#ifndef BISMO_LINALG_CMATRIX_HPP
+#define BISMO_LINALG_CMATRIX_HPP
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace bismo {
+
+/// Dense row-major complex matrix with value semantics.
+class CMatrix {
+ public:
+  using value_type = std::complex<double>;
+
+  CMatrix() = default;
+
+  /// rows x cols zero matrix.
+  CMatrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols) {}
+
+  /// n x n identity.
+  static CMatrix identity(std::size_t n) {
+    CMatrix m(n, n);
+    for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+    return m;
+  }
+
+  std::size_t rows() const noexcept { return rows_; }
+  std::size_t cols() const noexcept { return cols_; }
+
+  value_type& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const value_type& operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Matrix product this * other.
+  CMatrix multiply(const CMatrix& other) const {
+    if (cols_ != other.rows_) {
+      throw std::invalid_argument("CMatrix::multiply: dimension mismatch");
+    }
+    CMatrix out(rows_, other.cols_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t k = 0; k < cols_; ++k) {
+        const value_type a = (*this)(i, k);
+        if (a == value_type{}) continue;
+        for (std::size_t j = 0; j < other.cols_; ++j) {
+          out(i, j) += a * other(k, j);
+        }
+      }
+    }
+    return out;
+  }
+
+  /// Conjugate transpose.
+  CMatrix hermitian() const {
+    CMatrix out(cols_, rows_);
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t j = 0; j < cols_; ++j) out(j, i) = std::conj((*this)(i, j));
+    }
+    return out;
+  }
+
+  /// Frobenius norm of the off-diagonal part (square matrices).
+  double offdiag_norm() const {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < rows_; ++i) {
+      for (std::size_t j = 0; j < cols_; ++j) {
+        if (i != j) acc += std::norm((*this)(i, j));
+      }
+    }
+    return std::sqrt(acc);
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<value_type> data_;
+};
+
+}  // namespace bismo
+
+#endif  // BISMO_LINALG_CMATRIX_HPP

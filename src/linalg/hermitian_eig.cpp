@@ -1,0 +1,114 @@
+#include "linalg/hermitian_eig.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace bismo {
+namespace {
+
+/// One two-sided unitary rotation zeroing A(p,q) and A(q,p), accumulating
+/// the rotation into V.  The unitary is U = D * R with D = diag(1, e^{-ia})
+/// absorbing the phase of A(p,q) = r e^{ia} and R the real Jacobi rotation.
+void rotate(CMatrix& a, CMatrix& v, std::size_t p, std::size_t q) {
+  const std::complex<double> apq = a(p, q);
+  const double r = std::abs(apq);
+  if (r == 0.0) return;
+  const std::complex<double> phase = apq / r;  // e^{i alpha}
+  const double app = a(p, p).real();
+  const double aqq = a(q, q).real();
+  const double tau = (aqq - app) / (2.0 * r);
+  double t = 1.0;
+  if (tau != 0.0) {
+    const double sign = tau > 0.0 ? 1.0 : -1.0;
+    t = sign / (std::abs(tau) + std::sqrt(1.0 + tau * tau));
+  }
+  const double c = 1.0 / std::sqrt(1.0 + t * t);
+  const double s = t * c;
+
+  // Column entries of U restricted to the (p,q) plane:
+  //   U[p][p] = c            U[p][q] = s
+  //   U[q][p] = -s*conj(ph)  U[q][q] = c*conj(ph)
+  const std::complex<double> upp(c, 0.0);
+  const std::complex<double> upq(s, 0.0);
+  const std::complex<double> uqp = -s * std::conj(phase);
+  const std::complex<double> uqq = c * std::conj(phase);
+
+  const std::size_t n = a.rows();
+  // A <- U^H A U: first columns (A U), then rows (U^H A).
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::complex<double> akp = a(k, p);
+    const std::complex<double> akq = a(k, q);
+    a(k, p) = akp * upp + akq * uqp;
+    a(k, q) = akp * upq + akq * uqq;
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::complex<double> apk = a(p, k);
+    const std::complex<double> aqk = a(q, k);
+    a(p, k) = std::conj(upp) * apk + std::conj(uqp) * aqk;
+    a(q, k) = std::conj(upq) * apk + std::conj(uqq) * aqk;
+  }
+  // Clean the rotated pair explicitly (they are zero analytically).
+  a(p, q) = 0.0;
+  a(q, p) = 0.0;
+  a(p, p) = a(p, p).real();
+  a(q, q) = a(q, q).real();
+
+  // V <- V U (accumulate eigenvectors).
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::complex<double> vkp = v(k, p);
+    const std::complex<double> vkq = v(k, q);
+    v(k, p) = vkp * upp + vkq * uqp;
+    v(k, q) = vkp * upq + vkq * uqq;
+  }
+}
+
+double matrix_norm(const CMatrix& a) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) acc += std::norm(a(i, j));
+  }
+  return std::sqrt(acc);
+}
+
+}  // namespace
+
+HermitianEig hermitian_eig(CMatrix a, double tol, int max_sweeps) {
+  if (a.rows() != a.cols()) {
+    throw std::invalid_argument("hermitian_eig: matrix must be square");
+  }
+  const std::size_t n = a.rows();
+  CMatrix v = CMatrix::identity(n);
+  if (n > 0) {
+    const double scale = matrix_norm(a);
+    const double threshold = tol * std::max(scale, 1e-300);
+    for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+      if (a.offdiag_norm() <= threshold) break;
+      for (std::size_t p = 0; p + 1 < n; ++p) {
+        for (std::size_t q = p + 1; q < n; ++q) {
+          if (std::abs(a(p, q)) > threshold / static_cast<double>(n)) {
+            rotate(a, v, p, q);
+          }
+        }
+      }
+    }
+  }
+
+  HermitianEig out;
+  out.values.resize(n);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::vector<double> diag(n);
+  for (std::size_t i = 0; i < n; ++i) diag[i] = a(i, i).real();
+  std::sort(order.begin(), order.end(),
+            [&diag](std::size_t x, std::size_t y) { return diag[x] > diag[y]; });
+  out.vectors = CMatrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    out.values[j] = diag[order[j]];
+    for (std::size_t i = 0; i < n; ++i) out.vectors(i, j) = v(i, order[j]);
+  }
+  return out;
+}
+
+}  // namespace bismo

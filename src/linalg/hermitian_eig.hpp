@@ -1,0 +1,37 @@
+// Cyclic-Jacobi eigendecomposition of Hermitian matrices.
+//
+// Used to diagonalize the source-side Gram matrix G = A A^H in the
+// Hopkins/SOCS pipeline (Sec. 2.1 of the paper, Eq. 4): its eigenpairs map
+// exactly to the SOCS kernel weights kappa_q and (through A^H) the kernels
+// phi_q, replacing the truncated SVD of the full TCC without ever forming
+// the quartic-size TCC tensor.
+#ifndef BISMO_LINALG_HERMITIAN_EIG_HPP
+#define BISMO_LINALG_HERMITIAN_EIG_HPP
+
+#include <vector>
+
+#include "linalg/cmatrix.hpp"
+
+namespace bismo {
+
+/// Eigendecomposition A = V diag(lambda) V^H of a Hermitian matrix.
+/// Eigenvalues are sorted in descending order; column j of `vectors` is the
+/// unit eigenvector for `values[j]`.
+struct HermitianEig {
+  std::vector<double> values;
+  CMatrix vectors;
+};
+
+/// Diagonalize a Hermitian matrix by cyclic Jacobi rotations.
+///
+/// `a` must be square and Hermitian (the strict lower triangle is assumed to
+/// mirror the upper conjugate-transposed; minor asymmetry from floating
+/// point accumulation is tolerated).  Convergence: off-diagonal Frobenius
+/// norm below `tol` times the matrix norm, or `max_sweeps` full sweeps.
+/// Throws std::invalid_argument for non-square input.
+HermitianEig hermitian_eig(CMatrix a, double tol = 1e-12,
+                           int max_sweeps = 50);
+
+}  // namespace bismo
+
+#endif  // BISMO_LINALG_HERMITIAN_EIG_HPP

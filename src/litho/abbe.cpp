@@ -1,0 +1,107 @@
+#include "litho/abbe.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "fft/fft.hpp"
+#include "parallel/reduction.hpp"
+
+namespace bismo {
+
+AbbeImaging::AbbeImaging(const OpticsConfig& optics,
+                         const SourceGeometry& geometry, ThreadPool* pool)
+    : optics_(optics), geometry_(geometry), pupil_(optics), pool_(pool) {
+  const auto& pts = geometry_.points();
+  passbands_.resize(pts.size());
+  auto build = [this, &pts](std::size_t i) {
+    passbands_[i] = pupil_.shifted_passband(pts[i].freq_x, pts[i].freq_y);
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(pts.size(), build);
+  } else {
+    for (std::size_t i = 0; i < pts.size(); ++i) build(i);
+  }
+}
+
+ComplexGrid AbbeImaging::apply_passband(const ComplexGrid& o,
+                                        std::size_t point_index) const {
+  const PassBand& band = passbands_[point_index];
+  ComplexGrid masked(o.rows(), o.cols());
+  if (band.values.empty()) {
+    for (std::uint32_t idx : band.indices) masked[idx] = o[idx];
+  } else {
+    for (std::size_t k = 0; k < band.indices.size(); ++k) {
+      masked[band.indices[k]] = o[band.indices[k]] * band.values[k];
+    }
+  }
+  return masked;
+}
+
+ComplexGrid AbbeImaging::field(const ComplexGrid& o,
+                               std::size_t point_index) const {
+  if (o.rows() != optics_.mask_dim || o.cols() != optics_.mask_dim) {
+    throw std::invalid_argument("AbbeImaging::field: spectrum shape mismatch");
+  }
+  ComplexGrid a = apply_passband(o, point_index);
+  ifft2(a);
+  return a;
+}
+
+AbbeAerial AbbeImaging::aerial(const ComplexGrid& o, const RealGrid& j,
+                               double cutoff) const {
+  const auto& pts = geometry_.points();
+  if (j.rows() != geometry_.dim() || j.cols() != geometry_.dim()) {
+    throw std::invalid_argument("AbbeImaging::aerial: source shape mismatch");
+  }
+  if (o.rows() != optics_.mask_dim || o.cols() != optics_.mask_dim) {
+    throw std::invalid_argument("AbbeImaging::aerial: spectrum shape mismatch");
+  }
+
+  // Collect the contributing points first so the parallel loop is dense.
+  std::vector<std::size_t> active;
+  active.reserve(pts.size());
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double w = j(pts[i].row, pts[i].col);
+    total_weight += w;
+    if (w > cutoff) active.push_back(i);
+  }
+
+  AbbeAerial out;
+  out.total_weight = total_weight;
+  out.intensity = RealGrid(o.rows(), o.cols(), 0.0);
+  if (active.empty() || total_weight <= 0.0) return out;
+
+  // Static partition of points over a fixed slot count (see
+  // parallel/reduction.hpp): task s owns a fixed index range and its own
+  // accumulator, and the accumulators are combined in task order, so the
+  // floating-point summation order -- and therefore the result -- is
+  // bitwise identical for any thread count including serial.
+  const std::size_t slots = reduction_slots(active.size());
+  std::vector<RealGrid> partial(slots, RealGrid(o.rows(), o.cols(), 0.0));
+
+  auto task = [&](std::size_t s) {
+    const std::size_t begin = s * active.size() / slots;
+    const std::size_t end = (s + 1) * active.size() / slots;
+    RealGrid& acc = partial[s];
+    for (std::size_t k = begin; k < end; ++k) {
+      const std::size_t i = active[k];
+      const double w = j(pts[i].row, pts[i].col);
+      const ComplexGrid a = field(o, i);
+      for (std::size_t q = 0; q < acc.size(); ++q) {
+        acc[q] += w * std::norm(a[q]);
+      }
+    }
+  };
+  if (pool_ != nullptr) {
+    pool_->parallel_for(slots, task);
+  } else {
+    for (std::size_t s = 0; s < slots; ++s) task(s);
+  }
+  for (std::size_t s = 0; s < slots; ++s) out.intensity += partial[s];
+  const double inv_w = 1.0 / total_weight;
+  out.intensity *= inv_w;
+  return out;
+}
+
+}  // namespace bismo

@@ -1,0 +1,83 @@
+// Abbe forward imaging engine (paper Eq. 2):
+//
+//   I(x, y) = (1/W) * sum_sigma j_sigma |A_sigma(x, y)|^2,
+//   A_sigma = IFFT[ H(f + f_sigma, g + g_sigma) * O(f, g) ],  W = sum j_sigma
+//
+// where O = FFT(mask) and each source point's shifted pupil pass-band is
+// precomputed as a sparse bin list (exact; see Pupil::shifted_passband).
+// The normalization by total source power W pins the clear-field intensity
+// to 1.0 so a fixed resist threshold is meaningful while the source is being
+// optimized (documented substitution; Eq. 2 as printed is unnormalized).
+//
+// Source-point contributions are independent, so the engine evaluates them
+// on a thread pool -- the CPU analogue of the paper's GPU acceleration whose
+// runtime model is ceil(sigma/P) (Sec. 3.1).
+#ifndef BISMO_LITHO_ABBE_HPP
+#define BISMO_LITHO_ABBE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "litho/optics.hpp"
+#include "litho/pupil.hpp"
+#include "litho/source.hpp"
+#include "math/grid2d.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace bismo {
+
+/// Aerial image plus the bookkeeping the gradients need.
+struct AbbeAerial {
+  RealGrid intensity;        ///< normalized intensity I (clear field = 1)
+  double total_weight = 0.0; ///< W = sum of source weights over valid points
+};
+
+/// Abbe source-points-integration imaging engine.
+///
+/// Construction precomputes one sparse shifted pass-band per valid source
+/// point; `aerial` and the gradient engine then reuse them for every
+/// forward/backward evaluation.  The engine is immutable after construction
+/// and safe to share across threads.
+class AbbeImaging {
+ public:
+  /// Build for the given optics and source geometry.  `pool` may be null
+  /// (serial execution); the pool is borrowed, not owned.
+  AbbeImaging(const OpticsConfig& optics, const SourceGeometry& geometry,
+              ThreadPool* pool = nullptr);
+
+  /// Forward imaging: aerial intensity for mask spectrum `o` (= fft2 of the
+  /// activated, dose-scaled mask) and source magnitudes `j` (Nj x Nj grid).
+  /// Points with weight <= `cutoff` are skipped (they contribute nothing to
+  /// the sum); pass cutoff < 0 to force evaluation of every valid point.
+  AbbeAerial aerial(const ComplexGrid& o, const RealGrid& j,
+                    double cutoff = 1e-9) const;
+
+  /// Coherent field A_sigma for one source point (by index into
+  /// `geometry().points()`), i.e. IFFT of the pass-band-masked spectrum.
+  ComplexGrid field(const ComplexGrid& o, std::size_t point_index) const;
+
+  /// Sparse pass-band of one source point.
+  const PassBand& passband(std::size_t point_index) const {
+    return passbands_[point_index];
+  }
+
+  const SourceGeometry& geometry() const noexcept { return geometry_; }
+  const OpticsConfig& optics() const noexcept { return optics_; }
+  const Pupil& pupil() const noexcept { return pupil_; }
+  ThreadPool* pool() const noexcept { return pool_; }
+
+  /// Apply a pass-band mask to a spectrum: out = H_sigma .* o (dense out).
+  ComplexGrid apply_passband(const ComplexGrid& o,
+                             std::size_t point_index) const;
+
+ private:
+  OpticsConfig optics_;
+  SourceGeometry geometry_;
+  Pupil pupil_;
+  std::vector<PassBand> passbands_;  ///< parallel to geometry_.points()
+  ThreadPool* pool_;
+};
+
+}  // namespace bismo
+
+#endif  // BISMO_LITHO_ABBE_HPP

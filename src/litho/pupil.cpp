@@ -1,0 +1,82 @@
+#include "litho/pupil.hpp"
+
+#include <cmath>
+
+#include "fft/fft.hpp"
+
+namespace bismo {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+}
+
+Pupil::Pupil(const OpticsConfig& optics) : optics_(optics) {
+  optics_.validate();
+  const double fc = optics_.cutoff_frequency();
+  cutoff_sq_ = fc * fc;
+  has_defocus_ = optics_.defocus_nm != 0.0;
+}
+
+bool Pupil::passes(double fx, double fy) const {
+  return fx * fx + fy * fy <= cutoff_sq_;
+}
+
+std::complex<double> Pupil::value(double fx, double fy) const {
+  if (!passes(fx, fy)) return {0.0, 0.0};
+  if (!has_defocus_) return {1.0, 0.0};
+  // Defocus phase: 2*pi/lambda * dz * (sqrt(1 - (lambda f)^2) - 1).
+  // (lambda*f)^2 <= (NA)^2 <= ... can exceed 1 for immersion NA > 1; clamp
+  // the square root argument (evanescent components carry zero phase slope).
+  const double lf2 =
+      (fx * fx + fy * fy) * optics_.wavelength_nm * optics_.wavelength_nm;
+  const double root = std::sqrt(std::max(0.0, 1.0 - lf2));
+  const double phase =
+      kTwoPi / optics_.wavelength_nm * optics_.defocus_nm * (root - 1.0);
+  return {std::cos(phase), std::sin(phase)};
+}
+
+PassBand Pupil::shifted_passband(double fsx, double fsy) const {
+  PassBand band;
+  const std::size_t n = optics_.mask_dim;
+  const double pitch = optics_.freq_pitch();
+  // Conservative bound on how many bins the shifted disc can span keeps the
+  // scan window small instead of walking all Nm^2 bins.
+  const double fc = optics_.cutoff_frequency();
+  const auto max_bin = static_cast<long>(std::ceil((fc + std::hypot(fsx, fsy)) / pitch)) + 1;
+
+  std::vector<std::complex<double>> values;
+  bool any_nonunit = false;
+  for (std::size_t r = 0; r < n; ++r) {
+    const long ky = fft_freq_index(r, n);
+    if (std::labs(ky) > max_bin) continue;
+    const double fy = static_cast<double>(ky) * pitch;
+    for (std::size_t c = 0; c < n; ++c) {
+      const long kx = fft_freq_index(c, n);
+      if (std::labs(kx) > max_bin) continue;
+      const double fx = static_cast<double>(kx) * pitch;
+      const std::complex<double> h = value(fx + fsx, fy + fsy);
+      if (h == std::complex<double>{}) continue;
+      band.indices.push_back(static_cast<std::uint32_t>(r * n + c));
+      values.push_back(h);
+      if (h != std::complex<double>{1.0, 0.0}) any_nonunit = true;
+    }
+  }
+  if (any_nonunit) band.values = std::move(values);
+  return band;
+}
+
+ComplexGrid Pupil::dense() const {
+  const std::size_t n = optics_.mask_dim;
+  const double pitch = optics_.freq_pitch();
+  ComplexGrid h(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double fy = static_cast<double>(fft_freq_index(r, n)) * pitch;
+    for (std::size_t c = 0; c < n; ++c) {
+      const double fx = static_cast<double>(fft_freq_index(c, n)) * pitch;
+      h(r, c) = value(fx, fy);
+    }
+  }
+  return h;
+}
+
+}  // namespace bismo

@@ -1,0 +1,60 @@
+// Projection pupil: the low-pass transfer function H of Eq. 5, evaluated
+// analytically at shifted frequencies H(f + f_sigma, g + g_sigma) for every
+// source point, which is what makes the Abbe pass-bands exact (no
+// interpolation -- H is an indicator disc, optionally with a defocus phase).
+#ifndef BISMO_LITHO_PUPIL_HPP
+#define BISMO_LITHO_PUPIL_HPP
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+#include "litho/optics.hpp"
+#include "math/grid2d.hpp"
+
+namespace bismo {
+
+/// Sparse description of one shifted pupil pass-band over the Nm x Nm
+/// frequency grid: which bins pass, and the (complex) pupil value at each.
+/// `values` is empty when every passed value is exactly 1.0 (the in-focus
+/// case), which lets hot loops skip the multiply.
+struct PassBand {
+  std::vector<std::uint32_t> indices;        ///< flat row-major bin indices
+  std::vector<std::complex<double>> values;  ///< per-bin pupil value, or empty
+};
+
+/// The optical transfer function H(f, g) of Eq. 5 with an optional defocus
+/// aberration phase (an extension the paper groups under process-window
+/// considerations; defocus_nm = 0 reproduces the paper's binary disc).
+class Pupil {
+ public:
+  /// Build for a given optics configuration (validated).
+  explicit Pupil(const OpticsConfig& optics);
+
+  /// H evaluated at a continuous frequency (cycles/nm); zero outside the
+  /// cut-off disc, unit-magnitude (defocus phase only) inside.
+  std::complex<double> value(double fx, double fy) const;
+
+  /// True when (fx, fy) lies inside the cut-off disc.
+  bool passes(double fx, double fy) const;
+
+  /// Enumerate the pass-band of H(f + fsx, g + fsy) over the DFT frequency
+  /// grid of the configured mask dimension.
+  PassBand shifted_passband(double fsx, double fsy) const;
+
+  /// Dense pupil image on the (unshifted) DFT grid; mainly for tests and
+  /// visualization.
+  ComplexGrid dense() const;
+
+  /// The optics this pupil was built for.
+  const OpticsConfig& optics() const noexcept { return optics_; }
+
+ private:
+  OpticsConfig optics_;
+  double cutoff_sq_;  ///< (NA/lambda)^2
+  bool has_defocus_;
+};
+
+}  // namespace bismo
+
+#endif  // BISMO_LITHO_PUPIL_HPP

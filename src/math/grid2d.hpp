@@ -1,0 +1,162 @@
+// Grid2D: the dense 2-D array that underlies every image-like quantity in
+// BiSMO (masks, sources, aerial images, resist images, frequency spectra).
+//
+// Row-major storage, value semantics, no implicit conversions.  Element type
+// is a template parameter; the two instantiations used throughout the
+// library are `RealGrid` (double) and `ComplexGrid` (std::complex<double>).
+#ifndef BISMO_MATH_GRID2D_HPP
+#define BISMO_MATH_GRID2D_HPP
+
+#include <cassert>
+#include <complex>
+#include <cstddef>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace bismo {
+
+/// Dense row-major 2-D array with value semantics.
+///
+/// Invariant: `data_.size() == rows_ * cols_` at all times.  A
+/// default-constructed grid has zero rows and columns and no storage.
+template <typename T>
+class Grid2D {
+ public:
+  using value_type = T;
+
+  /// Empty 0x0 grid.
+  Grid2D() = default;
+
+  /// `rows` x `cols` grid with every element set to `init`.
+  /// Throws std::invalid_argument on a zero-sized dimension with a non-zero
+  /// counterpart (a degenerate shape is almost always a caller bug).
+  Grid2D(std::size_t rows, std::size_t cols, T init = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, init) {
+    if ((rows == 0) != (cols == 0)) {
+      throw std::invalid_argument("Grid2D: degenerate shape");
+    }
+  }
+
+  /// Number of rows (y / g dimension).
+  std::size_t rows() const noexcept { return rows_; }
+  /// Number of columns (x / f dimension).
+  std::size_t cols() const noexcept { return cols_; }
+  /// Total number of elements.
+  std::size_t size() const noexcept { return data_.size(); }
+  /// True when the grid holds no elements.
+  bool empty() const noexcept { return data_.empty(); }
+
+  /// Unchecked element access (hot paths).
+  T& operator()(std::size_t r, std::size_t c) noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+  const T& operator()(std::size_t r, std::size_t c) const noexcept {
+    assert(r < rows_ && c < cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Bounds-checked element access.  Throws std::out_of_range.
+  T& at(std::size_t r, std::size_t c) {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    check(r, c);
+    return data_[r * cols_ + c];
+  }
+
+  /// Flat element access in row-major order (for linear algebra on grids).
+  T& operator[](std::size_t i) noexcept {
+    assert(i < data_.size());
+    return data_[i];
+  }
+  const T& operator[](std::size_t i) const noexcept {
+    assert(i < data_.size());
+    return data_[i];
+  }
+
+  /// Raw storage access (row-major, contiguous).
+  T* data() noexcept { return data_.data(); }
+  const T* data() const noexcept { return data_.data(); }
+
+  auto begin() noexcept { return data_.begin(); }
+  auto end() noexcept { return data_.end(); }
+  auto begin() const noexcept { return data_.begin(); }
+  auto end() const noexcept { return data_.end(); }
+
+  /// Set every element to `v`.
+  void fill(T v) { std::fill(data_.begin(), data_.end(), v); }
+
+  /// True when shapes match elementwise-compatibly.
+  bool same_shape(const Grid2D& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  /// Reshape to `rows` x `cols`, discarding contents (elements become T{}).
+  void resize(std::size_t rows, std::size_t cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(rows * cols, T{});
+  }
+
+  friend bool operator==(const Grid2D& a, const Grid2D& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+  /// In-place elementwise addition.  Shapes must match.
+  Grid2D& operator+=(const Grid2D& o) {
+    require_same_shape(o);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += o.data_[i];
+    return *this;
+  }
+  /// In-place elementwise subtraction.  Shapes must match.
+  Grid2D& operator-=(const Grid2D& o) {
+    require_same_shape(o);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= o.data_[i];
+    return *this;
+  }
+  /// In-place elementwise (Hadamard) product.  Shapes must match.
+  Grid2D& operator*=(const Grid2D& o) {
+    require_same_shape(o);
+    for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= o.data_[i];
+    return *this;
+  }
+  /// In-place scalar multiply.
+  Grid2D& operator*=(T s) {
+    for (auto& v : data_) v *= s;
+    return *this;
+  }
+
+  friend Grid2D operator+(Grid2D a, const Grid2D& b) { return a += b; }
+  friend Grid2D operator-(Grid2D a, const Grid2D& b) { return a -= b; }
+  friend Grid2D operator*(Grid2D a, const Grid2D& b) { return a *= b; }
+  friend Grid2D operator*(Grid2D a, T s) { return a *= s; }
+  friend Grid2D operator*(T s, Grid2D a) { return a *= s; }
+
+ private:
+  void check(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) {
+      throw std::out_of_range("Grid2D::at: index out of range");
+    }
+  }
+  void require_same_shape(const Grid2D& o) const {
+    if (!same_shape(o)) {
+      throw std::invalid_argument("Grid2D: shape mismatch");
+    }
+  }
+
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+/// Real-valued image/parameter grid.
+using RealGrid = Grid2D<double>;
+/// Complex-valued spectrum/field grid.
+using ComplexGrid = Grid2D<std::complex<double>>;
+
+}  // namespace bismo
+
+#endif  // BISMO_MATH_GRID2D_HPP

@@ -1,0 +1,55 @@
+// Streaming and batch statistics used by the evaluation harness
+// (Figure 5 reports per-step mean and standard deviation of the SMO loss
+// across a dataset; Table 3/4 report dataset averages and ratios).
+#ifndef BISMO_MATH_STATISTICS_HPP
+#define BISMO_MATH_STATISTICS_HPP
+
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+namespace bismo {
+
+/// Numerically stable single-pass mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  /// Add one observation.
+  void push(double x) noexcept;
+
+  /// Number of observations so far.
+  std::size_t count() const noexcept { return n_; }
+  /// Sample mean (0 when empty).
+  double mean() const noexcept { return mean_; }
+  /// Unbiased sample variance (0 when fewer than two observations).
+  double variance() const noexcept;
+  /// Unbiased sample standard deviation.
+  double stddev() const noexcept;
+  /// Smallest observation (+inf when empty).
+  double min() const noexcept { return min_; }
+  /// Largest observation (-inf when empty).
+  double max() const noexcept { return max_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other) noexcept;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Mean of a vector (0 when empty).
+double mean(const std::vector<double>& xs);
+
+/// Unbiased standard deviation of a vector (0 when size < 2).
+double stddev(const std::vector<double>& xs);
+
+/// Linear-interpolated percentile in [0,100]; xs need not be sorted.
+/// Throws std::invalid_argument when xs is empty or p out of range.
+double percentile(std::vector<double> xs, double p);
+
+}  // namespace bismo
+
+#endif  // BISMO_MATH_STATISTICS_HPP

@@ -1,0 +1,151 @@
+#include "metrics/epe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "metrics/metrics.hpp"
+
+namespace bismo {
+namespace {
+
+/// Probe the continuous resist along the outward normal from (x, y) and
+/// return the signed sub-pixel displacement of the 0.5 contour crossing
+/// nearest the nominal edge; +/- search_range when no crossing is found.
+double probe_normal(const RealGrid& z, double x_nm, double y_nm, double nx,
+                    double ny, double pixel_nm, double search_nm) {
+  const double step = pixel_nm / 4.0;
+  const int half = static_cast<int>(std::ceil(search_nm / step));
+  auto sample = [&](double t) {
+    const double sx = x_nm + t * nx;
+    const double sy = y_nm + t * ny;
+    return bilinear_sample(z, sy / pixel_nm - 0.5, sx / pixel_nm - 0.5);
+  };
+  double best_t = 0.0;
+  bool found = false;
+  double prev = sample(-static_cast<double>(half) * step);
+  for (int i = -half + 1; i <= half; ++i) {
+    const double t = static_cast<double>(i) * step;
+    const double cur = sample(t);
+    if ((prev - 0.5) * (cur - 0.5) <= 0.0 && prev != cur) {
+      // Linear sub-step interpolation of the 0.5 crossing.
+      const double frac = (0.5 - prev) / (cur - prev);
+      const double crossing = t - step + frac * step;
+      if (!found || std::abs(crossing) < std::abs(best_t)) {
+        best_t = crossing;
+        found = true;
+      }
+    }
+    prev = cur;
+  }
+  if (found) return best_t;
+  // No contour within range: fully overprinted (resist everywhere) counts
+  // as +range, fully vanished as -range.
+  return sample(0.0) > 0.5 ? search_nm : -search_nm;
+}
+
+/// Emit sample points along one maximal edge run.  The run spans
+/// `len_px` pixels at `pixel_nm` pitch; samples are spread uniformly with
+/// approximately `spacing_nm` between them (at least one per run).
+template <typename Emit>
+void emit_run_samples(double run_start_nm, double len_px, double pixel_nm,
+                      double spacing_nm, Emit emit) {
+  const double length_nm = len_px * pixel_nm;
+  const auto count =
+      std::max<std::size_t>(1, static_cast<std::size_t>(length_nm / spacing_nm));
+  const double pitch = length_nm / static_cast<double>(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    emit(run_start_nm + (static_cast<double>(i) + 0.5) * pitch);
+  }
+}
+
+}  // namespace
+
+EpeResult measure_epe(const RealGrid& z, const RealGrid& target,
+                      double pixel_nm, const EpeConfig& config) {
+  if (!z.same_shape(target)) {
+    throw std::invalid_argument("measure_epe: shape mismatch");
+  }
+  const std::size_t rows = target.rows();
+  const std::size_t cols = target.cols();
+  EpeResult result;
+  auto inside = [&](std::size_t r, std::size_t c) {
+    return target(r, c) > 0.5;
+  };
+  auto add_sample = [&](double x, double y, double nx, double ny) {
+    EpeSample s;
+    s.x_nm = x;
+    s.y_nm = y;
+    s.normal_x = nx;
+    s.normal_y = ny;
+    s.epe_nm = probe_normal(z, x, y, nx, ny, pixel_nm,
+                            config.search_range_nm);
+    s.violation = std::abs(s.epe_nm) > config.threshold_nm;
+    result.points.push_back(s);
+  };
+
+  // Vertical edges: boundary between columns c and c+1.  The outward
+  // normal points from pattern (1) to background (0).
+  for (std::size_t cb = 0; cb + 1 < cols; ++cb) {
+    std::size_t r = 0;
+    while (r < rows) {
+      const bool left = inside(r, cb);
+      const bool right = inside(r, cb + 1);
+      if (left == right) {
+        ++r;
+        continue;
+      }
+      const double nx = left ? 1.0 : -1.0;
+      std::size_t run_start = r;
+      while (r < rows && inside(r, cb) != inside(r, cb + 1) &&
+             inside(r, cb) == left) {
+        ++r;
+      }
+      const double x_edge = static_cast<double>(cb + 1) * pixel_nm;
+      emit_run_samples(static_cast<double>(run_start) * pixel_nm,
+                       static_cast<double>(r - run_start), pixel_nm,
+                       config.sample_spacing_nm, [&](double y) {
+                         add_sample(x_edge, y, nx, 0.0);
+                       });
+    }
+  }
+
+  // Horizontal edges: boundary between rows r and r+1.
+  for (std::size_t rb = 0; rb + 1 < rows; ++rb) {
+    std::size_t c = 0;
+    while (c < cols) {
+      const bool top = inside(rb, c);
+      const bool bottom = inside(rb + 1, c);
+      if (top == bottom) {
+        ++c;
+        continue;
+      }
+      const double ny = top ? 1.0 : -1.0;
+      std::size_t run_start = c;
+      while (c < cols && inside(rb, c) != inside(rb + 1, c) &&
+             inside(rb, c) == top) {
+        ++c;
+      }
+      const double y_edge = static_cast<double>(rb + 1) * pixel_nm;
+      emit_run_samples(static_cast<double>(run_start) * pixel_nm,
+                       static_cast<double>(c - run_start), pixel_nm,
+                       config.sample_spacing_nm, [&](double x) {
+                         add_sample(x, y_edge, 0.0, ny);
+                       });
+    }
+  }
+
+  result.samples = result.points.size();
+  double sum_abs = 0.0;
+  for (const EpeSample& s : result.points) {
+    if (s.violation) ++result.violations;
+    sum_abs += std::abs(s.epe_nm);
+    result.max_abs_nm = std::max(result.max_abs_nm, std::abs(s.epe_nm));
+  }
+  if (result.samples > 0) {
+    result.mean_abs_nm = sum_abs / static_cast<double>(result.samples);
+  }
+  return result;
+}
+
+}  // namespace bismo

@@ -1,0 +1,54 @@
+// Edge placement error (paper Sec. 2.2, Definition 3), ICCAD13-contest
+// style: sample points are placed along the target pattern's edges at a
+// fixed spacing; at each sample the printed contour position is probed
+// along the edge normal (sub-pixel, by interpolating the continuous resist
+// image to its 0.5 level); a sample whose |displacement| exceeds the EPE
+// constraint counts as one violation.  Table 4 reports the per-clip
+// violation count ("EPE avg.").
+#ifndef BISMO_METRICS_EPE_HPP
+#define BISMO_METRICS_EPE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "math/grid2d.hpp"
+
+namespace bismo {
+
+/// EPE measurement configuration.  Defaults follow the ICCAD13 contest
+/// conventions (15 nm constraint, ~40 nm sample spacing) and scale with the
+/// reduced tiles used in the benches.
+struct EpeConfig {
+  double sample_spacing_nm = 40.0;  ///< distance between edge sample points
+  double threshold_nm = 15.0;       ///< violation constraint
+  double search_range_nm = 60.0;    ///< normal-probe half range
+};
+
+/// One edge sample point with its measured displacement.
+struct EpeSample {
+  double x_nm = 0.0;       ///< sample location (edge midpoint)
+  double y_nm = 0.0;
+  double normal_x = 0.0;   ///< outward normal (unit, axis-aligned)
+  double normal_y = 0.0;
+  double epe_nm = 0.0;     ///< signed displacement along the outward normal
+  bool violation = false;  ///< |epe| > threshold
+};
+
+/// Aggregate EPE measurement over one clip.
+struct EpeResult {
+  std::size_t violations = 0;  ///< Table 4's per-clip EPE count
+  std::size_t samples = 0;
+  double mean_abs_nm = 0.0;
+  double max_abs_nm = 0.0;
+  std::vector<EpeSample> points;  ///< per-sample detail
+};
+
+/// Measure EPE of a continuous resist image `z` (values in [0,1], printed
+/// contour at the 0.5 level) against the binary `target` grid.  `pixel_nm`
+/// converts pixels to nm.  Throws std::invalid_argument on shape mismatch.
+EpeResult measure_epe(const RealGrid& z, const RealGrid& target,
+                      double pixel_nm, const EpeConfig& config = {});
+
+}  // namespace bismo
+
+#endif  // BISMO_METRICS_EPE_HPP

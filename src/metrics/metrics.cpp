@@ -1,0 +1,59 @@
+#include "metrics/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace bismo {
+
+double squared_l2_nm2(const RealGrid& z, const RealGrid& target,
+                      double pixel_nm) {
+  if (!z.same_shape(target)) {
+    throw std::invalid_argument("squared_l2_nm2: shape mismatch");
+  }
+  std::size_t diff = 0;
+  for (std::size_t i = 0; i < z.size(); ++i) {
+    const bool a = z[i] > 0.5;
+    const bool b = target[i] > 0.5;
+    if (a != b) ++diff;
+  }
+  return static_cast<double>(diff) * pixel_nm * pixel_nm;
+}
+
+double pvb_nm2(const RealGrid& z_min, const RealGrid& z_max, double pixel_nm) {
+  if (!z_min.same_shape(z_max)) {
+    throw std::invalid_argument("pvb_nm2: shape mismatch");
+  }
+  std::size_t band = 0;
+  for (std::size_t i = 0; i < z_min.size(); ++i) {
+    const bool a = z_min[i] > 0.5;
+    const bool b = z_max[i] > 0.5;
+    if (a != b) ++band;
+  }
+  return static_cast<double>(band) * pixel_nm * pixel_nm;
+}
+
+double pattern_area_nm2(const RealGrid& image, double pixel_nm) {
+  std::size_t on = 0;
+  for (double v : image) {
+    if (v > 0.5) ++on;
+  }
+  return static_cast<double>(on) * pixel_nm * pixel_nm;
+}
+
+double bilinear_sample(const RealGrid& grid, double row, double col) {
+  const double max_r = static_cast<double>(grid.rows()) - 1.0;
+  const double max_c = static_cast<double>(grid.cols()) - 1.0;
+  const double r = std::clamp(row, 0.0, max_r);
+  const double c = std::clamp(col, 0.0, max_c);
+  const auto r0 = static_cast<std::size_t>(r);
+  const auto c0 = static_cast<std::size_t>(c);
+  const std::size_t r1 = std::min(r0 + 1, grid.rows() - 1);
+  const std::size_t c1 = std::min(c0 + 1, grid.cols() - 1);
+  const double fr = r - static_cast<double>(r0);
+  const double fc = c - static_cast<double>(c0);
+  return grid(r0, c0) * (1 - fr) * (1 - fc) + grid(r0, c1) * (1 - fr) * fc +
+         grid(r1, c0) * fr * (1 - fc) + grid(r1, c1) * fr * fc;
+}
+
+}  // namespace bismo

@@ -1,0 +1,34 @@
+// Evaluation metrics from paper Sec. 2.2:
+//   Definition 1 -- squared L2 error between resist and target (nm^2),
+//   Definition 2 -- process variation band: XOR area of the dose-corner
+//                   resists (nm^2),
+//   Definition 3 -- edge placement error (see epe.hpp).
+// Resist images are binarized at 0.5 before measurement; areas are pixel
+// counts scaled by pixel_nm^2.
+#ifndef BISMO_METRICS_METRICS_HPP
+#define BISMO_METRICS_METRICS_HPP
+
+#include "math/grid2d.hpp"
+
+namespace bismo {
+
+/// Squared L2 error ||Z - Zt||^2 in nm^2 (Definition 1).  Both images are
+/// binarized at 0.5; the squared difference of binary images is their
+/// symmetric difference area.
+double squared_l2_nm2(const RealGrid& z, const RealGrid& target,
+                      double pixel_nm);
+
+/// Process variation band area in nm^2 (Definition 2): XOR of the resist
+/// prints under minimum and maximum process conditions.
+double pvb_nm2(const RealGrid& z_min, const RealGrid& z_max, double pixel_nm);
+
+/// Pattern area of a binary image in nm^2 (used by the dataset table).
+double pattern_area_nm2(const RealGrid& image, double pixel_nm);
+
+/// Bilinear interpolation of a grid at fractional pixel coordinates
+/// (row, col); coordinates are clamped to the valid domain.
+double bilinear_sample(const RealGrid& grid, double row, double col);
+
+}  // namespace bismo
+
+#endif  // BISMO_METRICS_METRICS_HPP

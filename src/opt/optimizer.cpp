@@ -1,0 +1,54 @@
+#include "opt/optimizer.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace bismo {
+
+void SgdOptimizer::step(RealGrid& params, const RealGrid& grad) {
+  if (!params.same_shape(grad)) {
+    throw std::invalid_argument("SgdOptimizer::step: shape mismatch");
+  }
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    params[i] -= lr_ * grad[i];
+  }
+}
+
+void AdamOptimizer::step(RealGrid& params, const RealGrid& grad) {
+  if (!params.same_shape(grad)) {
+    throw std::invalid_argument("AdamOptimizer::step: shape mismatch");
+  }
+  if (m_.size() != params.size()) {
+    m_ = RealGrid(params.rows(), params.cols(), 0.0);
+    v_ = RealGrid(params.rows(), params.cols(), 0.0);
+    t_ = 0;
+  }
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    m_[i] = beta1_ * m_[i] + (1.0 - beta1_) * grad[i];
+    v_[i] = beta2_ * v_[i] + (1.0 - beta2_) * grad[i] * grad[i];
+    const double mhat = m_[i] / bc1;
+    const double vhat = v_[i] / bc2;
+    params[i] -= lr_ * mhat / (std::sqrt(vhat) + eps_);
+  }
+}
+
+void AdamOptimizer::reset() {
+  m_ = RealGrid();
+  v_ = RealGrid();
+  t_ = 0;
+}
+
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind, double lr) {
+  switch (kind) {
+    case OptimizerKind::kSgd:
+      return std::make_unique<SgdOptimizer>(lr);
+    case OptimizerKind::kAdam:
+      return std::make_unique<AdamOptimizer>(lr);
+  }
+  throw std::invalid_argument("make_optimizer: bad kind");
+}
+
+}  // namespace bismo

@@ -1,0 +1,68 @@
+// First-order optimizers over Grid2D<double> parameters: plain gradient
+// descent (the paper's Alg. 2 update lines) and Adam (the "// Or Adam"
+// alternative the paper notes for both levels).
+#ifndef BISMO_OPT_OPTIMIZER_HPP
+#define BISMO_OPT_OPTIMIZER_HPP
+
+#include <memory>
+
+#include "math/grid2d.hpp"
+
+namespace bismo {
+
+/// Interface: stateful per-parameter-grid update rule.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Apply one update in place: params <- params - step(grad).
+  virtual void step(RealGrid& params, const RealGrid& grad) = 0;
+
+  /// Forget accumulated state (moments, step counter).
+  virtual void reset() = 0;
+
+  /// The configured learning rate.
+  virtual double learning_rate() const = 0;
+};
+
+/// Plain (steepest-descent) SGD: params -= lr * grad.
+class SgdOptimizer final : public Optimizer {
+ public:
+  explicit SgdOptimizer(double lr) : lr_(lr) {}
+  void step(RealGrid& params, const RealGrid& grad) override;
+  void reset() override {}
+  double learning_rate() const override { return lr_; }
+
+ private:
+  double lr_;
+};
+
+/// Adam (Kingma & Ba) with bias correction.
+class AdamOptimizer final : public Optimizer {
+ public:
+  explicit AdamOptimizer(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                         double eps = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps) {}
+  void step(RealGrid& params, const RealGrid& grad) override;
+  void reset() override;
+  double learning_rate() const override { return lr_; }
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  RealGrid m_;
+  RealGrid v_;
+  long t_ = 0;
+};
+
+/// Optimizer kinds for configuration structs.
+enum class OptimizerKind { kSgd, kAdam };
+
+/// Factory.
+std::unique_ptr<Optimizer> make_optimizer(OptimizerKind kind, double lr);
+
+}  // namespace bismo
+
+#endif  // BISMO_OPT_OPTIMIZER_HPP

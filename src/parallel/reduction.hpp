@@ -1,0 +1,30 @@
+// Deterministic parallel reduction policy.
+//
+// Accumulating floating-point contributions in parallel is only
+// reproducible if the summation tree is fixed.  Every parallel reduction in
+// the imaging and gradient engines therefore partitions its work items into
+// a *constant* number of slots (independent of the thread-pool width), each
+// slot sums its fixed index range in order, and the per-slot partials are
+// combined in slot order.  Result: bitwise-identical output for any thread
+// count, including serial execution.
+#ifndef BISMO_PARALLEL_REDUCTION_HPP
+#define BISMO_PARALLEL_REDUCTION_HPP
+
+#include <algorithm>
+#include <cstddef>
+
+namespace bismo {
+
+/// Fixed slot count for deterministic reductions.  16 comfortably exceeds
+/// the core counts this CPU reproduction targets while keeping per-slot
+/// accumulator memory negligible.
+inline constexpr std::size_t kReductionSlots = 16;
+
+/// Number of slots actually used for `n` work items.
+inline std::size_t reduction_slots(std::size_t n) {
+  return std::max<std::size_t>(1, std::min(kReductionSlots, n));
+}
+
+}  // namespace bismo
+
+#endif  // BISMO_PARALLEL_REDUCTION_HPP

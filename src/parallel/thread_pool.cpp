@@ -1,0 +1,99 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace bismo {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  std::size_t n = threads;
+  if (n == 0) {
+    n = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(n);
+  for (std::size_t slot = 0; slot < n; ++slot) {
+    workers_.emplace_back([this, slot] { worker_main(slot); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::parallel_for(std::size_t n,
+                              const std::function<void(std::size_t)>& body) {
+  parallel_for_slots(n, [&body](std::size_t /*slot*/, std::size_t i) { body(i); });
+}
+
+void ThreadPool::parallel_for_slots(
+    std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
+  if (n == 0) return;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    dispatch_.body = &body;
+    dispatch_.n = n;
+    dispatch_.next = 0;
+    dispatch_.remaining = n;
+    dispatch_.error = nullptr;
+    // Chunking keeps per-iteration locking cheap for large n while still
+    // load-balancing uneven iterations (source points differ in pass-band
+    // size near the pupil edge).
+    dispatch_.chunk = std::max<std::size_t>(1, n / (4 * workers_.size() + 1));
+    ++epoch_;
+  }
+  wake_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_.wait(lock, [this] { return dispatch_.remaining == 0; });
+  dispatch_.body = nullptr;
+  if (dispatch_.error) std::rethrow_exception(dispatch_.error);
+}
+
+void ThreadPool::worker_main(std::size_t slot) {
+  std::size_t seen_epoch = 0;
+  for (;;) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    wake_.wait(lock, [this, &seen_epoch] {
+      return stop_ || (dispatch_.body != nullptr && epoch_ != seen_epoch &&
+                       dispatch_.next < dispatch_.n);
+    });
+    if (stop_) return;
+    const std::size_t epoch = epoch_;
+    // Pull chunks until this dispatch is exhausted.
+    while (dispatch_.body != nullptr && epoch_ == epoch &&
+           dispatch_.next < dispatch_.n) {
+      const std::size_t begin = dispatch_.next;
+      const std::size_t end = std::min(dispatch_.n, begin + dispatch_.chunk);
+      dispatch_.next = end;
+      const auto* body = dispatch_.body;
+      lock.unlock();
+      std::exception_ptr err;
+      for (std::size_t i = begin; i < end; ++i) {
+        if (!err) {
+          try {
+            (*body)(slot, i);
+          } catch (...) {
+            err = std::current_exception();
+          }
+        }
+      }
+      lock.lock();
+      if (err && !dispatch_.error) dispatch_.error = err;
+      dispatch_.remaining -= end - begin;
+      if (dispatch_.remaining == 0) {
+        done_.notify_all();
+      }
+    }
+    seen_epoch = epoch;
+  }
+}
+
+ThreadPool& default_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+}  // namespace bismo

@@ -1,0 +1,82 @@
+// Persistent thread pool: the CPU substitute for the paper's GPU
+// parallelization of per-source-point Abbe contributions (Sec. 3.1).
+//
+// The paper's runtime model is ceil(sigma/P) / ceil(Q/P) where P is the
+// parallel width; `ThreadPool::parallel_for` realizes exactly that model by
+// distributing independent work items over P workers.  Reductions are made
+// deterministic by accumulating per-slot partials that the caller combines
+// in fixed order.
+#ifndef BISMO_PARALLEL_THREAD_POOL_HPP
+#define BISMO_PARALLEL_THREAD_POOL_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bismo {
+
+/// Fixed-width pool of worker threads executing indexed loop bodies.
+///
+/// Thread-safety: `parallel_for` may be called from one thread at a time
+/// (nested/ concurrent dispatch is not supported, matching its use in the
+/// imaging engines).  Worker exceptions are captured and rethrown on the
+/// calling thread after the loop completes.
+class ThreadPool {
+ public:
+  /// Create a pool with `threads` workers (0 = hardware concurrency).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Joins all workers.
+  ~ThreadPool();
+
+  /// Number of worker threads (parallel width P).
+  std::size_t width() const noexcept { return workers_.size(); }
+
+  /// Execute `body(i)` for every i in [0, n), distributed over the pool.
+  /// `body` must be safe to invoke concurrently for distinct i.
+  /// Blocks until all iterations finish; rethrows the first worker
+  /// exception, if any.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  /// Execute `body(slot, i)` where `slot` in [0, width()) identifies the
+  /// worker executing the iteration.  This is the deterministic-reduction
+  /// entry point: give each slot its own accumulator, then combine the
+  /// accumulators in slot order on the caller.
+  void parallel_for_slots(
+      std::size_t n, const std::function<void(std::size_t, std::size_t)>& body);
+
+ private:
+  struct Dispatch {
+    const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+    std::size_t n = 0;
+    std::size_t next = 0;       // guarded by mutex_
+    std::size_t remaining = 0;  // iterations not yet finished
+    std::exception_ptr error;
+    std::size_t chunk = 1;
+  };
+
+  void worker_main(std::size_t slot);
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::condition_variable done_;
+  Dispatch dispatch_;
+  std::size_t epoch_ = 0;  // incremented per dispatch to wake workers
+  bool stop_ = false;
+};
+
+/// Process-wide default pool sized to hardware concurrency, for callers that
+/// do not manage their own (examples, tests).  Lazily constructed.
+ThreadPool& default_pool();
+
+}  // namespace bismo
+
+#endif  // BISMO_PARALLEL_THREAD_POOL_HPP

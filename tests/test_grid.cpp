@@ -1,0 +1,200 @@
+// Unit tests for Grid2D and the elementwise grid operations.
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <stdexcept>
+
+#include "math/grid2d.hpp"
+#include "math/grid_ops.hpp"
+#include "math/rng.hpp"
+
+namespace bismo {
+namespace {
+
+TEST(Grid2D, DefaultConstructedIsEmpty) {
+  RealGrid g;
+  EXPECT_EQ(g.rows(), 0u);
+  EXPECT_EQ(g.cols(), 0u);
+  EXPECT_TRUE(g.empty());
+}
+
+TEST(Grid2D, ConstructionFillsWithInitValue) {
+  RealGrid g(3, 4, 2.5);
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_EQ(g.cols(), 4u);
+  EXPECT_EQ(g.size(), 12u);
+  for (double v : g) EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+TEST(Grid2D, DegenerateShapeThrows) {
+  EXPECT_THROW(RealGrid(0, 4), std::invalid_argument);
+  EXPECT_THROW(RealGrid(4, 0), std::invalid_argument);
+  EXPECT_NO_THROW(RealGrid(0, 0));
+}
+
+TEST(Grid2D, RowMajorIndexing) {
+  RealGrid g(2, 3);
+  g(0, 0) = 1;
+  g(0, 2) = 3;
+  g(1, 0) = 4;
+  EXPECT_DOUBLE_EQ(g[0], 1.0);
+  EXPECT_DOUBLE_EQ(g[2], 3.0);
+  EXPECT_DOUBLE_EQ(g[3], 4.0);
+}
+
+TEST(Grid2D, AtThrowsOutOfRange) {
+  RealGrid g(2, 2);
+  EXPECT_THROW(g.at(2, 0), std::out_of_range);
+  EXPECT_THROW(g.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(g.at(1, 1));
+}
+
+TEST(Grid2D, EqualityComparesShapeAndContents) {
+  RealGrid a(2, 2, 1.0);
+  RealGrid b(2, 2, 1.0);
+  EXPECT_EQ(a, b);
+  b(1, 1) = 2.0;
+  EXPECT_FALSE(a == b);
+  RealGrid c(4, 1, 1.0);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Grid2D, ArithmeticShapeMismatchThrows) {
+  RealGrid a(2, 2), b(2, 3);
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a -= b, std::invalid_argument);
+  EXPECT_THROW(a *= b, std::invalid_argument);
+}
+
+TEST(Grid2D, ScalarAndElementwiseArithmetic) {
+  RealGrid a(2, 2, 2.0);
+  RealGrid b(2, 2, 3.0);
+  const RealGrid sum = a + b;
+  const RealGrid diff = b - a;
+  const RealGrid prod = a * b;
+  const RealGrid scaled = a * 4.0;
+  for (double v : sum) EXPECT_DOUBLE_EQ(v, 5.0);
+  for (double v : diff) EXPECT_DOUBLE_EQ(v, 1.0);
+  for (double v : prod) EXPECT_DOUBLE_EQ(v, 6.0);
+  for (double v : scaled) EXPECT_DOUBLE_EQ(v, 8.0);
+}
+
+TEST(Grid2D, ResizeDiscardsContents) {
+  RealGrid g(2, 2, 7.0);
+  g.resize(3, 5);
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_EQ(g.cols(), 5u);
+  for (double v : g) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(GridOps, MapAndZip) {
+  RealGrid a(2, 2, 3.0);
+  auto doubled = map(a, [](double v) { return 2.0 * v; });
+  for (double v : doubled) EXPECT_DOUBLE_EQ(v, 6.0);
+  RealGrid b(2, 2, 4.0);
+  auto prod = zip(a, b, [](double x, double y) { return x * y; });
+  for (double v : prod) EXPECT_DOUBLE_EQ(v, 12.0);
+  RealGrid c(3, 2);
+  EXPECT_THROW(zip(a, c, [](double x, double y) { return x + y; }),
+               std::invalid_argument);
+}
+
+TEST(GridOps, DotAndNorms) {
+  RealGrid a(1, 3);
+  a[0] = 1;
+  a[1] = 2;
+  a[2] = 3;
+  EXPECT_DOUBLE_EQ(dot(a, a), 14.0);
+  EXPECT_DOUBLE_EQ(norm2_sq(a), 14.0);
+  EXPECT_DOUBLE_EQ(norm2(a), std::sqrt(14.0));
+  EXPECT_DOUBLE_EQ(max_abs(a), 3.0);
+}
+
+TEST(GridOps, ComplexInnerProductConjugatesFirstArg) {
+  ComplexGrid a(1, 1), b(1, 1);
+  a[0] = {0.0, 1.0};  // i
+  b[0] = {0.0, 1.0};
+  const auto d = cdot(a, b);
+  EXPECT_DOUBLE_EQ(d.real(), 1.0);
+  EXPECT_DOUBLE_EQ(d.imag(), 0.0);
+}
+
+TEST(GridOps, SigmoidProperties) {
+  EXPECT_DOUBLE_EQ(sigmoid(0.0), 0.5);
+  EXPECT_NEAR(sigmoid(10.0), 1.0, 1e-4);
+  EXPECT_NEAR(sigmoid(-10.0), 0.0, 1e-4);
+  // Symmetry: s(-x) = 1 - s(x).
+  for (double x : {0.1, 1.0, 3.7, 25.0, 700.0}) {
+    EXPECT_NEAR(sigmoid(-x), 1.0 - sigmoid(x), 1e-15);
+  }
+  // No overflow at extreme arguments.
+  EXPECT_DOUBLE_EQ(sigmoid(1e4), 1.0);
+  EXPECT_DOUBLE_EQ(sigmoid(-1e4), 0.0);
+}
+
+TEST(GridOps, SigmoidDerivativeMatchesFiniteDifference) {
+  const double eps = 1e-6;
+  for (double x : {-2.0, -0.5, 0.0, 0.3, 1.7}) {
+    const double fd = (sigmoid(x + eps) - sigmoid(x - eps)) / (2 * eps);
+    EXPECT_NEAR(sigmoid_derivative_from_output(sigmoid(x)), fd, 1e-9);
+  }
+}
+
+TEST(GridOps, BinarizeThreshold) {
+  RealGrid g(1, 4);
+  g[0] = 0.2;
+  g[1] = 0.5;
+  g[2] = 0.50001;
+  g[3] = 0.9;
+  const RealGrid b = binarize(g);
+  EXPECT_DOUBLE_EQ(b[0], 0.0);
+  EXPECT_DOUBLE_EQ(b[1], 0.0);  // strictly greater-than
+  EXPECT_DOUBLE_EQ(b[2], 1.0);
+  EXPECT_DOUBLE_EQ(b[3], 1.0);
+}
+
+TEST(GridOps, AbsSqAndComplexConversions) {
+  ComplexGrid g(1, 2);
+  g[0] = {3.0, 4.0};
+  g[1] = {0.0, -2.0};
+  const RealGrid i = abs_sq(g);
+  EXPECT_DOUBLE_EQ(i[0], 25.0);
+  EXPECT_DOUBLE_EQ(i[1], 4.0);
+  const RealGrid re = real_part(g);
+  EXPECT_DOUBLE_EQ(re[0], 3.0);
+  const ComplexGrid back = to_complex(re);
+  EXPECT_DOUBLE_EQ(back[0].real(), 3.0);
+  EXPECT_DOUBLE_EQ(back[0].imag(), 0.0);
+}
+
+TEST(GridOps, AxpyComputesAPlusSB) {
+  RealGrid a(1, 2, 1.0);
+  RealGrid b(1, 2, 2.0);
+  const RealGrid r = axpy(a, -0.5, b);
+  EXPECT_DOUBLE_EQ(r[0], 0.0);
+  EXPECT_DOUBLE_EQ(r[1], 0.0);
+}
+
+// Property sweep: (a + b) - b == a for random grids of assorted shapes.
+class GridRoundTripProperty
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(GridRoundTripProperty, AddThenSubtractIsIdentity) {
+  const auto [rows, cols] = GetParam();
+  Rng rng(1234 + rows * 31 + cols);
+  RealGrid a = rng.uniform_grid(rows, cols, -5.0, 5.0);
+  RealGrid b = rng.uniform_grid(rows, cols, -5.0, 5.0);
+  const RealGrid r = (a + b) - b;
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_NEAR(r[i], a[i], 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GridRoundTripProperty,
+    ::testing::Values(std::make_pair<std::size_t, std::size_t>(1, 1),
+                      std::make_pair<std::size_t, std::size_t>(2, 7),
+                      std::make_pair<std::size_t, std::size_t>(16, 16),
+                      std::make_pair<std::size_t, std::size_t>(5, 33),
+                      std::make_pair<std::size_t, std::size_t>(64, 3)));
+
+}  // namespace
+}  // namespace bismo

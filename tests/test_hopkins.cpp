@@ -1,0 +1,180 @@
+// Hopkins/SOCS engine tests.  The cornerstone: at full rank the SOCS
+// decomposition must reproduce Abbe imaging exactly (the paper's entire
+// comparison rests on truncation being the only difference).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fft/fft.hpp"
+#include "litho/abbe.hpp"
+#include "litho/hopkins.hpp"
+#include "math/grid_ops.hpp"
+#include "math/rng.hpp"
+#include "parallel/thread_pool.hpp"
+#include "test_util.hpp"
+
+namespace bismo {
+namespace {
+
+OpticsConfig small_optics() {
+  OpticsConfig o;
+  o.mask_dim = 64;
+  o.pixel_nm = 8.0;
+  return o;
+}
+
+struct HopkinsRig {
+  OpticsConfig optics = small_optics();
+  SourceGeometry geometry{5, small_optics()};
+  AbbeImaging abbe{small_optics(), SourceGeometry(5, small_optics())};
+  RealGrid source;
+
+  HopkinsRig() {
+    SourceSpec spec;  // annular default
+    source = make_source(geometry, spec);
+  }
+};
+
+ComplexGrid spectrum_of(const RealGrid& mask) {
+  ComplexGrid o = to_complex(mask);
+  fft2(o);
+  return o;
+}
+
+TEST(Socs, EigenvaluesDescendAndAreNonNegative) {
+  HopkinsRig s;
+  const SocsDecomposition socs(s.abbe, s.source, 100);
+  const auto& kernels = socs.kernels();
+  ASSERT_FALSE(kernels.empty());
+  for (std::size_t q = 0; q + 1 < kernels.size(); ++q) {
+    EXPECT_GE(kernels[q].weight, kernels[q + 1].weight - 1e-12);
+  }
+  for (const auto& k : kernels) EXPECT_GT(k.weight, 0.0);
+}
+
+TEST(Socs, TraceBoundsRetainedEnergy) {
+  HopkinsRig s;
+  const SocsDecomposition socs(s.abbe, s.source, 100);
+  double retained = 0.0;
+  for (const auto& k : socs.kernels()) retained += k.weight;
+  EXPECT_LE(retained, socs.eigenvalue_trace() * (1.0 + 1e-9));
+  // At (near) full rank, essentially all the trace is retained.
+  EXPECT_GT(retained, socs.eigenvalue_trace() * 0.999);
+}
+
+TEST(Socs, TruncationKeepsRequestedCount) {
+  HopkinsRig s;
+  const SocsDecomposition socs(s.abbe, s.source, 4);
+  EXPECT_LE(socs.kernels().size(), 4u);
+}
+
+TEST(Socs, RejectsDegenerateInputs) {
+  HopkinsRig s;
+  EXPECT_THROW(SocsDecomposition(s.abbe, RealGrid(5, 5, 0.0), 8),
+               std::invalid_argument);
+  EXPECT_THROW(SocsDecomposition(s.abbe, RealGrid(3, 3, 1.0), 8),
+               std::invalid_argument);
+}
+
+TEST(HopkinsVsAbbe, FullRankMatchesAbbeExactly) {
+  // THE key structural test: with all eigenpairs retained, Eq. 4 == Eq. 2.
+  HopkinsRig s;
+  const SocsDecomposition socs(s.abbe, s.source, 10000);
+  const HopkinsImaging hopkins(s.optics, socs);
+  Rng rng(21);
+  for (int trial = 0; trial < 3; ++trial) {
+    const RealGrid mask = rng.uniform_grid(64, 64, 0.0, 1.0);
+    const ComplexGrid o = spectrum_of(mask);
+    const RealGrid ia = s.abbe.aerial(o, s.source).intensity;
+    const RealGrid ih = hopkins.aerial(o);
+    EXPECT_LT(testing::max_diff(ia, ih), 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(HopkinsVsAbbe, TruncationErrorDecreasesWithQ) {
+  HopkinsRig s;
+  Rng rng(22);
+  const RealGrid mask = rng.uniform_grid(64, 64, 0.0, 1.0);
+  const ComplexGrid o = spectrum_of(mask);
+  const RealGrid reference = s.abbe.aerial(o, s.source).intensity;
+  double previous_error = 1e300;
+  for (std::size_t q : {1u, 2u, 4u, 8u, 16u}) {
+    const SocsDecomposition socs(s.abbe, s.source, q);
+    const HopkinsImaging hopkins(s.optics, socs);
+    const RealGrid ih = hopkins.aerial(o);
+    const double err = norm2(ih - reference);
+    EXPECT_LE(err, previous_error * (1.0 + 1e-9)) << "Q=" << q;
+    previous_error = err;
+  }
+}
+
+TEST(HopkinsImaging, ClearFieldIsOne) {
+  HopkinsRig s;
+  const SocsDecomposition socs(s.abbe, s.source, 10000);
+  const HopkinsImaging hopkins(s.optics, socs);
+  const RealGrid mask(64, 64, 1.0);
+  const RealGrid i = hopkins.aerial(spectrum_of(mask));
+  for (double v : i) EXPECT_NEAR(v, 1.0, 1e-9);
+}
+
+TEST(HopkinsImaging, ParallelMatchesSerialBitwise) {
+  HopkinsRig s;
+  ThreadPool pool(3);
+  const SocsDecomposition socs(s.abbe, s.source, 8);
+  const HopkinsImaging serial(s.optics, socs);
+  const HopkinsImaging parallel(s.optics, socs, &pool);
+  Rng rng(23);
+  const RealGrid mask = rng.uniform_grid(64, 64, 0.0, 1.0);
+  const ComplexGrid o = spectrum_of(mask);
+  const RealGrid a = serial.aerial(o);
+  const RealGrid b = parallel.aerial(o);
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(HopkinsImaging, KernelsAreOrthonormal) {
+  HopkinsRig s;
+  const SocsDecomposition socs(s.abbe, s.source, 6);
+  const auto& kernels = socs.kernels();
+  for (std::size_t a = 0; a < kernels.size(); ++a) {
+    for (std::size_t b = a; b < kernels.size(); ++b) {
+      std::complex<double> acc{};
+      for (std::size_t i = 0; i < kernels[a].values.size(); ++i) {
+        acc += std::conj(kernels[a].values[i]) * kernels[b].values[i];
+      }
+      const double expect = a == b ? 1.0 : 0.0;
+      EXPECT_NEAR(std::abs(acc), expect, 1e-8) << a << "," << b;
+    }
+  }
+}
+
+TEST(HopkinsImaging, DenseKernelScattersBand) {
+  HopkinsRig s;
+  const SocsDecomposition socs(s.abbe, s.source, 2);
+  const ComplexGrid k0 = socs.dense_kernel(0, 64);
+  std::size_t nonzero = 0;
+  for (const auto& v : k0) {
+    if (v != std::complex<double>{}) ++nonzero;
+  }
+  EXPECT_GT(nonzero, 0u);
+  EXPECT_LE(nonzero, socs.band().size());
+  EXPECT_THROW(socs.dense_kernel(99, 64), std::out_of_range);
+}
+
+TEST(HopkinsImaging, EigenvalueDecayIsFast) {
+  // The paper keeps Q = 24 of ~Nj^2 eigenvalues; verify strong decay so
+  // truncation is meaningful on our scaled-down geometry too.  A 9x9 sigma
+  // grid gives an annular ring with a few dozen points.
+  const SourceGeometry geometry(9, small_optics());
+  const AbbeImaging abbe(small_optics(), geometry);
+  SourceSpec spec;
+  const RealGrid source = make_source(geometry, spec);
+  const SocsDecomposition socs(abbe, source, 10000);
+  const auto& kernels = socs.kernels();
+  ASSERT_GT(kernels.size(), 4u);
+  double top4 = 0.0;
+  for (std::size_t q = 0; q < 4; ++q) top4 += kernels[q].weight;
+  EXPECT_GT(top4, 0.5 * socs.eigenvalue_trace());
+}
+
+}  // namespace
+}  // namespace bismo

@@ -1,0 +1,183 @@
+// Second-order machinery tests: the finite-difference HVP against a densely
+// assembled Hessian, the mixed Jacobian-vector product against the
+// symmetric cross-derivative, and operator properties (symmetry,
+// homogeneity) that BiSMO-NMN/CG rely on.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "grad/abbe_grad.hpp"
+#include "grad/hvp.hpp"
+#include "math/grid_ops.hpp"
+#include "math/rng.hpp"
+
+namespace bismo {
+namespace {
+
+OpticsConfig tiny_optics() {
+  OpticsConfig o;
+  o.mask_dim = 32;
+  o.pixel_nm = 8.0;
+  return o;
+}
+
+RealGrid tiny_target(std::size_t n) {
+  RealGrid t(n, n, 0.0);
+  for (std::size_t r = n / 2 - 2; r < n / 2 + 2; ++r) {
+    for (std::size_t c = n / 4; c < 3 * n / 4; ++c) t(r, c) = 1.0;
+  }
+  return t;
+}
+
+struct HvpRig {
+  OpticsConfig optics = tiny_optics();
+  SourceGeometry geometry{5, tiny_optics()};
+  AbbeImaging abbe{tiny_optics(), SourceGeometry(5, tiny_optics())};
+  RealGrid target = tiny_target(32);
+  AbbeGradientEngine engine{abbe, target};
+  RealGrid theta_m;
+  RealGrid theta_j;
+
+  HvpRig() {
+    Rng rng(77);
+    theta_m = init_mask_params(target, {});
+    for (auto& v : theta_m) v += rng.uniform(-0.2, 0.2);
+    SourceSpec spec;
+    theta_j = init_source_params(make_source(geometry, spec), {});
+    for (auto& v : theta_j) v += rng.uniform(-0.5, 0.5);
+  }
+
+  RealGrid grad_j(const RealGrid& tj) const {
+    GradRequest req;
+    req.mask = false;
+    req.source = true;
+    return engine.evaluate(theta_m, tj, req).grad_theta_j;
+  }
+  RealGrid grad_m_at(const RealGrid& tj) const {
+    GradRequest req;
+    req.mask = true;
+    req.source = false;
+    return engine.evaluate(theta_m, tj, req).grad_theta_m;
+  }
+};
+
+TEST(Hvp, MatchesDenseHessianColumns) {
+  HvpRig rig;
+  const HypergradientOps ops(rig.engine, 1e-3);
+  const std::size_t n = rig.theta_j.size();
+
+  // Dense Hessian w.r.t. theta_J assembled column-by-column with central
+  // differences of the analytic gradient (5x5 source grid => 25 columns).
+  const double eps = 1e-4;
+  std::vector<RealGrid> hcols;
+  hcols.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    RealGrid p = rig.theta_j;
+    p[i] += eps;
+    RealGrid m = rig.theta_j;
+    m[i] -= eps;
+    RealGrid col = rig.grad_j(p) - rig.grad_j(m);
+    col *= 1.0 / (2.0 * eps);
+    hcols.push_back(std::move(col));
+  }
+
+  Rng rng(78);
+  for (int trial = 0; trial < 3; ++trial) {
+    RealGrid v(rig.theta_j.rows(), rig.theta_j.cols());
+    for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+    const RealGrid hv = ops.hvp_source(rig.theta_m, rig.theta_j, v);
+    RealGrid expect(v.rows(), v.cols(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      expect = axpy(expect, v[i], hcols[i]);
+    }
+    const double scale = std::max(1.0, max_abs(expect));
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(hv[i], expect[i], 2e-3 * scale) << "trial " << trial;
+    }
+  }
+}
+
+TEST(Hvp, OperatorIsApproximatelySymmetric) {
+  HvpRig rig;
+  const HypergradientOps ops(rig.engine, 1e-3);
+  Rng rng(79);
+  RealGrid u(5, 5), v(5, 5);
+  for (auto& x : u) x = rng.uniform(-1, 1);
+  for (auto& x : v) x = rng.uniform(-1, 1);
+  const double uhv = dot(u, ops.hvp_source(rig.theta_m, rig.theta_j, v));
+  const double vhu = dot(v, ops.hvp_source(rig.theta_m, rig.theta_j, u));
+  const double scale = std::max({std::abs(uhv), std::abs(vhu), 1e-8});
+  EXPECT_NEAR(uhv / scale, vhu / scale, 5e-3);
+}
+
+TEST(Hvp, HomogeneousInV) {
+  // H(c v) == c H(v); the eps ~ 1/||v|| scaling must preserve linearity.
+  HvpRig rig;
+  const HypergradientOps ops(rig.engine, 1e-3);
+  Rng rng(80);
+  RealGrid v(5, 5);
+  for (auto& x : v) x = rng.uniform(-1, 1);
+  const RealGrid hv = ops.hvp_source(rig.theta_m, rig.theta_j, v);
+  const RealGrid h2v = ops.hvp_source(rig.theta_m, rig.theta_j, v * 2.0);
+  const double scale = std::max(1.0, max_abs(hv));
+  for (std::size_t i = 0; i < hv.size(); ++i) {
+    EXPECT_NEAR(h2v[i], 2.0 * hv[i], 5e-3 * scale);
+  }
+}
+
+TEST(Hvp, ZeroVectorGivesZero) {
+  HvpRig rig;
+  const HypergradientOps ops(rig.engine);
+  const RealGrid z(5, 5, 0.0);
+  const RealGrid hv = ops.hvp_source(rig.theta_m, rig.theta_j, z);
+  for (double x : hv) EXPECT_DOUBLE_EQ(x, 0.0);
+  EXPECT_EQ(ops.evaluations(), 0);
+}
+
+TEST(Hvp, MixedProductMatchesCrossDerivative) {
+  // [d2Lso/dthetaM dthetaJ] w  checked entrywise against
+  // d/dthetaM_i <grad_J Lso, w> via finite differences over theta_M --
+  // an independent path through the symmetric second derivative.
+  HvpRig rig;
+  const HypergradientOps ops(rig.engine, 1e-3);
+  Rng rng(81);
+  RealGrid w(5, 5);
+  for (auto& x : w) x = rng.uniform(-1, 1);
+  const RealGrid mixed = ops.mixed_mask_source(rig.theta_m, rig.theta_j, w);
+  ASSERT_EQ(mixed.rows(), rig.theta_m.rows());
+
+  const double eps = 1e-4;
+  for (int probe = 0; probe < 6; ++probe) {
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(rig.theta_m.size()) - 1));
+    GradRequest req;
+    req.mask = false;
+    req.source = true;
+    RealGrid tm_p = rig.theta_m;
+    tm_p[idx] += eps;
+    RealGrid tm_m = rig.theta_m;
+    tm_m[idx] -= eps;
+    const double gp =
+        dot(rig.engine.evaluate(tm_p, rig.theta_j, req).grad_theta_j, w);
+    const double gm =
+        dot(rig.engine.evaluate(tm_m, rig.theta_j, req).grad_theta_j, w);
+    const double expect = (gp - gm) / (2.0 * eps);
+    const double scale = std::max({std::abs(expect), max_abs(mixed), 1e-8});
+    EXPECT_NEAR(mixed[idx] / scale, expect / scale, 5e-3) << "probe " << probe;
+  }
+}
+
+TEST(Hvp, EvaluationCounterTracksCost) {
+  HvpRig rig;
+  const HypergradientOps ops(rig.engine);
+  Rng rng(82);
+  RealGrid v(5, 5);
+  for (auto& x : v) x = rng.uniform(-1, 1);
+  ops.hvp_source(rig.theta_m, rig.theta_j, v);
+  EXPECT_EQ(ops.evaluations(), 2);
+  ops.mixed_mask_source(rig.theta_m, rig.theta_j, v);
+  EXPECT_EQ(ops.evaluations(), 4);
+}
+
+}  // namespace
+}  // namespace bismo

@@ -1,0 +1,180 @@
+// Layout substrate tests: rectangle algebra, exact union areas,
+// rasterization, serialization round trips, and the synthetic dataset
+// generators' determinism and Table 2 density ordering.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "layout/generators.hpp"
+#include "layout/layout.hpp"
+#include "metrics/metrics.hpp"
+
+namespace bismo {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Rect, BasicGeometry) {
+  const Rect r{10, 20, 40, 60};
+  EXPECT_DOUBLE_EQ(r.width(), 30.0);
+  EXPECT_DOUBLE_EQ(r.height(), 40.0);
+  EXPECT_DOUBLE_EQ(r.area(), 1200.0);
+  EXPECT_TRUE(r.valid());
+  const Rect degenerate{5, 5, 5, 10};
+  EXPECT_FALSE(degenerate.valid());
+}
+
+TEST(Rect, OverlapSemantics) {
+  const Rect a{0, 0, 10, 10};
+  EXPECT_TRUE(a.overlaps({5, 5, 15, 15}));
+  EXPECT_FALSE(a.overlaps({10, 0, 20, 10}));  // touching is not overlapping
+  EXPECT_FALSE(a.overlaps({11, 11, 20, 20}));
+  const Rect grown = a.inflated(2.0);
+  EXPECT_TRUE(grown.overlaps({11, 0, 20, 10}));
+}
+
+TEST(Layout, AddRectValidation) {
+  Layout l(100.0);
+  EXPECT_NO_THROW(l.add_rect({0, 0, 50, 50}));
+  EXPECT_THROW(l.add_rect({-1, 0, 50, 50}), std::invalid_argument);
+  EXPECT_THROW(l.add_rect({0, 0, 101, 50}), std::invalid_argument);
+  EXPECT_THROW(l.add_rect({10, 10, 10, 20}), std::invalid_argument);
+}
+
+TEST(Layout, UnionAreaCountsOverlapsOnce) {
+  Layout l(100.0);
+  l.add_rect({0, 0, 50, 50});
+  l.add_rect({25, 25, 75, 75});
+  // 2500 + 2500 - 625 overlap.
+  EXPECT_DOUBLE_EQ(l.union_area_nm2(), 4375.0);
+  EXPECT_DOUBLE_EQ(Layout(10.0).union_area_nm2(), 0.0);
+}
+
+TEST(Layout, RasterizationMatchesUnionArea) {
+  Layout l(128.0);
+  l.add_rect({16, 16, 48, 80});
+  l.add_rect({64, 32, 112, 64});
+  const RealGrid grid = l.rasterize(128);  // 1 nm pixels
+  EXPECT_NEAR(pattern_area_nm2(grid, 1.0), l.union_area_nm2(),
+              0.05 * l.union_area_nm2());
+}
+
+TEST(Layout, RasterizePixelCenterConvention) {
+  Layout l(4.0);
+  l.add_rect({1.0, 1.0, 3.0, 3.0});
+  const RealGrid g = l.rasterize(4);  // pixel = 1 nm; centers at 0.5,1.5,...
+  EXPECT_DOUBLE_EQ(g(0, 0), 0.0);  // center (0.5,0.5) outside
+  EXPECT_DOUBLE_EQ(g(1, 1), 1.0);  // center (1.5,1.5) inside
+  EXPECT_DOUBLE_EQ(g(2, 2), 1.0);
+  EXPECT_DOUBLE_EQ(g(3, 3), 0.0);
+}
+
+TEST(Layout, SpacingProbe) {
+  Layout l(100.0);
+  l.add_rect({40, 40, 60, 60});
+  EXPECT_TRUE(l.violates_spacing({62, 40, 70, 60}, 5.0));
+  EXPECT_FALSE(l.violates_spacing({70, 40, 80, 60}, 5.0));
+}
+
+TEST(Layout, TextRoundTrip) {
+  Layout l(256.0);
+  l.add_rect({10.5, 20.25, 30.75, 40.125});
+  l.add_rect({100, 100, 200, 150});
+  const std::string path = temp_path("bismo_test_layout.txt");
+  write_layout(path, l);
+  const Layout back = read_layout(path);
+  EXPECT_DOUBLE_EQ(back.tile_nm(), 256.0);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.rects()[0].x0, 10.5);
+  EXPECT_DOUBLE_EQ(back.rects()[0].y1, 40.125);
+  std::remove(path.c_str());
+}
+
+TEST(Layout, ReaderRejectsMalformedInput) {
+  const std::string path = temp_path("bismo_test_bad_layout.txt");
+  {
+    std::ofstream out(path);
+    out << "RECT 0 0 10 10\n";  // RECT before TILE
+  }
+  EXPECT_THROW(read_layout(path), std::runtime_error);
+  {
+    std::ofstream out(path);
+    out << "TILE 100\nBOGUS 1 2 3\n";
+  }
+  EXPECT_THROW(read_layout(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(read_layout("/nonexistent_xyz/l.txt"), std::runtime_error);
+}
+
+TEST(Generators, DeterministicInSeed) {
+  const DatasetSpec spec = dataset_spec(DatasetKind::kIccad13);
+  const Layout a = generate_clip(spec, 7);
+  const Layout b = generate_clip(spec, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.rects()[i].x0, b.rects()[i].x0);
+    EXPECT_DOUBLE_EQ(a.rects()[i].y1, b.rects()[i].y1);
+  }
+  const Layout c = generate_clip(spec, 8);
+  EXPECT_NE(a.union_area_nm2(), c.union_area_nm2());
+}
+
+TEST(Generators, ReachesTargetDensityBand) {
+  for (DatasetKind kind :
+       {DatasetKind::kIccad13, DatasetKind::kIccadL, DatasetKind::kIspd19}) {
+    const DatasetSpec spec = dataset_spec(kind);
+    const Layout clip = generate_clip(spec, 11);
+    const double density =
+        clip.union_area_nm2() / (spec.tile_nm * spec.tile_nm);
+    EXPECT_GT(density, 0.6 * spec.target_density) << to_string(kind);
+    EXPECT_LT(density, 1.6 * spec.target_density) << to_string(kind);
+  }
+}
+
+TEST(Generators, DatasetDensityOrderingMatchesTable2) {
+  // Table 2 average areas: ICCAD13 < ICCAD-L < ISPD19.
+  const Layout a = generate_clip(dataset_spec(DatasetKind::kIccad13), 3);
+  const Layout b = generate_clip(dataset_spec(DatasetKind::kIccadL), 3);
+  const Layout c = generate_clip(dataset_spec(DatasetKind::kIspd19), 3);
+  EXPECT_LT(a.union_area_nm2(), b.union_area_nm2());
+  EXPECT_LT(b.union_area_nm2(), c.union_area_nm2());
+}
+
+TEST(Generators, SpecsFollowTable2) {
+  const DatasetSpec i13 = dataset_spec(DatasetKind::kIccad13);
+  EXPECT_EQ(i13.layer, "Metal");
+  EXPECT_DOUBLE_EQ(i13.cd_nm, 32.0);
+  EXPECT_EQ(i13.default_count, 10u);
+  const DatasetSpec ispd = dataset_spec(DatasetKind::kIspd19);
+  EXPECT_EQ(ispd.layer, "Metal+Via");
+  EXPECT_DOUBLE_EQ(ispd.cd_nm, 28.0);
+  EXPECT_EQ(ispd.default_count, 100u);
+  EXPECT_TRUE(ispd.include_vias);
+}
+
+TEST(Generators, MakeDatasetProducesNamedClips) {
+  const Dataset ds = make_dataset(dataset_spec(DatasetKind::kIccad13), 3, 99);
+  ASSERT_EQ(ds.clips.size(), 3u);
+  ASSERT_EQ(ds.names.size(), 3u);
+  EXPECT_EQ(ds.names[0], "ICCAD13:test1");
+  EXPECT_EQ(ds.names[2], "ICCAD13:test3");
+  for (const Layout& clip : ds.clips) EXPECT_FALSE(clip.empty());
+}
+
+TEST(Generators, AllRectsInsideTile) {
+  const DatasetSpec spec = dataset_spec(DatasetKind::kIspd19);
+  const Layout clip = generate_clip(spec, 21);
+  for (const Rect& r : clip.rects()) {
+    EXPECT_GE(r.x0, 0.0);
+    EXPECT_GE(r.y0, 0.0);
+    EXPECT_LE(r.x1, spec.tile_nm);
+    EXPECT_LE(r.y1, spec.tile_nm);
+  }
+}
+
+}  // namespace
+}  // namespace bismo

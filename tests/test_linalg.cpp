@@ -1,0 +1,213 @@
+// Linear algebra validation: Jacobi Hermitian eigendecomposition and the
+// matrix-free conjugate-gradient solver.
+#include <gtest/gtest.h>
+
+#include <complex>
+
+#include "linalg/cg.hpp"
+#include "linalg/cmatrix.hpp"
+#include "linalg/hermitian_eig.hpp"
+#include "math/grid_ops.hpp"
+#include "math/rng.hpp"
+
+namespace bismo {
+namespace {
+
+CMatrix random_hermitian(Rng& rng, std::size_t n) {
+  CMatrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a(i, i) = rng.uniform(-2.0, 2.0);
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const std::complex<double> v{rng.uniform(-1, 1), rng.uniform(-1, 1)};
+      a(i, j) = v;
+      a(j, i) = std::conj(v);
+    }
+  }
+  return a;
+}
+
+TEST(CMatrix, IdentityAndMultiply) {
+  CMatrix i3 = CMatrix::identity(3);
+  CMatrix a(3, 3);
+  a(0, 1) = {1.0, 2.0};
+  a(2, 0) = {-1.0, 0.5};
+  const CMatrix prod = a.multiply(i3);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_EQ(prod(r, c), a(r, c));
+    }
+  }
+  CMatrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+}
+
+TEST(CMatrix, HermitianTranspose) {
+  CMatrix a(2, 3);
+  a(0, 1) = {1.0, 2.0};
+  const CMatrix ah = a.hermitian();
+  EXPECT_EQ(ah.rows(), 3u);
+  EXPECT_EQ(ah.cols(), 2u);
+  EXPECT_EQ(ah(1, 0), std::conj(a(0, 1)));
+}
+
+TEST(HermitianEig, DiagonalMatrixIsItsOwnDecomposition) {
+  CMatrix a(3, 3);
+  a(0, 0) = 3.0;
+  a(1, 1) = -1.0;
+  a(2, 2) = 7.0;
+  const HermitianEig eig = hermitian_eig(a);
+  ASSERT_EQ(eig.values.size(), 3u);
+  EXPECT_NEAR(eig.values[0], 7.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[2], -1.0, 1e-12);
+}
+
+TEST(HermitianEig, KnownTwoByTwo) {
+  // [[2, i], [-i, 2]] has eigenvalues 3 and 1.
+  CMatrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(1, 1) = 2.0;
+  a(0, 1) = {0.0, 1.0};
+  a(1, 0) = {0.0, -1.0};
+  const HermitianEig eig = hermitian_eig(a);
+  EXPECT_NEAR(eig.values[0], 3.0, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1.0, 1e-12);
+}
+
+TEST(HermitianEig, NonSquareThrows) {
+  CMatrix a(2, 3);
+  EXPECT_THROW(hermitian_eig(a), std::invalid_argument);
+}
+
+class HermitianEigProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HermitianEigProperty, ReconstructsMatrix) {
+  const std::size_t n = GetParam();
+  Rng rng(500 + n);
+  const CMatrix a = random_hermitian(rng, n);
+  const HermitianEig eig = hermitian_eig(a);
+
+  // Eigenvalues sorted descending.
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    EXPECT_GE(eig.values[i], eig.values[i + 1] - 1e-12);
+  }
+  // V unitary: V^H V = I.
+  const CMatrix vhv = eig.vectors.hermitian().multiply(eig.vectors);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double expect = i == j ? 1.0 : 0.0;
+      EXPECT_NEAR(std::abs(vhv(i, j)), expect, 1e-9) << i << "," << j;
+    }
+  }
+  // A V = V diag(lambda).
+  const CMatrix av = a.multiply(eig.vectors);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::complex<double> expect = eig.vectors(i, j) * eig.values[j];
+      EXPECT_NEAR(std::abs(av(i, j) - expect), 0.0, 1e-8) << i << "," << j;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, HermitianEigProperty,
+                         ::testing::Values<std::size_t>(1, 2, 3, 5, 8, 16, 40));
+
+TEST(ConjugateGradient, SolvesDiagonalSystem) {
+  RealGrid b(2, 2);
+  b[0] = 2.0;
+  b[1] = 6.0;
+  b[2] = -4.0;
+  b[3] = 1.0;
+  // A = diag(1, 2, 4, 0.5) acting on the flattened grid.
+  auto apply = [](const RealGrid& v) {
+    RealGrid out = v;
+    out[1] *= 2.0;
+    out[2] *= 4.0;
+    out[3] *= 0.5;
+    return out;
+  };
+  CgOptions opt;
+  opt.max_iterations = 20;
+  opt.tolerance = 1e-12;
+  const CgResult res =
+      conjugate_gradient(apply, b, RealGrid(2, 2, 0.0), opt);
+  EXPECT_TRUE(res.converged);
+  EXPECT_NEAR(res.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(res.x[1], 3.0, 1e-9);
+  EXPECT_NEAR(res.x[2], -1.0, 1e-9);
+  EXPECT_NEAR(res.x[3], 2.0, 1e-9);
+}
+
+TEST(ConjugateGradient, ConvergesInAtMostDimensionSteps) {
+  Rng rng(777);
+  const std::size_t n = 6;
+  // SPD matrix A = B^T B + I over flat vectors stored as 1 x n grids.
+  std::vector<std::vector<double>> bmat(n, std::vector<double>(n));
+  for (auto& row : bmat) {
+    for (auto& v : row) v = rng.uniform(-1, 1);
+  }
+  auto apply = [&](const RealGrid& v) {
+    std::vector<double> bv(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) bv[i] += bmat[i][j] * v[j];
+    }
+    RealGrid out(1, n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) out[j] += bmat[i][j] * bv[i];
+      out[i] += v[i];
+    }
+    return out;
+  };
+  RealGrid b(1, n);
+  for (std::size_t i = 0; i < n; ++i) b[i] = rng.uniform(-2, 2);
+  CgOptions opt;
+  opt.max_iterations = static_cast<int>(n) + 2;
+  opt.tolerance = 1e-10;
+  const CgResult res = conjugate_gradient(apply, b, RealGrid(1, n, 0.0), opt);
+  EXPECT_TRUE(res.converged);
+  const RealGrid residual = b - apply(res.x);
+  EXPECT_LT(norm2(residual), 1e-8);
+}
+
+TEST(ConjugateGradient, WarmStartAtSolutionConvergesImmediately) {
+  RealGrid b(1, 3);
+  b[0] = 1.0;
+  b[1] = 2.0;
+  b[2] = 3.0;
+  auto apply = [](const RealGrid& v) { return v; };  // identity
+  const CgResult res = conjugate_gradient(apply, b, b, {});
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(ConjugateGradient, DampingShiftsTheSystem) {
+  RealGrid b(1, 2, 1.0);
+  auto apply = [](const RealGrid& v) { return v; };  // A = I
+  CgOptions opt;
+  opt.damping = 1.0;  // solves (I + I) x = b -> x = 0.5
+  opt.max_iterations = 5;
+  opt.tolerance = 1e-12;
+  const CgResult res = conjugate_gradient(apply, b, RealGrid(1, 2, 0.0), opt);
+  EXPECT_NEAR(res.x[0], 0.5, 1e-10);
+  EXPECT_NEAR(res.x[1], 0.5, 1e-10);
+}
+
+TEST(ConjugateGradient, StopsOnNegativeCurvature) {
+  RealGrid b(1, 2, 1.0);
+  auto apply = [](const RealGrid& v) { return v * -1.0; };  // negative definite
+  const CgResult res = conjugate_gradient(apply, b, RealGrid(1, 2, 0.0), {});
+  // Must not blow up; returns the (zero) iterate untouched.
+  EXPECT_EQ(res.iterations, 0);
+  EXPECT_FALSE(res.converged);
+  EXPECT_DOUBLE_EQ(res.x[0], 0.0);
+}
+
+TEST(ConjugateGradient, ShapeMismatchThrows) {
+  auto apply = [](const RealGrid& v) { return v; };
+  EXPECT_THROW(
+      conjugate_gradient(apply, RealGrid(1, 2), RealGrid(2, 2), {}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bismo

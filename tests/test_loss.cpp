@@ -1,0 +1,141 @@
+// Unit tests for the SMO objective (Eqs. 7-9): mean reduction, dose-corner
+// fusion, the dL/dI seed checked against finite differences of the loss
+// with respect to intensity, and weighting semantics.
+#include <gtest/gtest.h>
+
+#include "grad/loss.hpp"
+#include "math/grid_ops.hpp"
+#include "math/rng.hpp"
+
+namespace bismo {
+namespace {
+
+TEST(SmoLossEval, PerfectIntensityGivesSmallLoss) {
+  // Intensity far above threshold inside the target, far below outside:
+  // sigmoid resist ~ target, so both loss terms are ~0.
+  const std::size_t n = 16;
+  RealGrid target(n, n, 0.0);
+  RealGrid intensity(n, n, 0.02);
+  for (std::size_t r = 4; r < 12; ++r) {
+    for (std::size_t c = 4; c < 12; ++c) {
+      target(r, c) = 1.0;
+      intensity(r, c) = 0.6;
+    }
+  }
+  const SmoLoss loss = evaluate_smo_loss(intensity, target, {}, {}, {}, false);
+  // Sigmoid tails leave a small residual (sigmoid(-6.15)^2 ~ 4e-6/pixel).
+  EXPECT_LT(loss.l2, 1e-5);
+  EXPECT_LT(loss.pvb, 1e-4);
+  EXPECT_LT(loss.total, 0.05);
+}
+
+TEST(SmoLossEval, MeanReductionIsResolutionInvariant) {
+  // The same pattern rendered at 2x resolution yields the same mean loss.
+  auto build = [](std::size_t n) {
+    RealGrid target(n, n, 0.0);
+    RealGrid intensity(n, n, 0.1);
+    for (std::size_t r = 0; r < n / 2; ++r) {
+      for (std::size_t c = 0; c < n / 2; ++c) {
+        target(r, c) = 1.0;
+        intensity(r, c) = 0.3;
+      }
+    }
+    return std::make_pair(intensity, target);
+  };
+  const auto [i1, t1] = build(8);
+  const auto [i2, t2] = build(16);
+  const SmoLoss a = evaluate_smo_loss(i1, t1, {}, {}, {}, false);
+  const SmoLoss b = evaluate_smo_loss(i2, t2, {}, {}, {}, false);
+  EXPECT_NEAR(a.l2, b.l2, 1e-12);
+  EXPECT_NEAR(a.pvb, b.pvb, 1e-12);
+}
+
+TEST(SmoLossEval, WeightsScaleTerms) {
+  Rng rng(5);
+  const RealGrid intensity = rng.uniform_grid(8, 8, 0.0, 0.5);
+  const RealGrid target = binarize(rng.uniform_grid(8, 8, 0.0, 1.0));
+  LossWeights w1{1.0, 1.0};
+  LossWeights w2{10.0, 100.0};
+  const SmoLoss a = evaluate_smo_loss(intensity, target, {}, w1, {}, false);
+  const SmoLoss b = evaluate_smo_loss(intensity, target, {}, w2, {}, false);
+  EXPECT_DOUBLE_EQ(a.l2, b.l2);    // unweighted terms are weight-free
+  EXPECT_DOUBLE_EQ(a.pvb, b.pvb);
+  EXPECT_NEAR(b.total, 10.0 * a.l2 + 100.0 * a.pvb, 1e-12);
+}
+
+TEST(SmoLossEval, DlDiMatchesFiniteDifferenceOfLoss) {
+  Rng rng(6);
+  const RealGrid intensity = rng.uniform_grid(8, 8, 0.05, 0.5);
+  const RealGrid target = binarize(rng.uniform_grid(8, 8, 0.0, 1.0));
+  const SmoLoss loss = evaluate_smo_loss(intensity, target, {}, {}, {}, true);
+  ASSERT_FALSE(loss.dl_di.empty());
+  const double eps = 1e-7;
+  for (std::size_t probe = 0; probe < 10; ++probe) {
+    const auto idx = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(intensity.size()) - 1));
+    RealGrid ip = intensity;
+    ip[idx] += eps;
+    RealGrid im = intensity;
+    im[idx] -= eps;
+    const double lp = evaluate_smo_loss(ip, target, {}, {}, {}, false).total;
+    const double lm = evaluate_smo_loss(im, target, {}, {}, {}, false).total;
+    const double numeric = (lp - lm) / (2.0 * eps);
+    EXPECT_NEAR(loss.dl_di[idx], numeric,
+                1e-4 * std::max(1.0, std::abs(numeric)))
+        << "pixel " << idx;
+  }
+}
+
+TEST(SmoLossEval, PvbEqualsSumOfDoseShiftedL2Terms) {
+  // Structural identity of the dose-corner fusion: Lpvb under window
+  // (d1, d2) must equal the nominal L2 of the intensity pre-scaled by d1^2
+  // plus that of d2^2 (I_c = d_c^2 * I; see grad/loss.hpp).
+  Rng rng(7);
+  const RealGrid intensity = rng.uniform_grid(8, 8, 0.1, 0.4);
+  const RealGrid target = binarize(rng.uniform_grid(8, 8, 0.0, 1.0));
+  const ProcessWindow pw{0.93, 1.07};
+  const SmoLoss fused =
+      evaluate_smo_loss(intensity, target, {}, {}, pw, false);
+  const SmoLoss at_min = evaluate_smo_loss(
+      intensity * (pw.dose_min * pw.dose_min), target, {}, {}, pw, false);
+  const SmoLoss at_max = evaluate_smo_loss(
+      intensity * (pw.dose_max * pw.dose_max), target, {}, {}, pw, false);
+  EXPECT_NEAR(fused.pvb, at_min.l2 + at_max.l2, 1e-12);
+  // And the nominal term is dose-window independent.
+  const SmoLoss narrow =
+      evaluate_smo_loss(intensity, target, {}, {}, {0.999, 1.001}, false);
+  EXPECT_DOUBLE_EQ(fused.l2, narrow.l2);
+}
+
+TEST(SmoLossEval, ZNominalIsSigmoidResist) {
+  RealGrid intensity(2, 2);
+  intensity[0] = 0.225;  // exactly at threshold -> Z = 0.5
+  intensity[1] = 1.0;
+  intensity[2] = 0.0;
+  intensity[3] = 0.5;
+  const RealGrid target(2, 2, 0.0);
+  const SmoLoss loss = evaluate_smo_loss(intensity, target, {}, {}, {}, false);
+  EXPECT_NEAR(loss.z_nominal[0], 0.5, 1e-12);
+  EXPECT_GT(loss.z_nominal[1], 0.999);
+  EXPECT_LT(loss.z_nominal[2], 0.01);
+}
+
+TEST(SmoLossEval, ShapeMismatchThrows) {
+  EXPECT_THROW(
+      evaluate_smo_loss(RealGrid(4, 4), RealGrid(8, 8), {}, {}, {}, false),
+      std::invalid_argument);
+}
+
+TEST(SmoLossEval, BackpropFlagControlsSeed) {
+  const RealGrid intensity(4, 4, 0.3);
+  const RealGrid target(4, 4, 1.0);
+  const SmoLoss without =
+      evaluate_smo_loss(intensity, target, {}, {}, {}, false);
+  EXPECT_TRUE(without.dl_di.empty());
+  const SmoLoss with = evaluate_smo_loss(intensity, target, {}, {}, {}, true);
+  EXPECT_EQ(with.dl_di.size(), intensity.size());
+  EXPECT_DOUBLE_EQ(with.total, without.total);
+}
+
+}  // namespace
+}  // namespace bismo

@@ -1,0 +1,140 @@
+// Metric tests: squared-L2 (Definition 1), PVB (Definition 2), EPE
+// (Definition 3) on constructed resist/target pairs with known answers.
+#include <gtest/gtest.h>
+
+#include "metrics/epe.hpp"
+#include "metrics/metrics.hpp"
+
+namespace bismo {
+namespace {
+
+RealGrid square_pattern(std::size_t n, std::size_t lo, std::size_t hi) {
+  RealGrid g(n, n, 0.0);
+  for (std::size_t r = lo; r < hi; ++r) {
+    for (std::size_t c = lo; c < hi; ++c) g(r, c) = 1.0;
+  }
+  return g;
+}
+
+TEST(MetricsL2, IdenticalImagesHaveZeroError) {
+  const RealGrid z = square_pattern(32, 8, 24);
+  EXPECT_DOUBLE_EQ(squared_l2_nm2(z, z, 4.0), 0.0);
+}
+
+TEST(MetricsL2, CountsDifferingPixelsTimesPixelArea) {
+  const RealGrid a = square_pattern(32, 8, 24);   // 16x16
+  const RealGrid b = square_pattern(32, 8, 25);   // 17x17
+  // Symmetric difference: 17^2 - 16^2 = 33 pixels; pixel = 4 nm.
+  EXPECT_DOUBLE_EQ(squared_l2_nm2(a, b, 4.0), 33.0 * 16.0);
+  EXPECT_DOUBLE_EQ(squared_l2_nm2(b, a, 4.0), 33.0 * 16.0);
+}
+
+TEST(MetricsL2, ShapeMismatchThrows) {
+  EXPECT_THROW(squared_l2_nm2(RealGrid(4, 4), RealGrid(5, 5), 1.0),
+               std::invalid_argument);
+}
+
+TEST(MetricsPvb, XorAreaOfCornerPrints) {
+  const RealGrid zmin = square_pattern(32, 10, 22);  // 12x12
+  const RealGrid zmax = square_pattern(32, 9, 23);   // 14x14
+  EXPECT_DOUBLE_EQ(pvb_nm2(zmin, zmax, 2.0), (14.0 * 14 - 12 * 12) * 4.0);
+  EXPECT_DOUBLE_EQ(pvb_nm2(zmin, zmin, 2.0), 0.0);
+}
+
+TEST(MetricsArea, PatternArea) {
+  const RealGrid z = square_pattern(16, 4, 8);
+  EXPECT_DOUBLE_EQ(pattern_area_nm2(z, 3.0), 16.0 * 9.0);
+}
+
+TEST(Bilinear, InterpolatesAndClamps) {
+  RealGrid g(2, 2);
+  g(0, 0) = 0.0;
+  g(0, 1) = 1.0;
+  g(1, 0) = 2.0;
+  g(1, 1) = 3.0;
+  EXPECT_DOUBLE_EQ(bilinear_sample(g, 0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(bilinear_sample(g, 0.0, 0.5), 0.5);
+  EXPECT_DOUBLE_EQ(bilinear_sample(g, 0.5, 0.5), 1.5);
+  EXPECT_DOUBLE_EQ(bilinear_sample(g, -5.0, -5.0), 0.0);  // clamped
+  EXPECT_DOUBLE_EQ(bilinear_sample(g, 9.0, 9.0), 3.0);    // clamped
+}
+
+class EpeShiftTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EpeShiftTest, ShiftedPrintReportsShiftOnFacingEdges) {
+  // Target: 24x24-pixel square at 4 nm pixels.  Print: the same square
+  // shifted right by k pixels.  Vertical edges facing the shift must report
+  // +/- k*4 nm; horizontal edges stay near zero away from corners.
+  const int k = GetParam();
+  const std::size_t n = 64;
+  const double pixel = 4.0;
+  const RealGrid target = square_pattern(n, 20, 44);
+  RealGrid print(n, n, 0.0);
+  const auto shift = static_cast<std::size_t>(k);
+  for (std::size_t r = 20; r < 44; ++r) {
+    for (std::size_t c = 20 + shift; c < 44 + shift; ++c) print(r, c) = 1.0;
+  }
+  EpeConfig cfg;
+  cfg.sample_spacing_nm = 24.0;
+  cfg.threshold_nm = 15.0;
+  cfg.search_range_nm = 40.0;
+  const EpeResult result = measure_epe(print, target, pixel, cfg);
+  ASSERT_GT(result.samples, 0u);
+
+  const double shift_nm = k * pixel;
+  for (const EpeSample& s : result.points) {
+    if (s.normal_x != 0.0) {
+      // Vertical edge: the print edge moved by exactly the shift along +x.
+      const double expected = s.normal_x > 0 ? shift_nm : -shift_nm;
+      EXPECT_NEAR(s.epe_nm, expected, 1.5) << "x-edge at y=" << s.y_nm;
+    }
+  }
+  // Violations: with threshold 15 nm, shifts > 3.75 px trip both vertical
+  // edge banks.
+  if (shift_nm > cfg.threshold_nm) {
+    EXPECT_GT(result.violations, 0u);
+  } else {
+    EXPECT_EQ(result.violations, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, EpeShiftTest, ::testing::Values(0, 2, 5));
+
+TEST(Epe, PerfectPrintHasZeroViolations) {
+  const RealGrid target = square_pattern(64, 16, 48);
+  const EpeResult r = measure_epe(target, target, 4.0);
+  EXPECT_GT(r.samples, 0u);
+  EXPECT_EQ(r.violations, 0u);
+  EXPECT_LT(r.mean_abs_nm, 2.0);
+}
+
+TEST(Epe, VanishedPatternIsAllViolations) {
+  const RealGrid target = square_pattern(64, 16, 48);
+  const RealGrid nothing(64, 64, 0.0);
+  EpeConfig cfg;
+  cfg.search_range_nm = 40.0;
+  const EpeResult r = measure_epe(nothing, target, 4.0, cfg);
+  EXPECT_GT(r.samples, 0u);
+  EXPECT_EQ(r.violations, r.samples);
+  EXPECT_DOUBLE_EQ(r.max_abs_nm, cfg.search_range_nm);
+}
+
+TEST(Epe, SampleSpacingControlsSampleCount) {
+  const RealGrid target = square_pattern(64, 16, 48);  // 32 px = 128 nm sides
+  EpeConfig coarse;
+  coarse.sample_spacing_nm = 128.0;
+  EpeConfig fine;
+  fine.sample_spacing_nm = 16.0;
+  const EpeResult rc = measure_epe(target, target, 4.0, coarse);
+  const EpeResult rf = measure_epe(target, target, 4.0, fine);
+  EXPECT_EQ(rc.samples, 4u);  // one per side
+  EXPECT_EQ(rf.samples, 32u); // eight per side
+}
+
+TEST(Epe, ShapeMismatchThrows) {
+  EXPECT_THROW(measure_epe(RealGrid(4, 4), RealGrid(8, 8), 1.0),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bismo

@@ -1,0 +1,117 @@
+// Optimizer unit tests: SGD and Adam semantics on analytic objectives.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/grid_ops.hpp"
+#include "opt/optimizer.hpp"
+
+namespace bismo {
+namespace {
+
+/// Gradient of f(x) = 0.5 ||x - x*||^2.
+RealGrid quad_grad(const RealGrid& x, const RealGrid& target) {
+  return x - target;
+}
+
+TEST(Sgd, SingleStepIsExactlyLrTimesGrad) {
+  SgdOptimizer opt(0.25);
+  RealGrid x(1, 2, 1.0);
+  RealGrid g(1, 2);
+  g[0] = 2.0;
+  g[1] = -4.0;
+  opt.step(x, g);
+  EXPECT_DOUBLE_EQ(x[0], 0.5);
+  EXPECT_DOUBLE_EQ(x[1], 2.0);
+}
+
+TEST(Sgd, ConvergesOnQuadratic) {
+  SgdOptimizer opt(0.5);
+  RealGrid target(2, 2);
+  target[0] = 1.0;
+  target[1] = -2.0;
+  target[2] = 3.0;
+  target[3] = 0.5;
+  RealGrid x(2, 2, 0.0);
+  for (int i = 0; i < 60; ++i) opt.step(x, quad_grad(x, target));
+  EXPECT_LT(norm2(x - target), 1e-8);
+}
+
+TEST(Sgd, ShapeMismatchThrows) {
+  SgdOptimizer opt(0.1);
+  RealGrid x(1, 2);
+  RealGrid g(2, 1);
+  EXPECT_THROW(opt.step(x, g), std::invalid_argument);
+}
+
+TEST(Adam, FirstStepMagnitudeIsLearningRate) {
+  // With bias correction, |first step| == lr regardless of gradient scale.
+  AdamOptimizer opt(0.1);
+  RealGrid x(1, 2, 0.0);
+  RealGrid g(1, 2);
+  g[0] = 1e6;
+  g[1] = -1e-6;
+  opt.step(x, g);
+  EXPECT_NEAR(x[0], -0.1, 1e-6);
+  EXPECT_NEAR(x[1], 0.1, 1e-3);  // eps-dominated for microscopic gradients
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  AdamOptimizer opt(0.2);
+  RealGrid target(1, 3);
+  target[0] = 1.0;
+  target[1] = -2.0;
+  target[2] = 0.25;
+  RealGrid x(1, 3, 5.0);
+  for (int i = 0; i < 400; ++i) opt.step(x, quad_grad(x, target));
+  EXPECT_LT(norm2(x - target), 1e-2);
+}
+
+TEST(Adam, ConvergesOnBadlyScaledQuadratic) {
+  // f = 0.5 (1e6 x0^2 + 1e-2 x1^2): plain SGD cannot handle this with any
+  // single learning rate; Adam's per-coordinate scaling can.
+  AdamOptimizer opt(0.5);
+  RealGrid x(1, 2, 1.0);
+  for (int i = 0; i < 800; ++i) {
+    RealGrid g(1, 2);
+    g[0] = 1e6 * x[0];
+    g[1] = 1e-2 * x[1];
+    opt.step(x, g);
+  }
+  EXPECT_LT(std::abs(x[0]), 1e-3);
+  EXPECT_LT(std::abs(x[1]), 1e-1);
+}
+
+TEST(Adam, ResetClearsState) {
+  AdamOptimizer opt(0.1);
+  RealGrid x(1, 1, 0.0);
+  RealGrid g(1, 1, 1.0);
+  opt.step(x, g);
+  opt.step(x, g);
+  opt.reset();
+  RealGrid y(1, 1, 0.0);
+  opt.step(y, g);
+  EXPECT_NEAR(y[0], -0.1, 1e-9);  // behaves like a fresh first step
+}
+
+TEST(Adam, AdaptsToNewShapeAfterReset) {
+  AdamOptimizer opt(0.1);
+  RealGrid x(1, 2, 0.0);
+  opt.step(x, RealGrid(1, 2, 1.0));
+  RealGrid y(3, 3, 0.0);
+  // Internal state re-initializes on shape change.
+  EXPECT_NO_THROW(opt.step(y, RealGrid(3, 3, 1.0)));
+  EXPECT_NEAR(y[0], -0.1, 1e-9);
+}
+
+TEST(OptimizerFactory, CreatesRequestedKind) {
+  auto sgd = make_optimizer(OptimizerKind::kSgd, 0.3);
+  auto adam = make_optimizer(OptimizerKind::kAdam, 0.7);
+  EXPECT_DOUBLE_EQ(sgd->learning_rate(), 0.3);
+  EXPECT_DOUBLE_EQ(adam->learning_rate(), 0.7);
+  EXPECT_NE(dynamic_cast<SgdOptimizer*>(sgd.get()), nullptr);
+  EXPECT_NE(dynamic_cast<AdamOptimizer*>(adam.get()), nullptr);
+}
+
+}  // namespace
+}  // namespace bismo

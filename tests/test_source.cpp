@@ -1,0 +1,250 @@
+// Source geometry and template tests: sigma-disc sampling, template shapes
+// (annular / dipole / quasar / conventional / point), activation (Table 1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "litho/activation.hpp"
+#include "litho/optics.hpp"
+#include "litho/source.hpp"
+
+namespace bismo {
+namespace {
+
+OpticsConfig small_optics() {
+  OpticsConfig o;
+  o.mask_dim = 64;
+  o.pixel_nm = 8.0;
+  return o;
+}
+
+TEST(SourceGeometry, CornersOfSigmaSquareAreInvalid) {
+  const SourceGeometry g(7, small_optics());
+  EXPECT_FALSE(g.valid(0, 0));
+  EXPECT_FALSE(g.valid(0, 6));
+  EXPECT_FALSE(g.valid(6, 0));
+  EXPECT_FALSE(g.valid(6, 6));
+  EXPECT_TRUE(g.valid(3, 3));  // centre
+  EXPECT_TRUE(g.valid(0, 3));  // on-axis edge: sigma = (0, -1)
+}
+
+TEST(SourceGeometry, SigmaSpansMinusOneToOne) {
+  const SourceGeometry g(7, small_optics());
+  EXPECT_DOUBLE_EQ(g.sigma_of(0), -1.0);
+  EXPECT_DOUBLE_EQ(g.sigma_of(6), 1.0);
+  EXPECT_DOUBLE_EQ(g.sigma_of(3), 0.0);
+}
+
+TEST(SourceGeometry, PointCountMatchesValidityMask) {
+  const SourceGeometry g(9, small_optics());
+  std::size_t mask_count = 0;
+  for (double v : g.validity_mask()) mask_count += v > 0.5 ? 1 : 0;
+  EXPECT_EQ(g.points().size(), mask_count);
+  // All points map to frequencies within NA/lambda.
+  const double fc = small_optics().cutoff_frequency();
+  for (const SourcePoint& p : g.points()) {
+    EXPECT_LE(std::hypot(p.freq_x, p.freq_y), fc * (1.0 + 1e-12));
+  }
+}
+
+TEST(SourceGeometry, TooSmallThrows) {
+  EXPECT_THROW(SourceGeometry(1, small_optics()), std::invalid_argument);
+}
+
+TEST(SourceTemplates, AnnularRespectsRadii) {
+  const SourceGeometry g(15, small_optics());
+  SourceSpec spec;
+  spec.shape = SourceShape::kAnnular;
+  spec.sigma_out = 0.95;
+  spec.sigma_in = 0.63;
+  const RealGrid j = make_source(g, spec);
+  for (const SourcePoint& p : g.points()) {
+    const double rho = std::hypot(p.sigma_x, p.sigma_y);
+    const bool lit = j(p.row, p.col) > 0.5;
+    EXPECT_EQ(lit, rho >= 0.63 && rho <= 0.95)
+        << "rho=" << rho;
+  }
+  EXPECT_GT(source_power(g, j), 0.0);
+}
+
+TEST(SourceTemplates, ConventionalIsFilledDisc) {
+  const SourceGeometry g(11, small_optics());
+  SourceSpec spec;
+  spec.shape = SourceShape::kConventional;
+  spec.sigma_out = 0.5;
+  const RealGrid j = make_source(g, spec);
+  EXPECT_DOUBLE_EQ(j(5, 5), 1.0);  // centre lit
+  for (const SourcePoint& p : g.points()) {
+    const double rho = std::hypot(p.sigma_x, p.sigma_y);
+    EXPECT_EQ(j(p.row, p.col) > 0.5, rho <= 0.5);
+  }
+}
+
+TEST(SourceTemplates, DipoleXSymmetricAboutXAxis) {
+  const SourceGeometry g(15, small_optics());
+  SourceSpec spec;
+  spec.shape = SourceShape::kDipoleX;
+  spec.opening_deg = 60.0;
+  const RealGrid j = make_source(g, spec);
+  EXPECT_GT(source_power(g, j), 0.0);
+  // Poles on +x/-x: every lit point has |x| component dominating.
+  for (const SourcePoint& p : g.points()) {
+    if (j(p.row, p.col) > 0.5) {
+      EXPECT_GT(std::abs(p.sigma_x), std::abs(p.sigma_y) - 1e-12);
+    }
+  }
+  // Mirror symmetry in both axes.
+  const std::size_t n = g.dim();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      EXPECT_DOUBLE_EQ(j(r, c), j(n - 1 - r, c));
+      EXPECT_DOUBLE_EQ(j(r, c), j(r, n - 1 - c));
+    }
+  }
+}
+
+TEST(SourceTemplates, DipoleYIsDipoleXRotated) {
+  const SourceGeometry g(15, small_optics());
+  SourceSpec sx;
+  sx.shape = SourceShape::kDipoleX;
+  SourceSpec sy;
+  sy.shape = SourceShape::kDipoleY;
+  const RealGrid jx = make_source(g, sx);
+  const RealGrid jy = make_source(g, sy);
+  const std::size_t n = g.dim();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      EXPECT_DOUBLE_EQ(jy(r, c), jx(c, r)) << r << "," << c;
+    }
+  }
+}
+
+TEST(SourceTemplates, QuasarHasFourFoldSymmetry) {
+  const SourceGeometry g(17, small_optics());
+  SourceSpec spec;
+  spec.shape = SourceShape::kQuasar;
+  spec.opening_deg = 40.0;
+  const RealGrid j = make_source(g, spec);
+  EXPECT_GT(source_power(g, j), 0.0);
+  const std::size_t n = g.dim();
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      // 90-degree rotation invariance.
+      EXPECT_DOUBLE_EQ(j(r, c), j(c, n - 1 - r));
+    }
+  }
+  // Nothing on the axes (poles are diagonal).
+  const std::size_t mid = n / 2;
+  for (std::size_t k = 0; k < n; ++k) {
+    EXPECT_DOUBLE_EQ(j(mid, k), 0.0);
+    EXPECT_DOUBLE_EQ(j(k, mid), 0.0);
+  }
+}
+
+TEST(SourceTemplates, PointSourceHasExactlyOnePoint) {
+  const SourceGeometry g(9, small_optics());
+  SourceSpec spec;
+  spec.shape = SourceShape::kPoint;
+  const RealGrid j = make_source(g, spec);
+  EXPECT_DOUBLE_EQ(source_power(g, j), 1.0);
+  EXPECT_DOUBLE_EQ(j(4, 4), 1.0);
+}
+
+TEST(SourceTemplates, InvalidRadiiThrow) {
+  const SourceGeometry g(9, small_optics());
+  SourceSpec spec;
+  spec.sigma_out = 0.3;
+  spec.sigma_in = 0.5;
+  EXPECT_THROW(make_source(g, spec), std::invalid_argument);
+}
+
+TEST(SourceTemplates, EffectivePointCount) {
+  const SourceGeometry g(9, small_optics());
+  SourceSpec spec;
+  spec.shape = SourceShape::kConventional;
+  spec.sigma_out = 0.4;
+  const RealGrid j = make_source(g, spec);
+  EXPECT_EQ(effective_point_count(g, j),
+            static_cast<std::size_t>(source_power(g, j) + 0.5));
+}
+
+TEST(Activation, MaskInitAndActivationReproduceTarget) {
+  ActivationConfig cfg;  // alpha_m = 9, m0 = 1
+  RealGrid target(4, 4, 0.0);
+  target(1, 1) = 1.0;
+  target(2, 3) = 1.0;
+  const RealGrid theta = init_mask_params(target, cfg);
+  EXPECT_DOUBLE_EQ(theta(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(theta(0, 0), -1.0);
+  const RealGrid m = activate_mask(theta, cfg);
+  // sigmoid(9) ~ 0.99988, sigmoid(-9) ~ 1.2e-4: near-binary.
+  EXPECT_GT(m(1, 1), 0.999);
+  EXPECT_LT(m(0, 0), 0.001);
+}
+
+TEST(Activation, SourceInitAndActivationReproduceTemplate) {
+  ActivationConfig cfg;  // alpha_j = 2, j0 = 5
+  const SourceGeometry g(9, small_optics());
+  SourceSpec spec;
+  spec.shape = SourceShape::kAnnular;
+  const RealGrid j0 = make_source(g, spec);
+  const RealGrid theta = init_source_params(j0, cfg);
+  const RealGrid j = activate_source(theta, g, cfg);
+  for (const SourcePoint& p : g.points()) {
+    if (j0(p.row, p.col) > 0.5) {
+      EXPECT_GT(j(p.row, p.col), 0.999);
+    } else {
+      EXPECT_LT(j(p.row, p.col), 0.001);
+    }
+  }
+  // Invalid points are forced to zero even though sigmoid(-10) > 0.
+  EXPECT_DOUBLE_EQ(j(0, 0), 0.0);
+}
+
+TEST(Activation, DerivativesMatchFiniteDifferences) {
+  ActivationConfig cfg;
+  const SourceGeometry g(5, small_optics());
+  RealGrid theta(5, 5, 0.3);
+  const RealGrid j = activate_source(theta, g, cfg);
+  const RealGrid dj = source_activation_derivative(theta, j, g, cfg);
+  const double eps = 1e-6;
+  RealGrid theta_p = theta;
+  theta_p(2, 2) += eps;
+  RealGrid theta_m = theta;
+  theta_m(2, 2) -= eps;
+  const double fd = (activate_source(theta_p, g, cfg)(2, 2) -
+                     activate_source(theta_m, g, cfg)(2, 2)) /
+                    (2 * eps);
+  EXPECT_NEAR(dj(2, 2), fd, 1e-8);
+
+  RealGrid theta_mask(3, 3, -0.2);
+  const RealGrid mask = activate_mask(theta_mask, cfg);
+  const RealGrid dm = mask_activation_derivative(theta_mask, mask, cfg);
+  RealGrid tp = theta_mask;
+  tp(1, 1) += eps;
+  RealGrid tm = theta_mask;
+  tm(1, 1) -= eps;
+  const double fdm =
+      (activate_mask(tp, cfg)(1, 1) - activate_mask(tm, cfg)(1, 1)) / (2 * eps);
+  EXPECT_NEAR(dm(1, 1), fdm, 1e-6);
+}
+
+TEST(Activation, CosineVariantSaturatesWithZeroGradient) {
+  ActivationConfig cfg;
+  cfg.kind = ActivationKind::kCosine;
+  RealGrid theta(1, 3);
+  theta[0] = -2.0;  // saturated low
+  theta[1] = 0.0;
+  theta[2] = 2.0;  // saturated high
+  const RealGrid m = activate_mask(theta, cfg);
+  EXPECT_DOUBLE_EQ(m[0], 0.0);
+  EXPECT_DOUBLE_EQ(m[1], 0.5);
+  EXPECT_DOUBLE_EQ(m[2], 1.0);
+  const RealGrid dm = mask_activation_derivative(theta, m, cfg);
+  EXPECT_DOUBLE_EQ(dm[0], 0.0);  // the "gradient issue" the paper cites
+  EXPECT_GT(dm[1], 0.0);
+  EXPECT_DOUBLE_EQ(dm[2], 0.0);
+}
+
+}  // namespace
+}  // namespace bismo

@@ -1,0 +1,158 @@
+// Tests for the plateau-based early stopping, the source-only driver, and
+// grid checkpoint I/O (save/load round trips).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "core/mask_opt.hpp"
+#include "core/problem.hpp"
+#include "core/source_opt.hpp"
+#include "core/stop.hpp"
+#include "io/grid_io.hpp"
+#include "math/rng.hpp"
+
+namespace bismo {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+SmoConfig small_config() {
+  SmoConfig cfg;
+  cfg.optics.mask_dim = 64;
+  cfg.optics.pixel_nm = 16.0;
+  cfg.source_dim = 7;
+  cfg.activation.source_init = 1.5;
+  return cfg;
+}
+
+RealGrid small_target() {
+  RealGrid t(64, 64, 0.0);
+  for (std::size_t r = 28; r < 36; ++r) {
+    for (std::size_t c = 12; c < 52; ++c) t(r, c) = 1.0;
+  }
+  return t;
+}
+
+TEST(PlateauDetector, DisabledNeverStops) {
+  PlateauDetector d(StopCriteria{});  // patience = 0
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(d.should_stop(1.0));
+}
+
+TEST(PlateauDetector, StopsAfterPatienceStaleSteps) {
+  StopCriteria c;
+  c.patience = 3;
+  c.min_steps = 1;
+  PlateauDetector d(c);
+  EXPECT_FALSE(d.should_stop(10.0));
+  EXPECT_FALSE(d.should_stop(10.0));  // stale 1
+  EXPECT_FALSE(d.should_stop(10.0));  // stale 2
+  EXPECT_TRUE(d.should_stop(10.0));   // stale 3 -> stop
+}
+
+TEST(PlateauDetector, ImprovementResetsPatience) {
+  StopCriteria c;
+  c.patience = 2;
+  c.min_steps = 1;
+  c.min_improvement = 0.01;
+  PlateauDetector d(c);
+  EXPECT_FALSE(d.should_stop(10.0));
+  EXPECT_FALSE(d.should_stop(10.0));  // stale 1
+  EXPECT_FALSE(d.should_stop(9.0));   // >1% better: reset
+  EXPECT_FALSE(d.should_stop(9.0));   // stale 1
+  EXPECT_TRUE(d.should_stop(9.0));    // stale 2 -> stop
+  EXPECT_DOUBLE_EQ(d.best(), 9.0);
+}
+
+TEST(PlateauDetector, MinStepsGuardsEarlyExit) {
+  StopCriteria c;
+  c.patience = 1;
+  c.min_steps = 5;
+  PlateauDetector d(c);
+  EXPECT_FALSE(d.should_stop(1.0));
+  EXPECT_FALSE(d.should_stop(1.0));
+  EXPECT_FALSE(d.should_stop(1.0));
+  EXPECT_FALSE(d.should_stop(1.0));
+  EXPECT_TRUE(d.should_stop(1.0));  // step 5 >= min_steps
+}
+
+TEST(SourceOpt, ReducesLossWithFrozenMask) {
+  const SmoProblem problem(small_config(), small_target());
+  SoOptions opt;
+  opt.steps = 10;
+  opt.lr = 0.3;
+  const RunResult r = run_source_opt(problem, opt);
+  ASSERT_GE(r.trace.size(), 2u);
+  EXPECT_LT(r.trace.back().loss, r.trace.front().loss);
+  // Mask passed through unchanged.
+  const RealGrid init = problem.initial_theta_m();
+  for (std::size_t i = 0; i < init.size(); ++i) {
+    ASSERT_DOUBLE_EQ(r.theta_m[i], init[i]);
+  }
+}
+
+TEST(SourceOpt, EarlyStopTruncatesTrace) {
+  const SmoProblem problem(small_config(), small_target());
+  SoOptions opt;
+  opt.steps = 50;
+  opt.lr = 1e-12;  // no effective progress -> plateau immediately
+  opt.stop.patience = 3;
+  opt.stop.min_steps = 4;
+  const RunResult r = run_source_opt(problem, opt);
+  EXPECT_LT(r.trace.size(), 10u);
+}
+
+TEST(MaskOpt, EarlyStopTruncatesTrace) {
+  const SmoProblem problem(small_config(), small_target());
+  MoOptions opt;
+  opt.steps = 60;
+  opt.lr = 1e-12;
+  opt.stop.patience = 3;
+  opt.stop.min_steps = 4;
+  const RunResult r = run_abbe_mo(problem, opt);
+  EXPECT_LT(r.trace.size(), 10u);
+}
+
+TEST(GridIo, RoundTripIsBitExact) {
+  Rng rng(9);
+  const RealGrid g = rng.uniform_grid(13, 31, -1e6, 1e6);
+  const std::string path = temp_path("bismo_test_grid.bsmg");
+  save_grid(path, g);
+  const RealGrid back = load_grid(path);
+  ASSERT_EQ(back.rows(), g.rows());
+  ASSERT_EQ(back.cols(), g.cols());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    ASSERT_EQ(back[i], g[i]) << i;  // bitwise
+  }
+  std::remove(path.c_str());
+}
+
+TEST(GridIo, RejectsCorruptInput) {
+  const std::string path = temp_path("bismo_test_bad.bsmg");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTAGRID";
+  }
+  EXPECT_THROW(load_grid(path), std::runtime_error);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_grid("/nonexistent_xyz/grid.bsmg"), std::runtime_error);
+  EXPECT_THROW(save_grid("/nonexistent_xyz/grid.bsmg", RealGrid(2, 2)),
+               std::runtime_error);
+}
+
+TEST(GridIo, TruncatedPayloadThrows) {
+  Rng rng(10);
+  const RealGrid g = rng.uniform_grid(8, 8, 0.0, 1.0);
+  const std::string path = temp_path("bismo_test_trunc.bsmg");
+  save_grid(path, g);
+  // Chop the file short.
+  std::filesystem::resize_file(path, 40);
+  EXPECT_THROW(load_grid(path), std::runtime_error);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bismo

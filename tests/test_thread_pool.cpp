@@ -1,0 +1,98 @@
+// Thread pool semantics: full coverage of indices, deterministic slot
+// reductions, exception propagation, reuse across dispatches.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace bismo {
+namespace {
+
+TEST(ThreadPool, WidthMatchesRequest) {
+  ThreadPool pool(3);
+  EXPECT_EQ(pool.width(), 3u);
+}
+
+TEST(ThreadPool, ExecutesEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  const std::size_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  pool.parallel_for(n, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPool, ZeroIterationsIsNoop) {
+  ThreadPool pool(2);
+  bool touched = false;
+  pool.parallel_for(0, [&touched](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPool, SlotIdsAreWithinWidth) {
+  ThreadPool pool(3);
+  std::atomic<bool> ok{true};
+  pool.parallel_for_slots(500, [&pool, &ok](std::size_t slot, std::size_t) {
+    if (slot >= pool.width()) ok = false;
+  });
+  EXPECT_TRUE(ok.load());
+}
+
+TEST(ThreadPool, SlotPartialSumsReduceToTotal) {
+  ThreadPool pool(4);
+  const std::size_t n = 10000;
+  std::vector<long long> partial(pool.width(), 0);
+  pool.parallel_for_slots(n, [&partial](std::size_t slot, std::size_t i) {
+    partial[slot] += static_cast<long long>(i);
+  });
+  const long long total = std::accumulate(partial.begin(), partial.end(), 0LL);
+  EXPECT_EQ(total, static_cast<long long>(n) * (n - 1) / 2);
+}
+
+TEST(ThreadPool, PropagatesWorkerException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool must remain usable after an exception.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&count](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ReusableAcrossManyDispatches) {
+  ThreadPool pool(2);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> count{0};
+    pool.parallel_for(64, [&count](std::size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 64) << "round " << round;
+  }
+}
+
+TEST(ThreadPool, SingleThreadPoolStillWorks) {
+  ThreadPool pool(1);
+  std::vector<int> order;
+  pool.parallel_for(8, [&order](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  ASSERT_EQ(order.size(), 8u);
+  // With one worker iterations run in submission order.
+  for (int i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, DefaultPoolIsSingleton) {
+  ThreadPool& a = default_pool();
+  ThreadPool& b = default_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.width(), 1u);
+}
+
+}  // namespace
+}  // namespace bismo
