@@ -54,6 +54,63 @@ void BM_Fft2Bluestein(benchmark::State& state) {
 }
 BENCHMARK(BM_Fft2Bluestein)->Arg(96)->Arg(100)->Unit(benchmark::kMicrosecond);
 
+/// Legacy aerial evaluation: the pre-sim-layer path -- one ComplexGrid
+/// allocation and free-function (plan-cache-locking) IFFT per source point.
+/// Kept as the baseline the workspace speedup is tracked against; compare
+/// BM_AbbeAerialLegacy vs BM_AbbeAerialWorkspace in BENCH_*.json.
+RealGrid legacy_aerial(const AbbeImaging& abbe, const ComplexGrid& o,
+                       const RealGrid& j) {
+  const auto& pts = abbe.geometry().points();
+  RealGrid intensity(o.rows(), o.cols(), 0.0);
+  double total_weight = 0.0;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    const double w = j(pts[i].row, pts[i].col);
+    total_weight += w;
+    if (w <= 1e-9) continue;
+    const ComplexGrid a = abbe.field(o, i);  // allocating reference path
+    for (std::size_t q = 0; q < intensity.size(); ++q) {
+      intensity[q] += w * std::norm(a[q]);
+    }
+  }
+  intensity *= 1.0 / total_weight;
+  return intensity;
+}
+
+void BM_AbbeAerialLegacy(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const OpticsConfig optics = optics_for(n);
+  const SourceGeometry geometry(9, optics);
+  const AbbeImaging abbe(optics, geometry);
+  SourceSpec spec;
+  const RealGrid j = make_source(geometry, spec);
+  ComplexGrid o = to_complex(bench_target(n));
+  fft2(o);
+  for (auto _ : state) {
+    const RealGrid i = legacy_aerial(abbe, o, j);
+    benchmark::DoNotOptimize(i.data());
+  }
+}
+BENCHMARK(BM_AbbeAerialLegacy)->Arg(64)->Arg(128)->Unit(benchmark::kMillisecond);
+
+void BM_AbbeAerialWorkspace(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const OpticsConfig optics = optics_for(n);
+  const SourceGeometry geometry(9, optics);
+  const AbbeImaging abbe(optics, geometry);
+  SourceSpec spec;
+  const RealGrid j = make_source(geometry, spec);
+  ComplexGrid o = to_complex(bench_target(n));
+  fft2(o);
+  for (auto _ : state) {
+    const AbbeAerial a = abbe.aerial(o, j);
+    benchmark::DoNotOptimize(a.intensity.data());
+  }
+}
+BENCHMARK(BM_AbbeAerialWorkspace)
+    ->Arg(64)
+    ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_AbbeForward(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   const OpticsConfig optics = optics_for(n);

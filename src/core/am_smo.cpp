@@ -72,11 +72,14 @@ RunResult run_am_smo(const SmoProblem& problem, AmMode mode,
     } else {
       // Abbe-Hopkins hybrid [13]: regenerate the TCC from the *updated*
       // source, then run Hopkins-based MO.  The rebuild cost (Gram matrix +
-      // eigendecomposition every cycle) is the method's bottleneck.
+      // eigendecomposition every cycle) is the method's bottleneck.  The
+      // rebuilt engine shares the problem's per-slot workspaces, so the
+      // per-cycle rebuild allocates no new scratch.
       const RealGrid source = problem.source_image(theta_j);
       const SocsDecomposition socs(problem.abbe(), source, options.kernels,
                                    cfg.source_cutoff);
-      const HopkinsImaging hopkins(cfg.optics, socs, problem.pool());
+      const HopkinsImaging hopkins(cfg.optics, socs, problem.pool(),
+                                   problem.workspaces());
       const HopkinsGradientEngine engine(hopkins, problem.target(), cfg.resist,
                                          cfg.activation, cfg.weights,
                                          cfg.process_window);

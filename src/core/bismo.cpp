@@ -104,12 +104,11 @@ RunResult run_bismo(const SmoProblem& problem, BismoVariant variant,
           const double alpha = contraction_alpha(options.lr_source, v, hv);
           RealGrid cur = v;
           RealGrid acc = v;
-          const double v_norm = norm2(v);
           for (int k = 0; k < options.hyper_terms; ++k) {
             if (k > 0) hv = hyper.hvp_source(theta_m, theta_j, cur);
             cur = axpy(cur, -alpha, hv);
             const double cn = norm2(cur);
-            if (!std::isfinite(cn) || cn > 1.5 * v_norm) break;
+            if (!std::isfinite(cn) || cn > 1.5 * vn) break;
             acc += cur;
           }
           wvec = acc * alpha;

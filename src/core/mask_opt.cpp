@@ -128,11 +128,18 @@ RunResult run_hopkins_mo(const SmoProblem& problem,
         factor == 1 ? problem.target()
                     : downsample_binary(problem.target(), factor);
 
+    // Coarse levels run at a different grid dimension, so they get their
+    // own workspace set; the final (full-resolution) level shares the
+    // problem's warm workspaces.
     const SourceGeometry geometry(cfg.source_dim, optics);
-    const AbbeImaging abbe(optics, geometry, problem.pool());
+    const auto level_workspaces =
+        factor == 1 ? problem.workspaces()
+                    : std::make_shared<sim::WorkspaceSet>();
+    const AbbeImaging abbe(optics, geometry, problem.pool(), level_workspaces);
     const SocsDecomposition socs(abbe, source, options.kernels,
                                  cfg.source_cutoff);
-    const HopkinsImaging hopkins(optics, socs, problem.pool());
+    const HopkinsImaging hopkins(optics, socs, problem.pool(),
+                                 level_workspaces);
     const HopkinsGradientEngine engine(hopkins, target, cfg.resist,
                                        cfg.activation, weights,
                                        cfg.process_window);

@@ -10,7 +10,10 @@ namespace bismo {
 
 SmoProblem::SmoProblem(const SmoConfig& config, RealGrid target,
                        ThreadPool* pool)
-    : config_(config), target_(std::move(target)), pool_(pool) {
+    : config_(config),
+      target_(std::move(target)),
+      pool_(pool),
+      workspaces_(std::make_shared<sim::WorkspaceSet>()) {
   config_.validate();
   const std::size_t n = config_.optics.mask_dim;
   if (target_.rows() != n || target_.cols() != n) {
@@ -18,10 +21,17 @@ SmoProblem::SmoProblem(const SmoConfig& config, RealGrid target,
   }
   geometry_ =
       std::make_unique<SourceGeometry>(config_.source_dim, config_.optics);
-  abbe_ = std::make_unique<AbbeImaging>(config_.optics, *geometry_, pool_);
+  abbe_ = std::make_unique<AbbeImaging>(config_.optics, *geometry_, pool_,
+                                        workspaces_);
   engine_ = std::make_unique<AbbeGradientEngine>(
       *abbe_, target_, config_.resist, config_.activation, config_.weights,
       config_.process_window, config_.source_cutoff);
+}
+
+sim::ScenarioBatch SmoProblem::scenario_batch(
+    std::vector<sim::Scenario> scenarios) const {
+  return sim::ScenarioBatch(config_.optics, *geometry_, std::move(scenarios),
+                            pool_, workspaces_);
 }
 
 SmoProblem::SmoProblem(const SmoConfig& config, const Layout& clip,

@@ -5,6 +5,7 @@
 #define BISMO_CORE_PROBLEM_HPP
 
 #include <memory>
+#include <vector>
 
 #include "core/config.hpp"
 #include "grad/abbe_grad.hpp"
@@ -12,6 +13,8 @@
 #include "litho/abbe.hpp"
 #include "metrics/epe.hpp"
 #include "parallel/thread_pool.hpp"
+#include "sim/scenario.hpp"
+#include "sim/workspace.hpp"
 
 namespace bismo {
 
@@ -44,8 +47,22 @@ class SmoProblem {
   const RealGrid& target() const noexcept { return target_; }
   const SourceGeometry& geometry() const noexcept { return *geometry_; }
   const AbbeImaging& abbe() const noexcept { return *abbe_; }
+  /// The Abbe engine through the unified imaging interface.
+  const sim::ImagingModel& imaging() const noexcept { return *abbe_; }
   const AbbeGradientEngine& engine() const noexcept { return *engine_; }
   ThreadPool* pool() const noexcept { return pool_; }
+
+  /// Per-slot workspaces shared by every engine evaluating this problem
+  /// (the Abbe engine, AM-SMO's per-cycle Hopkins rebuilds, scenario
+  /// batches) so re-built engines reuse warm buffers instead of
+  /// reallocating.
+  const std::shared_ptr<sim::WorkspaceSet>& workspaces() const noexcept {
+    return workspaces_;
+  }
+
+  /// Batched process-window evaluation over this problem's optics and
+  /// geometry, sharing the pool and workspaces.
+  sim::ScenarioBatch scenario_batch(std::vector<sim::Scenario> scenarios) const;
 
   /// theta_M0 from the target pattern (Table 1).
   RealGrid initial_theta_m() const;
@@ -72,6 +89,7 @@ class SmoProblem {
   SmoConfig config_;
   RealGrid target_;
   ThreadPool* pool_;
+  std::shared_ptr<sim::WorkspaceSet> workspaces_;
   std::unique_ptr<SourceGeometry> geometry_;
   std::unique_ptr<AbbeImaging> abbe_;
   std::unique_ptr<AbbeGradientEngine> engine_;

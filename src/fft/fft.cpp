@@ -4,20 +4,12 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <stdexcept>
 
 namespace bismo {
-namespace {
 
-constexpr double kPi = 3.141592653589793238462643383279502884;
-
-bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
-
-std::size_t next_power_of_two(std::size_t n) {
-  std::size_t p = 1;
-  while (p < n) p <<= 1;
-  return p;
-}
+namespace fft_detail {
 
 /// Precomputed data for a radix-2 transform of length n (power of two):
 /// forward twiddles tw[k] = exp(-2*pi*i*k/n) for k < n/2 and the bit-reversal
@@ -31,17 +23,36 @@ struct Radix2Plan {
 /// Bluestein (chirp-z) data for arbitrary length n: chirp[j] =
 /// exp(-i*pi*j^2/n) (index squared reduced mod 2n to avoid precision loss)
 /// and the forward FFT of the zero-padded reciprocal chirp at length m.
+/// `sub` is the radix-2 plan for the padded length, resolved at build time
+/// so executing a Bluestein transform never touches the plan cache.
 struct BluesteinPlan {
   std::size_t n = 0;
   std::size_t m = 0;  // padded power-of-two length >= 2n-1
   std::vector<std::complex<double>> chirp;      // length n
   std::vector<std::complex<double>> b_spectrum; // length m
+  const Radix2Plan* sub = nullptr;
 };
 
-const Radix2Plan& radix2_plan(std::size_t n);
+}  // namespace fft_detail
 
-void radix2_transform(std::complex<double>* x, std::size_t n, bool inverse) {
-  const Radix2Plan& plan = radix2_plan(n);
+namespace {
+
+using fft_detail::BluesteinPlan;
+using fft_detail::Radix2Plan;
+
+constexpr double kPi = 3.141592653589793238462643383279502884;
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+void radix2_run(const Radix2Plan& plan, std::complex<double>* x,
+                bool inverse) {
+  const std::size_t n = plan.n;
   for (std::size_t i = 0; i < n; ++i) {
     const std::size_t j = plan.bitrev[i];
     if (i < j) std::swap(x[i], x[j]);
@@ -78,12 +89,28 @@ void radix2_transform(std::complex<double>* x, std::size_t n, bool inverse) {
   }
 }
 
-const Radix2Plan& radix2_plan(std::size_t n) {
-  static std::mutex mu;
-  static std::map<std::size_t, std::unique_ptr<Radix2Plan>> cache;
-  std::lock_guard<std::mutex> lock(mu);
+/// Plan-cache lookup shared by radix-2 and Bluestein caches: existing plans
+/// are served under a shared lock (the common case after warm-up); only a
+/// first-time build takes the exclusive lock.
+template <typename Plan, typename Build>
+const Plan* cached_plan(std::shared_mutex& mu,
+                        std::map<std::size_t, std::unique_ptr<Plan>>& cache,
+                        std::size_t n, const Build& build) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu);
+    const auto it = cache.find(n);
+    if (it != cache.end()) return it->second.get();
+  }
+  std::unique_lock<std::shared_mutex> lock(mu);
   auto& slot = cache[n];
-  if (!slot) {
+  if (!slot) slot = build();
+  return slot.get();
+}
+
+const Radix2Plan* radix2_plan(std::size_t n) {
+  static std::shared_mutex mu;
+  static std::map<std::size_t, std::unique_ptr<Radix2Plan>> cache;
+  return cached_plan(mu, cache, n, [n] {
     auto plan = std::make_unique<Radix2Plan>();
     plan->n = n;
     plan->tw.resize(n / 2);
@@ -101,20 +128,18 @@ const Radix2Plan& radix2_plan(std::size_t n) {
       }
       plan->bitrev[i] = static_cast<std::uint32_t>(rev);
     }
-    slot = std::move(plan);
-  }
-  return *slot;
+    return plan;
+  });
 }
 
-const BluesteinPlan& bluestein_plan(std::size_t n) {
-  static std::mutex mu;
+const BluesteinPlan* bluestein_plan(std::size_t n) {
+  static std::shared_mutex mu;
   static std::map<std::size_t, std::unique_ptr<BluesteinPlan>> cache;
-  std::lock_guard<std::mutex> lock(mu);
-  auto& slot = cache[n];
-  if (!slot) {
+  return cached_plan(mu, cache, n, [n] {
     auto plan = std::make_unique<BluesteinPlan>();
     plan->n = n;
     plan->m = next_power_of_two(2 * n - 1);
+    plan->sub = radix2_plan(plan->m);
     plan->chirp.resize(n);
     for (std::size_t j = 0; j < n; ++j) {
       // j^2 mod 2n keeps the argument small; exp is 2n-periodic in j^2.
@@ -128,22 +153,25 @@ const BluesteinPlan& bluestein_plan(std::size_t n) {
       b[j] = std::conj(plan->chirp[j]);
       b[plan->m - j] = std::conj(plan->chirp[j]);
     }
-    radix2_transform(b.data(), plan->m, /*inverse=*/false);
+    radix2_run(*plan->sub, b.data(), /*inverse=*/false);
     plan->b_spectrum = std::move(b);
-    slot = std::move(plan);
-  }
-  return *slot;
+    return plan;
+  });
 }
 
-void bluestein_transform(std::complex<double>* x, std::size_t n, bool inverse) {
-  const BluesteinPlan& plan = bluestein_plan(n);
-  std::vector<std::complex<double>> a(plan.m, {0.0, 0.0});
+/// Bluestein transform into caller scratch of length plan.m (no allocation,
+/// no plan-cache access).
+void bluestein_run(const BluesteinPlan& plan, std::complex<double>* x,
+                   bool inverse, std::complex<double>* scratch) {
+  const std::size_t n = plan.n;
+  std::complex<double>* a = scratch;
   for (std::size_t j = 0; j < n; ++j) {
     const std::complex<double> c =
         inverse ? std::conj(plan.chirp[j]) : plan.chirp[j];
     a[j] = x[j] * c;
   }
-  radix2_transform(a.data(), plan.m, /*inverse=*/false);
+  for (std::size_t j = n; j < plan.m; ++j) a[j] = {0.0, 0.0};
+  radix2_run(*plan.sub, a, /*inverse=*/false);
   if (inverse) {
     // The inverse chirp spectrum is the conjugate-symmetric counterpart;
     // conj(b_spectrum) transforms the convolution kernel accordingly.
@@ -151,7 +179,7 @@ void bluestein_transform(std::complex<double>* x, std::size_t n, bool inverse) {
   } else {
     for (std::size_t j = 0; j < plan.m; ++j) a[j] *= plan.b_spectrum[j];
   }
-  radix2_transform(a.data(), plan.m, /*inverse=*/true);
+  radix2_run(*plan.sub, a, /*inverse=*/true);
   const double scale = 1.0 / static_cast<double>(plan.m);
   for (std::size_t k = 0; k < n; ++k) {
     const std::complex<double> c =
@@ -164,9 +192,11 @@ void transform_1d(std::complex<double>* x, std::size_t n, bool inverse) {
   if (n == 0) throw std::invalid_argument("fft: zero length");
   if (n == 1) return;
   if (is_power_of_two(n)) {
-    radix2_transform(x, n, inverse);
+    radix2_run(*radix2_plan(n), x, inverse);
   } else {
-    bluestein_transform(x, n, inverse);
+    const BluesteinPlan* plan = bluestein_plan(n);
+    std::vector<std::complex<double>> scratch(plan->m);
+    bluestein_run(*plan, x, inverse, scratch.data());
   }
 }
 
@@ -186,6 +216,82 @@ void transform_2d(ComplexGrid& g, bool inverse) {
 }
 
 }  // namespace
+
+// ---- Plan handles -----------------------------------------------------------
+
+Fft1dPlan::Fft1dPlan(std::size_t n) : n_(n) {
+  if (n == 0) throw std::invalid_argument("Fft1dPlan: zero length");
+  if (n == 1) return;
+  if (is_power_of_two(n)) {
+    radix2_ = radix2_plan(n);
+  } else {
+    bluestein_ = bluestein_plan(n);
+  }
+}
+
+std::size_t Fft1dPlan::scratch_size() const noexcept {
+  return bluestein_ != nullptr ? bluestein_->m : 0;
+}
+
+void Fft1dPlan::transform(std::complex<double>* data, bool inverse,
+                          std::complex<double>* scratch) const {
+  if (n_ <= 1) return;
+  if (radix2_ != nullptr) {
+    radix2_run(*radix2_, data, inverse);
+  } else {
+    bluestein_run(*bluestein_, data, inverse, scratch);
+  }
+}
+
+Fft2dPlan::Fft2dPlan(std::size_t rows, std::size_t cols)
+    : row_plan_(cols), col_plan_(rows) {}
+
+std::size_t Fft2dPlan::scratch_size() const noexcept {
+  return rows() +
+         std::max(row_plan_.scratch_size(), col_plan_.scratch_size());
+}
+
+void Fft2dPlan::transform_row(std::complex<double>* row, bool inverse,
+                              std::complex<double>* scratch) const {
+  row_plan_.transform(row, inverse, scratch + rows());
+}
+
+void Fft2dPlan::transform_cols(ComplexGrid& g, bool inverse,
+                               std::complex<double>* scratch) const {
+  const std::size_t r_count = rows();
+  const std::size_t c_count = cols();
+  std::complex<double>* col = scratch;
+  std::complex<double>* scratch_1d = scratch + r_count;
+  for (std::size_t c = 0; c < c_count; ++c) {
+    for (std::size_t r = 0; r < r_count; ++r) col[r] = g(r, c);
+    col_plan_.transform(col, inverse, scratch_1d);
+    for (std::size_t r = 0; r < r_count; ++r) g(r, c) = col[r];
+  }
+}
+
+void Fft2dPlan::forward(ComplexGrid& g, std::complex<double>* scratch) const {
+  if (g.rows() != rows() || g.cols() != cols()) {
+    throw std::invalid_argument("Fft2dPlan: grid shape mismatch");
+  }
+  for (std::size_t r = 0; r < rows(); ++r) {
+    transform_row(g.data() + r * cols(), /*inverse=*/false, scratch);
+  }
+  transform_cols(g, /*inverse=*/false, scratch);
+}
+
+void Fft2dPlan::inverse(ComplexGrid& g, std::complex<double>* scratch) const {
+  if (g.rows() != rows() || g.cols() != cols()) {
+    throw std::invalid_argument("Fft2dPlan: grid shape mismatch");
+  }
+  for (std::size_t r = 0; r < rows(); ++r) {
+    transform_row(g.data() + r * cols(), /*inverse=*/true, scratch);
+  }
+  transform_cols(g, /*inverse=*/true, scratch);
+  const double scale = 1.0 / static_cast<double>(g.size());
+  for (auto& v : g) v *= scale;
+}
+
+// ---- Free functions ---------------------------------------------------------
 
 void fft_1d(std::complex<double>* data, std::size_t n) {
   transform_1d(data, n, /*inverse=*/false);

@@ -14,8 +14,17 @@
 // Power-of-two sizes use iterative radix-2 Cooley-Tukey with cached twiddle
 // plans; every other size falls back to Bluestein's chirp-z algorithm, so
 // any grid size is supported.  All entry points are thread-safe (the plan
-// cache is mutex-guarded; transforms touch only caller-owned data), which
-// the per-source-point thread-pool parallelism relies on.
+// cache is shared_mutex-guarded: lookups of existing plans take a shared
+// lock, first-time plan construction an exclusive one; transforms touch only
+// caller-owned data), which the per-source-point thread-pool parallelism
+// relies on.
+//
+// Hot paths should not pay even the shared lock per transform: `Fft1dPlan` /
+// `Fft2dPlan` resolve the cached plan data once at construction and then
+// execute transforms with zero lock acquisitions and zero heap allocations
+// (Bluestein scratch is caller-provided).  `sim::SimWorkspace` holds one
+// `Fft2dPlan` plus scratch per worker slot, which is how the imaging engines
+// keep their steady-state loops allocation- and lock-free.
 #ifndef BISMO_FFT_FFT_HPP
 #define BISMO_FFT_FFT_HPP
 
@@ -26,6 +35,80 @@
 #include "math/grid2d.hpp"
 
 namespace bismo {
+
+namespace fft_detail {
+struct Radix2Plan;
+struct BluesteinPlan;
+}  // namespace fft_detail
+
+/// Preplanned in-place 1-D DFT of a fixed length.
+///
+/// Construction resolves the process-wide cached plan (taking the cache lock
+/// at most twice); `transform` then runs without locks or allocations.  The
+/// referenced plan data is immutable and lives for the process lifetime, so
+/// handles are freely copyable and usable from any thread.
+class Fft1dPlan {
+ public:
+  /// Empty handle; `transform` on it is invalid.
+  Fft1dPlan() = default;
+
+  /// Plan a transform of length `n` (> 0).
+  explicit Fft1dPlan(std::size_t n);
+
+  std::size_t length() const noexcept { return n_; }
+
+  /// Scratch elements `transform` needs: 0 for power-of-two lengths, the
+  /// padded Bluestein length otherwise.
+  std::size_t scratch_size() const noexcept;
+
+  /// In-place transform of `data[0..length())`.  Forward is unnormalized;
+  /// inverse is the *unnormalized* conjugate transform (callers apply 1/n).
+  /// `scratch` must provide `scratch_size()` elements (may be null when
+  /// `scratch_size() == 0`).
+  void transform(std::complex<double>* data, bool inverse,
+                 std::complex<double>* scratch = nullptr) const;
+
+ private:
+  std::size_t n_ = 0;
+  const fft_detail::Radix2Plan* radix2_ = nullptr;
+  const fft_detail::BluesteinPlan* bluestein_ = nullptr;
+};
+
+/// Preplanned 2-D DFT for a fixed (rows x cols) grid shape.
+///
+/// The scratch buffer layout is: `rows()` elements for the column
+/// gather/scatter pass followed by the worst-case 1-D scratch.  A single
+/// buffer of `scratch_size()` elements serves every method.
+class Fft2dPlan {
+ public:
+  Fft2dPlan() = default;
+  Fft2dPlan(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const noexcept { return col_plan_.length(); }
+  std::size_t cols() const noexcept { return row_plan_.length(); }
+
+  /// Scratch elements required by every transform method.
+  std::size_t scratch_size() const noexcept;
+
+  /// In-place unnormalized forward 2-D DFT.
+  void forward(ComplexGrid& g, std::complex<double>* scratch) const;
+
+  /// In-place 1/(rows*cols)-normalized inverse 2-D DFT.
+  void inverse(ComplexGrid& g, std::complex<double>* scratch) const;
+
+  /// In-place unnormalized 1-D transform of one row (length `cols()`).
+  /// Building block for engines that skip all-zero rows.
+  void transform_row(std::complex<double>* row, bool inverse,
+                     std::complex<double>* scratch) const;
+
+  /// In-place unnormalized 1-D transforms of every column.
+  void transform_cols(ComplexGrid& g, bool inverse,
+                      std::complex<double>* scratch) const;
+
+ private:
+  Fft1dPlan row_plan_;  ///< length cols (transforms along a row)
+  Fft1dPlan col_plan_;  ///< length rows (transforms along a column)
+};
 
 /// In-place forward DFT of length-n contiguous data (unnormalized).
 void fft_1d(std::complex<double>* data, std::size_t n);

@@ -1,12 +1,13 @@
 #include "grad/abbe_grad.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <stdexcept>
 #include <vector>
 
 #include "fft/fft.hpp"
 #include "math/grid_ops.hpp"
-#include "parallel/reduction.hpp"
+#include "sim/imaging_model.hpp"
 
 namespace bismo {
 
@@ -76,65 +77,47 @@ SmoGradient AbbeGradientEngine::evaluate(const RealGrid& theta_m,
 
   const RealGrid& dldi = loss.dl_di;
 
-  // Backward sweep: one coherent-field recomputation per valid source
-  // point, statically partitioned over pool slots for determinism.
+  // Backward sweep: one coherent-field recomputation per needed source
+  // point, run through the unified engine layer (sim::adjoint_pass) over
+  // the per-slot workspaces -- allocation- and lock-free in steady state,
+  // statically partitioned for determinism.
+  //
+  // Mask gradients only need points that contribute to the image; the
+  // source gradient needs |A|^2 even where j ~ 0 (to revive points), so
+  // the item list covers every point either path requires.
   const std::size_t npts = pts.size();
   std::vector<double> gj_raw(request.source ? npts : 0, 0.0);
-  ThreadPool* pool = abbe_->pool();
-  const std::size_t slots = reduction_slots(npts);
-  std::vector<ComplexGrid> go_partial;
-  if (request.mask) {
-    go_partial.assign(slots, ComplexGrid(n, n));
+  std::vector<sim::AdjointItem> items;
+  items.reserve(npts);
+  for (std::size_t k = 0; k < npts; ++k) {
+    const double jw = source(pts[k].row, pts[k].col);
+    const bool mask_path = request.mask && jw > source_cutoff_;
+    if (!mask_path && !request.source) continue;
+    sim::AdjointItem item;
+    item.component = static_cast<std::uint32_t>(k);
+    item.mask = mask_path;
+    item.scale = mask_path ? 2.0 * jw / w_total : 0.0;
+    items.push_back(item);
   }
 
-  auto task = [&](std::size_t s) {
-    const std::size_t begin = s * npts / slots;
-    const std::size_t end = (s + 1) * npts / slots;
-    for (std::size_t k = begin; k < end; ++k) {
-      // Mask gradients only need points that contribute to the image; the
-      // source gradient needs |A|^2 even where j ~ 0 (to revive points).
-      const double jw = source(pts[k].row, pts[k].col);
-      const bool mask_path = request.mask && jw > source_cutoff_;
-      if (!mask_path && !request.source) continue;
-
-      const ComplexGrid a = abbe_->field(o, k);
-
-      if (request.source) {
-        double acc = 0.0;
-        for (std::size_t i = 0; i < a.size(); ++i) {
-          acc += dldi[i] * std::norm(a[i]);
-        }
-        gj_raw[k] = acc;
+  std::function<void(std::size_t, sim::SimWorkspace&)> field_hook;
+  if (request.source) {
+    field_hook = [&](std::size_t item, sim::SimWorkspace& ws) {
+      const ComplexGrid& a = ws.field();
+      double acc = 0.0;
+      for (std::size_t i = 0; i < a.size(); ++i) {
+        acc += dldi[i] * std::norm(a[i]);
       }
-      if (mask_path) {
-        const double scale = 2.0 * jw / w_total;
-        ComplexGrid ga(n, n);
-        for (std::size_t i = 0; i < ga.size(); ++i) {
-          ga[i] = scale * dldi[i] * a[i];
-        }
-        const ComplexGrid gb = ifft2_adjoint(ga);
-        const PassBand& band = abbe_->passband(k);
-        ComplexGrid& go = go_partial[s];
-        if (band.values.empty()) {
-          for (std::uint32_t idx : band.indices) go[idx] += gb[idx];
-        } else {
-          for (std::size_t b = 0; b < band.indices.size(); ++b) {
-            go[band.indices[b]] +=
-                std::conj(band.values[b]) * gb[band.indices[b]];
-          }
-        }
-      }
-    }
-  };
-  if (pool != nullptr && slots > 1) {
-    pool->parallel_for(slots, task);
-  } else {
-    for (std::size_t s = 0; s < slots; ++s) task(s);
+      gj_raw[items[item].component] = acc;
+    };
   }
 
+  ComplexGrid go = sim::adjoint_pass(*abbe_, o, dldi, items, field_hook);
+
   if (request.mask) {
-    ComplexGrid go = std::move(go_partial[0]);
-    for (std::size_t s = 1; s < slots; ++s) go += go_partial[s];
+    // Every mask-path point can be below the cutoff (e.g. an all-dark
+    // source); the adjoint is then exactly zero, not absent.
+    if (go.empty()) go = ComplexGrid(n, n);
     const ComplexGrid gm_complex = fft2_adjoint(go);
     const RealGrid gm = real_part(gm_complex);
     const RealGrid dact = mask_activation_derivative(theta_m, mask, activation_);

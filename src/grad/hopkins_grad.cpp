@@ -6,7 +6,7 @@
 
 #include "fft/fft.hpp"
 #include "math/grid_ops.hpp"
-#include "parallel/reduction.hpp"
+#include "sim/imaging_model.hpp"
 
 namespace bismo {
 
@@ -57,36 +57,18 @@ SmoGradient HopkinsGradientEngine::evaluate(const RealGrid& theta_m) const {
 
   const RealGrid& dldi = loss.dl_di;
   const auto& kernels = hopkins_->socs().kernels();
-  const auto& band = hopkins_->socs().band();
-  ThreadPool* pool = hopkins_->pool();
-  const std::size_t slots = reduction_slots(kernels.size());
-  std::vector<ComplexGrid> go_partial(slots, ComplexGrid(n, n));
 
-  auto task = [&](std::size_t s) {
-    const std::size_t begin = s * kernels.size() / slots;
-    const std::size_t end = (s + 1) * kernels.size() / slots;
-    for (std::size_t q = begin; q < end; ++q) {
-      const ComplexGrid a = hopkins_->field(o, q);
-      const double scale = 2.0 * kernels[q].weight;
-      ComplexGrid ga(n, n);
-      for (std::size_t i = 0; i < ga.size(); ++i) {
-        ga[i] = scale * dldi[i] * a[i];
-      }
-      const ComplexGrid gb = ifft2_adjoint(ga);
-      ComplexGrid& go = go_partial[s];
-      for (std::size_t b = 0; b < band.size(); ++b) {
-        go[band[b]] += std::conj(kernels[q].values[b]) * gb[band[b]];
-      }
-    }
-  };
-  if (pool != nullptr && slots > 1) {
-    pool->parallel_for(slots, task);
-  } else {
-    for (std::size_t s = 0; s < slots; ++s) task(s);
+  // Backward sweep through the unified engine layer: identical adjoint
+  // structure to the Abbe engine with kernels in place of source points
+  // (sim::adjoint_pass handles pooling, workspaces, and determinism).
+  std::vector<sim::AdjointItem> items(kernels.size());
+  for (std::size_t q = 0; q < kernels.size(); ++q) {
+    items[q].component = static_cast<std::uint32_t>(q);
+    items[q].scale = 2.0 * kernels[q].weight;
+    items[q].mask = true;
   }
-
-  ComplexGrid go = std::move(go_partial[0]);
-  for (std::size_t s = 1; s < slots; ++s) go += go_partial[s];
+  ComplexGrid go = sim::adjoint_pass(*hopkins_, o, dldi, items, nullptr);
+  if (go.empty()) go = ComplexGrid(n, n);  // rank-0 decomposition
   const RealGrid gm = real_part(fft2_adjoint(go));
   const RealGrid dact =
       mask_activation_derivative(theta_m, mask, activation_);

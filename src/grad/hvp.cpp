@@ -1,5 +1,7 @@
 #include "grad/hvp.hpp"
 
+#include <stdexcept>
+
 #include "math/grid_ops.hpp"
 
 namespace bismo {
@@ -14,6 +16,17 @@ double step_size(const RealGrid& v, double eps_scale) {
 
 }  // namespace
 
+const RealGrid& HypergradientOps::perturbed(const RealGrid& theta_j,
+                                            double step,
+                                            const RealGrid& v) const {
+  if (!theta_j.same_shape(v)) {
+    throw std::invalid_argument("HypergradientOps: probe shape mismatch");
+  }
+  probe_ = theta_j;
+  for (std::size_t i = 0; i < probe_.size(); ++i) probe_[i] += step * v[i];
+  return probe_;
+}
+
 RealGrid HypergradientOps::hvp_source(const RealGrid& theta_m,
                                       const RealGrid& theta_j,
                                       const RealGrid& v) const {
@@ -23,9 +36,9 @@ RealGrid HypergradientOps::hvp_source(const RealGrid& theta_m,
   req.mask = false;
   req.source = true;
   const SmoGradient plus =
-      engine_->evaluate(theta_m, axpy(theta_j, eps, v), req);
+      engine_->evaluate(theta_m, perturbed(theta_j, eps, v), req);
   const SmoGradient minus =
-      engine_->evaluate(theta_m, axpy(theta_j, -eps, v), req);
+      engine_->evaluate(theta_m, perturbed(theta_j, -eps, v), req);
   evals_ += 2;
   RealGrid out = plus.grad_theta_j - minus.grad_theta_j;
   out *= 1.0 / (2.0 * eps);
@@ -41,9 +54,9 @@ RealGrid HypergradientOps::mixed_mask_source(const RealGrid& theta_m,
   req.mask = true;
   req.source = false;
   const SmoGradient plus =
-      engine_->evaluate(theta_m, axpy(theta_j, eps, w), req);
+      engine_->evaluate(theta_m, perturbed(theta_j, eps, w), req);
   const SmoGradient minus =
-      engine_->evaluate(theta_m, axpy(theta_j, -eps, w), req);
+      engine_->evaluate(theta_m, perturbed(theta_j, -eps, w), req);
   evals_ += 2;
   RealGrid out = plus.grad_theta_m - minus.grad_theta_m;
   out *= 1.0 / (2.0 * eps);

@@ -23,6 +23,11 @@ namespace bismo {
 /// Finite-difference second-order operator factory over an Abbe SMO
 /// objective.  Lso == Lmo == Lsmo (paper Eq. 9), so the same engine serves
 /// both levels.
+///
+/// Not reentrant: the const methods reuse an internal probe buffer (and the
+/// underlying engine shares per-slot workspaces), matching the one-
+/// evaluation-at-a-time contract of the whole engine stack.  Give each
+/// concurrent solve its own HypergradientOps *and* engine/workspace set.
 class HypergradientOps {
  public:
   /// `engine` is borrowed and must outlive this object.  `eps_scale` is the
@@ -46,9 +51,15 @@ class HypergradientOps {
   long evaluations() const noexcept { return evals_; }
 
  private:
+  /// theta_j + step * v into the reused probe buffer (no allocation after
+  /// the first call; the engine does not retain the reference).
+  const RealGrid& perturbed(const RealGrid& theta_j, double step,
+                            const RealGrid& v) const;
+
   const AbbeGradientEngine* engine_;
   double eps_scale_;
   mutable long evals_ = 0;
+  mutable RealGrid probe_;  ///< reused perturbation buffer
 };
 
 }  // namespace bismo

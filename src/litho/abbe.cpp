@@ -9,12 +9,22 @@
 namespace bismo {
 
 AbbeImaging::AbbeImaging(const OpticsConfig& optics,
-                         const SourceGeometry& geometry, ThreadPool* pool)
-    : optics_(optics), geometry_(geometry), pupil_(optics), pool_(pool) {
+                         const SourceGeometry& geometry, ThreadPool* pool,
+                         std::shared_ptr<sim::WorkspaceSet> workspaces)
+    : optics_(optics),
+      geometry_(geometry),
+      pupil_(optics),
+      pool_(pool),
+      workspaces_(std::move(workspaces)) {
+  if (workspaces_ == nullptr) {
+    workspaces_ = std::make_shared<sim::WorkspaceSet>();
+  }
   const auto& pts = geometry_.points();
   passbands_.resize(pts.size());
+  band_rows_.resize(pts.size());
   auto build = [this, &pts](std::size_t i) {
     passbands_[i] = pupil_.shifted_passband(pts[i].freq_x, pts[i].freq_y);
+    band_rows_[i] = sim::occupied_rows(passbands_[i].indices, optics_.mask_dim);
   };
   if (pool_ != nullptr) {
     pool_->parallel_for(pts.size(), build);
@@ -47,6 +57,24 @@ ComplexGrid AbbeImaging::field(const ComplexGrid& o,
   return a;
 }
 
+void AbbeImaging::field_into(const ComplexGrid& o, std::size_t c,
+                             sim::SimWorkspace& ws) const {
+  const PassBand& band = passbands_[c];
+  ws.sparse_inverse_field(
+      o, band.indices.data(),
+      band.values.empty() ? nullptr : band.values.data(), band.indices.size(),
+      band_rows_[c].data(), band_rows_[c].size());
+}
+
+void AbbeImaging::adjoint_accumulate(std::size_t c, sim::SimWorkspace& ws,
+                                     ComplexGrid& go) const {
+  const PassBand& band = passbands_[c];
+  ws.adjoint_band_accumulate(
+      band.indices.data(),
+      band.values.empty() ? nullptr : band.values.data(), band.indices.size(),
+      band_rows_[c].data(), band_rows_[c].size(), go);
+}
+
 AbbeAerial AbbeImaging::aerial(const ComplexGrid& o, const RealGrid& j,
                                double cutoff) const {
   const auto& pts = geometry_.points();
@@ -57,50 +85,30 @@ AbbeAerial AbbeImaging::aerial(const ComplexGrid& o, const RealGrid& j,
     throw std::invalid_argument("AbbeImaging::aerial: spectrum shape mismatch");
   }
 
-  // Collect the contributing points first so the parallel loop is dense.
-  std::vector<std::size_t> active;
+  // Collect the contributing points first so the pooled pass is dense.
+  std::vector<std::uint32_t> active;
+  std::vector<double> weights;
   active.reserve(pts.size());
+  weights.reserve(pts.size());
   double total_weight = 0.0;
   for (std::size_t i = 0; i < pts.size(); ++i) {
     const double w = j(pts[i].row, pts[i].col);
     total_weight += w;
-    if (w > cutoff) active.push_back(i);
+    if (w > cutoff) {
+      active.push_back(static_cast<std::uint32_t>(i));
+      weights.push_back(w);
+    }
   }
 
   AbbeAerial out;
   out.total_weight = total_weight;
-  out.intensity = RealGrid(o.rows(), o.cols(), 0.0);
-  if (active.empty() || total_weight <= 0.0) return out;
-
-  // Static partition of points over a fixed slot count (see
-  // parallel/reduction.hpp): task s owns a fixed index range and its own
-  // accumulator, and the accumulators are combined in task order, so the
-  // floating-point summation order -- and therefore the result -- is
-  // bitwise identical for any thread count including serial.
-  const std::size_t slots = reduction_slots(active.size());
-  std::vector<RealGrid> partial(slots, RealGrid(o.rows(), o.cols(), 0.0));
-
-  auto task = [&](std::size_t s) {
-    const std::size_t begin = s * active.size() / slots;
-    const std::size_t end = (s + 1) * active.size() / slots;
-    RealGrid& acc = partial[s];
-    for (std::size_t k = begin; k < end; ++k) {
-      const std::size_t i = active[k];
-      const double w = j(pts[i].row, pts[i].col);
-      const ComplexGrid a = field(o, i);
-      for (std::size_t q = 0; q < acc.size(); ++q) {
-        acc[q] += w * std::norm(a[q]);
-      }
-    }
-  };
-  if (pool_ != nullptr) {
-    pool_->parallel_for(slots, task);
-  } else {
-    for (std::size_t s = 0; s < slots; ++s) task(s);
+  if (active.empty() || total_weight <= 0.0) {
+    out.intensity = RealGrid(o.rows(), o.cols(), 0.0);
+    return out;
   }
-  for (std::size_t s = 0; s < slots; ++s) out.intensity += partial[s];
-  const double inv_w = 1.0 / total_weight;
-  out.intensity *= inv_w;
+
+  out.intensity = sim::accumulate_intensity(*this, o, active, weights);
+  out.intensity *= 1.0 / total_weight;
   return out;
 }
 

@@ -11,11 +11,16 @@
 //
 // Source-point contributions are independent, so the engine evaluates them
 // on a thread pool -- the CPU analogue of the paper's GPU acceleration whose
-// runtime model is ceil(sigma/P) (Sec. 3.1).
+// runtime model is ceil(sigma/P) (Sec. 3.1).  The engine implements the
+// unified `sim::ImagingModel` interface: every pooled pass runs through
+// per-slot `sim::SimWorkspace` scratch (preplanned FFTs, preallocated
+// buffers, pass-band row skipping), so steady-state evaluation performs no
+// heap allocations and no plan-cache lock acquisitions.
 #ifndef BISMO_LITHO_ABBE_HPP
 #define BISMO_LITHO_ABBE_HPP
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "litho/optics.hpp"
@@ -23,6 +28,7 @@
 #include "litho/source.hpp"
 #include "math/grid2d.hpp"
 #include "parallel/thread_pool.hpp"
+#include "sim/imaging_model.hpp"
 
 namespace bismo {
 
@@ -34,16 +40,21 @@ struct AbbeAerial {
 
 /// Abbe source-points-integration imaging engine.
 ///
-/// Construction precomputes one sparse shifted pass-band per valid source
-/// point; `aerial` and the gradient engine then reuse them for every
-/// forward/backward evaluation.  The engine is immutable after construction
-/// and safe to share across threads.
-class AbbeImaging {
+/// Construction precomputes one sparse shifted pass-band (plus its occupied-
+/// row list) per valid source point; `aerial` and the gradient engine then
+/// reuse them for every forward/backward evaluation.  The engine's model
+/// state is immutable after construction; the shared workspace set is the
+/// only mutable state and follows the thread pool's one-dispatch-at-a-time
+/// contract.
+class AbbeImaging : public sim::ImagingModel {
  public:
   /// Build for the given optics and source geometry.  `pool` may be null
-  /// (serial execution); the pool is borrowed, not owned.
+  /// (serial execution); the pool is borrowed, not owned.  `workspaces` may
+  /// be shared with other engines evaluating the same problem (null = a
+  /// fresh set owned by this engine).
   AbbeImaging(const OpticsConfig& optics, const SourceGeometry& geometry,
-              ThreadPool* pool = nullptr);
+              ThreadPool* pool = nullptr,
+              std::shared_ptr<sim::WorkspaceSet> workspaces = nullptr);
 
   /// Forward imaging: aerial intensity for mask spectrum `o` (= fft2 of the
   /// activated, dose-scaled mask) and source magnitudes `j` (Nj x Nj grid).
@@ -54,6 +65,7 @@ class AbbeImaging {
 
   /// Coherent field A_sigma for one source point (by index into
   /// `geometry().points()`), i.e. IFFT of the pass-band-masked spectrum.
+  /// Allocating reference path; hot loops use `field_into`.
   ComplexGrid field(const ComplexGrid& o, std::size_t point_index) const;
 
   /// Sparse pass-band of one source point.
@@ -64,18 +76,37 @@ class AbbeImaging {
   const SourceGeometry& geometry() const noexcept { return geometry_; }
   const OpticsConfig& optics() const noexcept { return optics_; }
   const Pupil& pupil() const noexcept { return pupil_; }
-  ThreadPool* pool() const noexcept { return pool_; }
 
   /// Apply a pass-band mask to a spectrum: out = H_sigma .* o (dense out).
   ComplexGrid apply_passband(const ComplexGrid& o,
                              std::size_t point_index) const;
+
+  // ---- sim::ImagingModel ----
+  std::size_t grid_dim() const noexcept override { return optics_.mask_dim; }
+  std::size_t components() const noexcept override {
+    return passbands_.size();
+  }
+  void field_into(const ComplexGrid& o, std::size_t c,
+                  sim::SimWorkspace& ws) const override;
+  void adjoint_accumulate(std::size_t c, sim::SimWorkspace& ws,
+                          ComplexGrid& go) const override;
+  ThreadPool* pool() const noexcept override { return pool_; }
+  sim::WorkspaceSet& workspaces() const override { return *workspaces_; }
+
+  /// The shared workspace set, for engines layered on this model.
+  const std::shared_ptr<sim::WorkspaceSet>& workspace_set() const noexcept {
+    return workspaces_;
+  }
 
  private:
   OpticsConfig optics_;
   SourceGeometry geometry_;
   Pupil pupil_;
   std::vector<PassBand> passbands_;  ///< parallel to geometry_.points()
+  /// Sorted occupied grid rows per pass-band (the row-skip lists).
+  std::vector<std::vector<std::uint32_t>> band_rows_;
   ThreadPool* pool_;
+  std::shared_ptr<sim::WorkspaceSet> workspaces_;
 };
 
 }  // namespace bismo

@@ -156,8 +156,17 @@ ComplexGrid SocsDecomposition::dense_kernel(std::size_t q,
 }
 
 HopkinsImaging::HopkinsImaging(const OpticsConfig& optics,
-                               SocsDecomposition socs, ThreadPool* pool)
-    : optics_(optics), socs_(std::move(socs)), pool_(pool) {}
+                               SocsDecomposition socs, ThreadPool* pool,
+                               std::shared_ptr<sim::WorkspaceSet> workspaces)
+    : optics_(optics),
+      socs_(std::move(socs)),
+      band_rows_(sim::occupied_rows(socs_.band(), optics.mask_dim)),
+      pool_(pool),
+      workspaces_(std::move(workspaces)) {
+  if (workspaces_ == nullptr) {
+    workspaces_ = std::make_shared<sim::WorkspaceSet>();
+  }
+}
 
 ComplexGrid HopkinsImaging::field(const ComplexGrid& o, std::size_t q) const {
   if (o.rows() != optics_.mask_dim || o.cols() != optics_.mask_dim) {
@@ -173,32 +182,35 @@ ComplexGrid HopkinsImaging::field(const ComplexGrid& o, std::size_t q) const {
   return masked;
 }
 
-RealGrid HopkinsImaging::aerial(const ComplexGrid& o) const {
-  const auto& kernels = socs_.kernels();
-  RealGrid intensity(o.rows(), o.cols(), 0.0);
-  if (kernels.empty()) return intensity;
+void HopkinsImaging::field_into(const ComplexGrid& o, std::size_t c,
+                                sim::SimWorkspace& ws) const {
+  const auto& band = socs_.band();
+  ws.sparse_inverse_field(o, band.data(), socs_.kernels()[c].values.data(),
+                          band.size(), band_rows_.data(), band_rows_.size());
+}
 
-  const std::size_t slots = reduction_slots(kernels.size());
-  std::vector<RealGrid> partial(slots, RealGrid(o.rows(), o.cols(), 0.0));
-  auto task = [&](std::size_t s) {
-    const std::size_t begin = s * kernels.size() / slots;
-    const std::size_t end = (s + 1) * kernels.size() / slots;
-    RealGrid& acc = partial[s];
-    for (std::size_t q = begin; q < end; ++q) {
-      const ComplexGrid f = field(o, q);
-      const double kappa = kernels[q].weight;
-      for (std::size_t i = 0; i < acc.size(); ++i) {
-        acc[i] += kappa * std::norm(f[i]);
-      }
-    }
-  };
-  if (pool_ != nullptr) {
-    pool_->parallel_for(slots, task);
-  } else {
-    for (std::size_t s = 0; s < slots; ++s) task(s);
+void HopkinsImaging::adjoint_accumulate(std::size_t c, sim::SimWorkspace& ws,
+                                        ComplexGrid& go) const {
+  const auto& band = socs_.band();
+  ws.adjoint_band_accumulate(band.data(), socs_.kernels()[c].values.data(),
+                             band.size(), band_rows_.data(),
+                             band_rows_.size(), go);
+}
+
+RealGrid HopkinsImaging::aerial(const ComplexGrid& o) const {
+  if (o.rows() != optics_.mask_dim || o.cols() != optics_.mask_dim) {
+    throw std::invalid_argument("HopkinsImaging::aerial: spectrum shape");
   }
-  for (std::size_t s = 0; s < slots; ++s) intensity += partial[s];
-  return intensity;
+  const auto& kernels = socs_.kernels();
+  if (kernels.empty()) return RealGrid(o.rows(), o.cols(), 0.0);
+
+  std::vector<std::uint32_t> comps(kernels.size());
+  std::vector<double> weights(kernels.size());
+  for (std::size_t q = 0; q < kernels.size(); ++q) {
+    comps[q] = static_cast<std::uint32_t>(q);
+    weights[q] = kernels[q].weight;
+  }
+  return sim::accumulate_intensity(*this, o, comps, weights);
 }
 
 }  // namespace bismo

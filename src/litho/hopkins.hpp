@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "litho/abbe.hpp"
@@ -26,6 +27,7 @@
 #include "litho/source.hpp"
 #include "math/grid2d.hpp"
 #include "parallel/thread_pool.hpp"
+#include "sim/imaging_model.hpp"
 
 namespace bismo {
 
@@ -67,26 +69,46 @@ class SocsDecomposition {
 };
 
 /// Hopkins forward imaging engine (Eq. 4) over a prebuilt decomposition.
-class HopkinsImaging {
+/// Implements the unified `sim::ImagingModel` interface (one component per
+/// SOCS kernel) so it shares the allocation-free pooled passes -- and,
+/// optionally, the per-thread workspaces -- with the Abbe engine.
+class HopkinsImaging : public sim::ImagingModel {
  public:
-  /// `pool` may be null; borrowed, not owned.
+  /// `pool` may be null; borrowed, not owned.  `workspaces` may be shared
+  /// with the Abbe engine of the same problem (null = a fresh set).
   HopkinsImaging(const OpticsConfig& optics, SocsDecomposition socs,
-                 ThreadPool* pool = nullptr);
+                 ThreadPool* pool = nullptr,
+                 std::shared_ptr<sim::WorkspaceSet> workspaces = nullptr);
 
   /// Aerial intensity for mask spectrum `o` (= fft2 of activated mask).
   RealGrid aerial(const ComplexGrid& o) const;
 
-  /// Coherent field for kernel q: IFFT(phi_q .* O).
+  /// Coherent field for kernel q: IFFT(phi_q .* O).  Allocating reference
+  /// path; hot loops use `field_into`.
   ComplexGrid field(const ComplexGrid& o, std::size_t q) const;
 
   const SocsDecomposition& socs() const noexcept { return socs_; }
   const OpticsConfig& optics() const noexcept { return optics_; }
-  ThreadPool* pool() const noexcept { return pool_; }
+
+  // ---- sim::ImagingModel ----
+  std::size_t grid_dim() const noexcept override { return optics_.mask_dim; }
+  std::size_t components() const noexcept override {
+    return socs_.kernels().size();
+  }
+  void field_into(const ComplexGrid& o, std::size_t c,
+                  sim::SimWorkspace& ws) const override;
+  void adjoint_accumulate(std::size_t c, sim::SimWorkspace& ws,
+                          ComplexGrid& go) const override;
+  ThreadPool* pool() const noexcept override { return pool_; }
+  sim::WorkspaceSet& workspaces() const override { return *workspaces_; }
 
  private:
   OpticsConfig optics_;
   SocsDecomposition socs_;
+  /// Sorted occupied grid rows of the shared band (the row-skip list).
+  std::vector<std::uint32_t> band_rows_;
   ThreadPool* pool_;
+  std::shared_ptr<sim::WorkspaceSet> workspaces_;
 };
 
 }  // namespace bismo

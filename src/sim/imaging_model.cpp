@@ -1,0 +1,101 @@
+#include "sim/imaging_model.hpp"
+
+#include <cmath>
+
+#include "parallel/reduction.hpp"
+
+namespace bismo::sim {
+namespace {
+
+/// Static slot partition shared by both passes (parallel/reduction.hpp).
+struct SlotRange {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+};
+
+SlotRange slot_range(std::size_t slot, std::size_t slots, std::size_t count) {
+  return {slot * count / slots, (slot + 1) * count / slots};
+}
+
+void run_slots(const ImagingModel& model, std::size_t slots,
+               const std::function<void(std::size_t)>& task) {
+  ThreadPool* pool = model.pool();
+  if (pool != nullptr && slots > 1) {
+    pool->parallel_for(slots, task);
+  } else {
+    for (std::size_t s = 0; s < slots; ++s) task(s);
+  }
+}
+
+}  // namespace
+
+RealGrid accumulate_intensity(const ImagingModel& model, const ComplexGrid& o,
+                              const std::vector<std::uint32_t>& comps,
+                              const std::vector<double>& weights) {
+  const std::size_t n = model.grid_dim();
+  RealGrid out(n, n, 0.0);
+  if (comps.empty()) return out;
+
+  const std::size_t slots = reduction_slots(comps.size());
+  auto task = [&](std::size_t s) {
+    const SlotRange range = slot_range(s, slots, comps.size());
+    SimWorkspace& ws = model.workspaces().at(s);
+    ws.ensure(n);
+    RealGrid& acc = ws.intensity_accum();
+    acc.fill(0.0);
+    for (std::size_t k = range.begin; k < range.end; ++k) {
+      model.field_into(o, comps[k], ws);
+      const ComplexGrid& a = ws.field();
+      const double w = weights[k];
+      for (std::size_t i = 0; i < acc.size(); ++i) {
+        acc[i] += w * std::norm(a[i]);
+      }
+    }
+  };
+  run_slots(model, slots, task);
+  for (std::size_t s = 0; s < slots; ++s) {
+    out += model.workspaces().at(s).intensity_accum();
+  }
+  return out;
+}
+
+ComplexGrid adjoint_pass(
+    const ImagingModel& model, const ComplexGrid& o, const RealGrid& dldi,
+    const std::vector<AdjointItem>& items,
+    const std::function<void(std::size_t item, SimWorkspace& ws)>& field_hook) {
+  const std::size_t n = model.grid_dim();
+  if (items.empty()) return ComplexGrid{};
+  bool any_mask = false;
+  for (const AdjointItem& it : items) any_mask = any_mask || it.mask;
+
+  const std::size_t slots = reduction_slots(items.size());
+  auto task = [&](std::size_t s) {
+    const SlotRange range = slot_range(s, slots, items.size());
+    SimWorkspace& ws = model.workspaces().at(s);
+    ws.ensure(n);
+    if (any_mask) ws.adjoint_accum().fill(std::complex<double>{});
+    for (std::size_t k = range.begin; k < range.end; ++k) {
+      const AdjointItem& item = items[k];
+      model.field_into(o, item.component, ws);
+      if (field_hook) field_hook(k, ws);
+      if (item.mask) {
+        const ComplexGrid& a = ws.field();
+        ComplexGrid& ga = ws.cotangent();
+        for (std::size_t i = 0; i < ga.size(); ++i) {
+          ga[i] = item.scale * dldi[i] * a[i];
+        }
+        model.adjoint_accumulate(item.component, ws, ws.adjoint_accum());
+      }
+    }
+  };
+  run_slots(model, slots, task);
+
+  if (!any_mask) return ComplexGrid{};
+  ComplexGrid go = model.workspaces().at(0).adjoint_accum();
+  for (std::size_t s = 1; s < slots; ++s) {
+    go += model.workspaces().at(s).adjoint_accum();
+  }
+  return go;
+}
+
+}  // namespace bismo::sim

@@ -1,0 +1,98 @@
+// The unified imaging-engine layer.
+//
+// Both forward models of the paper decompose the aerial image into a sum of
+// independent coherent systems:
+//
+//   Abbe    (Eq. 2):  I = (1/W) sum_sigma j_sigma |IFFT(H_sigma .* O)|^2
+//   Hopkins (Eq. 4):  I =       sum_q    kappa_q |IFFT(phi_q   .* O)|^2
+//
+// and their manual adjoints share the mirrored structure
+//
+//   g_O += conj(K_c) .* adjoint-IFFT(g_field_c)   over component c's band.
+//
+// `ImagingModel` captures exactly that shape: a component count, a band-
+// restricted field transform into a SimWorkspace, and the adjoint hook
+// (component weights travel with each pass, since the callers own the
+// cutoff filtering).  The pooled, deterministically-reduced loops that
+// the engines used to duplicate live here once (`accumulate_intensity`,
+// `adjoint_pass`) and run allocation-free over per-slot workspaces.  Adding
+// a new imaging backend means implementing the pure virtuals below -- the
+// parallel loops, reduction policy, and gradient plumbing come for free.
+#ifndef BISMO_SIM_IMAGING_MODEL_HPP
+#define BISMO_SIM_IMAGING_MODEL_HPP
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "math/grid2d.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/workspace.hpp"
+
+namespace bismo::sim {
+
+/// Abstract imaging engine: a weighted sum of coherent systems over a fixed
+/// grid, with per-thread workspaces for allocation-free evaluation.
+///
+/// Thread-safety: the model itself is immutable after construction, but the
+/// shared WorkspaceSet makes concurrent top-level evaluations of engines
+/// sharing one set unsupported -- matching the thread pool's one-dispatch-
+/// at-a-time contract (parallel/thread_pool.hpp).
+class ImagingModel {
+ public:
+  virtual ~ImagingModel() = default;
+
+  /// Mask/image grid dimension (grids are dim x dim).
+  virtual std::size_t grid_dim() const noexcept = 0;
+
+  /// Number of coherent components (Abbe: valid source points; Hopkins:
+  /// retained SOCS kernels).
+  virtual std::size_t components() const noexcept = 0;
+
+  /// Coherent field of component `c` for mask spectrum `o`, written to
+  /// `ws.field()`.  Allocation-free once `ws` is sized.
+  virtual void field_into(const ComplexGrid& o, std::size_t c,
+                          SimWorkspace& ws) const = 0;
+
+  /// Adjoint hook: consume the dense cotangent in `ws.cotangent()` and
+  /// accumulate conj(K_c) .* adjoint-IFFT(cotangent) into `go` over the
+  /// component's band.
+  virtual void adjoint_accumulate(std::size_t c, SimWorkspace& ws,
+                                  ComplexGrid& go) const = 0;
+
+  /// Borrowed thread pool (null = serial).
+  virtual ThreadPool* pool() const noexcept = 0;
+
+  /// Shared per-slot workspaces used by the pooled passes.
+  virtual WorkspaceSet& workspaces() const = 0;
+};
+
+/// One work item of an `adjoint_pass`.
+struct AdjointItem {
+  std::uint32_t component = 0;  ///< model component index
+  double scale = 0.0;  ///< cotangent seed factor (2 j/W or 2 kappa)
+  bool mask = false;   ///< push this component's adjoint into g_O?
+};
+
+/// Deterministic pooled forward pass:
+///   out = sum_k weights[k] * |field(comps[k])|^2
+/// partitioned over reduction slots (bitwise identical for any thread
+/// count).  `comps` and `weights` run in lockstep.
+RealGrid accumulate_intensity(const ImagingModel& model, const ComplexGrid& o,
+                              const std::vector<std::uint32_t>& comps,
+                              const std::vector<double>& weights);
+
+/// Deterministic pooled backward pass.  For every item (in order): recompute
+/// the component field into the slot workspace, report it to `field_hook`
+/// (may be null; used for source gradients), and -- when `item.mask` -- seed
+/// the cotangent ga = scale * dldi .* field and accumulate the model's
+/// adjoint into a per-slot g_O partial.  Returns the slot-order-combined
+/// g_O, or an empty grid when no item has `mask` set.
+ComplexGrid adjoint_pass(
+    const ImagingModel& model, const ComplexGrid& o, const RealGrid& dldi,
+    const std::vector<AdjointItem>& items,
+    const std::function<void(std::size_t item, SimWorkspace& ws)>& field_hook);
+
+}  // namespace bismo::sim
+
+#endif  // BISMO_SIM_IMAGING_MODEL_HPP

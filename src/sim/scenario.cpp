@@ -1,0 +1,57 @@
+#include "sim/scenario.hpp"
+
+#include <cmath>
+
+#include "litho/abbe.hpp"
+
+namespace bismo::sim {
+
+ScenarioBatch::ScenarioBatch(const OpticsConfig& optics,
+                             const SourceGeometry& geometry,
+                             std::vector<Scenario> scenarios, ThreadPool* pool,
+                             std::shared_ptr<WorkspaceSet> workspaces)
+    : scenarios_(std::move(scenarios)) {
+  if (workspaces == nullptr) workspaces = std::make_shared<WorkspaceSet>();
+  std::vector<double> defocus_values;
+  model_of_.reserve(scenarios_.size());
+  for (const Scenario& s : scenarios_) {
+    std::size_t idx = defocus_values.size();
+    for (std::size_t i = 0; i < defocus_values.size(); ++i) {
+      if (defocus_values[i] == s.defocus_nm) {
+        idx = i;
+        break;
+      }
+    }
+    if (idx == defocus_values.size()) {
+      defocus_values.push_back(s.defocus_nm);
+      OpticsConfig defocused = optics;
+      defocused.defocus_nm = s.defocus_nm;
+      models_.push_back(
+          std::make_unique<AbbeImaging>(defocused, geometry, pool, workspaces));
+    }
+    model_of_.push_back(idx);
+  }
+}
+
+ScenarioBatch::~ScenarioBatch() = default;
+ScenarioBatch::ScenarioBatch(ScenarioBatch&&) noexcept = default;
+ScenarioBatch& ScenarioBatch::operator=(ScenarioBatch&&) noexcept = default;
+
+std::vector<RealGrid> ScenarioBatch::aerial(const ComplexGrid& o,
+                                            const RealGrid& j,
+                                            double cutoff) const {
+  // One pooled pass per distinct defocus; dose corners are quadratic
+  // rescalings of the shared aerial (I_c = d^2 * I).
+  std::vector<RealGrid> base(models_.size());
+  for (std::size_t m = 0; m < models_.size(); ++m) {
+    base[m] = models_[m]->aerial(o, j, cutoff).intensity;
+  }
+  std::vector<RealGrid> out(scenarios_.size());
+  for (std::size_t s = 0; s < scenarios_.size(); ++s) {
+    const double d = scenarios_[s].dose;
+    out[s] = base[model_of_[s]] * (d * d);
+  }
+  return out;
+}
+
+}  // namespace bismo::sim

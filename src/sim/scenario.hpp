@@ -1,0 +1,84 @@
+// Batched multi-scenario (process-window) evaluation.
+//
+// A process-window read-out evaluates the same mask/source pair at a grid
+// of (dose, defocus) corners.  Doing that naively rebuilds the imaging
+// stack and re-runs the full Abbe sum per corner; the physics says most of
+// that work is shared:
+//
+//   * dose scales the activated mask linearly, intensity quadratically
+//     (I_c = d^2 * I, grad/loss.hpp), so every dose corner of one focus
+//     condition reuses a single aerial image;
+//   * defocus only changes the pupil phase, so each distinct defocus value
+//     is one prebuilt AbbeImaging sharing the source geometry, the thread
+//     pool, and the per-slot SimWorkspaces.
+//
+// `ScenarioBatch` exploits both: one mask-spectrum FFT and one pooled
+// engine pass per distinct defocus serve every scenario in the batch.
+//
+// Layering note: sim/ hosts the generic engine substrate; this file sits on
+// top of litho/abbe.hpp (which implements the ImagingModel interface), not
+// the other way around.
+#ifndef BISMO_SIM_SCENARIO_HPP
+#define BISMO_SIM_SCENARIO_HPP
+
+#include <memory>
+#include <vector>
+
+#include "litho/optics.hpp"
+#include "litho/source.hpp"
+#include "math/grid2d.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/workspace.hpp"
+
+namespace bismo {
+class AbbeImaging;
+}  // namespace bismo
+
+namespace bismo::sim {
+
+/// One process corner: exposure dose factor and defocus.
+struct Scenario {
+  double dose = 1.0;        ///< mask transmission scale (nominal = 1)
+  double defocus_nm = 0.0;  ///< pupil defocus (nominal = 0)
+};
+
+/// Prebuilt batch of process corners evaluated in one engine pass per
+/// distinct defocus value.
+class ScenarioBatch {
+ public:
+  /// Build imaging models for every distinct defocus in `scenarios`.
+  /// `pool` and `workspaces` are shared by all of them (workspaces may be
+  /// null: a fresh shared set is created).
+  ScenarioBatch(const OpticsConfig& optics, const SourceGeometry& geometry,
+                std::vector<Scenario> scenarios, ThreadPool* pool = nullptr,
+                std::shared_ptr<WorkspaceSet> workspaces = nullptr);
+  ~ScenarioBatch();
+
+  ScenarioBatch(ScenarioBatch&&) noexcept;
+  ScenarioBatch& operator=(ScenarioBatch&&) noexcept;
+
+  const std::vector<Scenario>& scenarios() const noexcept {
+    return scenarios_;
+  }
+
+  /// Normalized aerial intensity per scenario (same order as `scenarios()`)
+  /// for mask spectrum `o` and source magnitudes `j`.  Each distinct
+  /// defocus runs one pooled pass; its dose corners reuse the result via
+  /// I_c = d^2 * I.
+  std::vector<RealGrid> aerial(const ComplexGrid& o, const RealGrid& j,
+                               double cutoff = 1e-9) const;
+
+  /// Number of distinct defocus conditions (== engine passes per aerial).
+  std::size_t distinct_defocus_count() const noexcept {
+    return models_.size();
+  }
+
+ private:
+  std::vector<Scenario> scenarios_;
+  std::vector<std::size_t> model_of_;  ///< scenario -> defocus model index
+  std::vector<std::unique_ptr<AbbeImaging>> models_;
+};
+
+}  // namespace bismo::sim
+
+#endif  // BISMO_SIM_SCENARIO_HPP

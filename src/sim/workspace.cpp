@@ -1,0 +1,99 @@
+#include "sim/workspace.hpp"
+
+#include <algorithm>
+
+namespace bismo::sim {
+
+void SimWorkspace::ensure(std::size_t dim) {
+  if (dim_ == dim) return;
+  dim_ = dim;
+  plan_ = Fft2dPlan(dim, dim);
+  spectrum_.resize(dim, dim);  // resize zero-fills: invariant established
+  field_.resize(dim, dim);
+  cotangent_.resize(dim, dim);
+  adjoint_accum_.resize(dim, dim);
+  intensity_accum_.resize(dim, dim);
+  fft_scratch_.assign(plan_.scratch_size(), std::complex<double>{});
+}
+
+void SimWorkspace::sparse_inverse_field(const ComplexGrid& o,
+                                        const std::uint32_t* bins,
+                                        const std::complex<double>* vals,
+                                        std::size_t nbins,
+                                        const std::uint32_t* band_rows,
+                                        std::size_t nrows) {
+  const std::size_t n = dim_;
+  if (vals != nullptr) {
+    for (std::size_t k = 0; k < nbins; ++k) {
+      spectrum_[bins[k]] = o[bins[k]] * vals[k];
+    }
+  } else {
+    for (std::size_t k = 0; k < nbins; ++k) spectrum_[bins[k]] = o[bins[k]];
+  }
+
+  // Row pass: occupied rows are copied out of the sparse assembly buffer and
+  // transformed in the field buffer; all other rows are exactly zero.
+  std::complex<double>* scratch = fft_scratch_.data();
+  std::size_t next = 0;
+  for (std::size_t r = 0; r < n; ++r) {
+    std::complex<double>* row = field_.data() + r * n;
+    if (next < nrows && band_rows[next] == r) {
+      const std::complex<double>* src = spectrum_.data() + r * n;
+      std::copy(src, src + n, row);
+      plan_.transform_row(row, /*inverse=*/true, scratch);
+      ++next;
+    } else {
+      std::fill(row, row + n, std::complex<double>{});
+    }
+  }
+  plan_.transform_cols(field_, /*inverse=*/true, scratch);
+  const double scale = 1.0 / static_cast<double>(field_.size());
+  for (auto& v : field_) v *= scale;
+
+  // Restore the all-zero invariant of the assembly buffer (O(band), not
+  // O(grid)).
+  for (std::size_t k = 0; k < nbins; ++k) {
+    spectrum_[bins[k]] = std::complex<double>{};
+  }
+}
+
+void SimWorkspace::adjoint_band_accumulate(const std::uint32_t* bins,
+                                           const std::complex<double>* vals,
+                                           std::size_t nbins,
+                                           const std::uint32_t* band_rows,
+                                           std::size_t nrows,
+                                           ComplexGrid& go) {
+  const std::size_t n = dim_;
+  std::complex<double>* scratch = fft_scratch_.data();
+  // adjoint(IFFT2) = (1/N) FFT2, evaluated columns-then-rows so the row pass
+  // can be restricted to the rows whose output bins are actually read.
+  plan_.transform_cols(cotangent_, /*inverse=*/false, scratch);
+  for (std::size_t k = 0; k < nrows; ++k) {
+    plan_.transform_row(cotangent_.data() + band_rows[k] * n,
+                        /*inverse=*/false, scratch);
+  }
+  const double inv_n = 1.0 / static_cast<double>(cotangent_.size());
+  if (vals != nullptr) {
+    for (std::size_t k = 0; k < nbins; ++k) {
+      go[bins[k]] += std::conj(vals[k]) * (cotangent_[bins[k]] * inv_n);
+    }
+  } else {
+    for (std::size_t k = 0; k < nbins; ++k) {
+      go[bins[k]] += cotangent_[bins[k]] * inv_n;
+    }
+  }
+}
+
+std::vector<std::uint32_t> occupied_rows(const std::vector<std::uint32_t>& bins,
+                                         std::size_t cols) {
+  // Bin lists are sorted row-major (a precondition of the sparse
+  // transforms), so suppressing adjacent repeats yields sorted unique rows.
+  std::vector<std::uint32_t> rows;
+  for (std::uint32_t bin : bins) {
+    const std::uint32_t r = bin / static_cast<std::uint32_t>(cols);
+    if (rows.empty() || rows.back() != r) rows.push_back(r);
+  }
+  return rows;
+}
+
+}  // namespace bismo::sim

@@ -1,0 +1,124 @@
+// Per-thread simulation workspaces: the allocation-free substrate of the
+// unified imaging-engine layer (sim/imaging_model.hpp).
+//
+// Every per-component operation of the imaging engines (one source point of
+// the Abbe sum, one SOCS kernel of the Hopkins sum) needs the same scratch
+// state: a masked-spectrum grid, a coherent-field grid, a cotangent grid for
+// the reverse pass, reduction accumulators, and FFT plans + scratch.  A
+// `SimWorkspace` owns exactly that state, acquired once; a `WorkspaceSet`
+// holds one workspace per deterministic-reduction slot (parallel/
+// reduction.hpp) so the pooled loops of the engines perform zero heap
+// allocations and zero plan-cache lock acquisitions in steady state.
+//
+// The two sparse-spectrum transforms implemented here exploit the band
+// limit of the pupil: a pass-band touches only a few grid rows, and a 2-D
+// (I)FFT is separable, so
+//   * the forward field transform runs rows-then-columns and skips the row
+//     pass for rows with no pass-band bin (their transform is exactly zero);
+//   * the adjoint transform runs columns-then-rows and skips the row pass
+//     for rows whose output bins are never read.
+// Both skips are exact (transforms of/into all-zero rows), so results are
+// bitwise identical for any thread count and independent of the skip.
+#ifndef BISMO_SIM_WORKSPACE_HPP
+#define BISMO_SIM_WORKSPACE_HPP
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fft/fft.hpp"
+#include "math/grid2d.hpp"
+#include "parallel/reduction.hpp"
+
+namespace bismo::sim {
+
+/// Scratch state for one worker slot of an imaging-engine loop.
+///
+/// Buffers are sized lazily by `ensure`; once sized for a grid dimension,
+/// no method allocates.  A workspace is exclusive to one task at a time
+/// (the engines index workspaces by reduction slot, and the thread pool
+/// runs each slot on exactly one worker).
+class SimWorkspace {
+ public:
+  SimWorkspace() = default;
+
+  /// Size every buffer (and the FFT plan) for `dim` x `dim` grids.  No-op
+  /// when already sized; this is the only method that allocates.
+  void ensure(std::size_t dim);
+
+  std::size_t dim() const noexcept { return dim_; }
+  const Fft2dPlan& plan() const noexcept { return plan_; }
+
+  /// Coherent-field output of `sparse_inverse_field` (dense, dim x dim).
+  ComplexGrid& field() noexcept { return field_; }
+
+  /// Dense cotangent input of `adjoint_band_accumulate` (dim x dim);
+  /// the caller fills it, the call consumes it (contents are destroyed).
+  ComplexGrid& cotangent() noexcept { return cotangent_; }
+
+  /// Per-slot frequency-domain gradient accumulator (g_O partial).
+  ComplexGrid& adjoint_accum() noexcept { return adjoint_accum_; }
+
+  /// Per-slot intensity accumulator.
+  RealGrid& intensity_accum() noexcept { return intensity_accum_; }
+
+  /// FFT scratch sized for `plan()`.
+  std::complex<double>* fft_scratch() noexcept { return fft_scratch_.data(); }
+
+  /// field() = normalized IFFT2 of `o` restricted to a sparse band:
+  /// spectrum bin `bins[k]` contributes `o[bins[k]] * vals[k]` (`vals`
+  /// null means unit pupil values).  `band_rows` lists the sorted distinct
+  /// grid rows covered by `bins` (see `occupied_rows`); rows outside it are
+  /// exactly zero and their row transform is skipped.
+  void sparse_inverse_field(const ComplexGrid& o, const std::uint32_t* bins,
+                            const std::complex<double>* vals,
+                            std::size_t nbins, const std::uint32_t* band_rows,
+                            std::size_t nrows);
+
+  /// Adjoint of `sparse_inverse_field` as a linear operator, fused with the
+  /// band-restricted accumulation:
+  ///   go[bins[k]] += conj(vals[k]) * ifft2_adjoint(cotangent())[bins[k]].
+  /// Runs columns-then-rows and only transforms rows in `band_rows`, since
+  /// no other output bin is read.  Destroys `cotangent()`.
+  void adjoint_band_accumulate(const std::uint32_t* bins,
+                               const std::complex<double>* vals,
+                               std::size_t nbins,
+                               const std::uint32_t* band_rows,
+                               std::size_t nrows, ComplexGrid& go);
+
+ private:
+  std::size_t dim_ = 0;
+  Fft2dPlan plan_;
+  ComplexGrid spectrum_;  ///< sparse assembly buffer, all-zero between calls
+  ComplexGrid field_;
+  ComplexGrid cotangent_;
+  ComplexGrid adjoint_accum_;
+  RealGrid intensity_accum_;
+  std::vector<std::complex<double>> fft_scratch_;
+};
+
+/// One workspace per deterministic-reduction slot, shared by every engine
+/// that evaluates a given problem.  The set itself is stateless glue; the
+/// engines guarantee one task per slot, so no locking is needed.
+class WorkspaceSet {
+ public:
+  WorkspaceSet() : slots_(kReductionSlots) {}
+
+  /// Workspace of a reduction slot (`slot < kReductionSlots`).
+  SimWorkspace& at(std::size_t slot) { return slots_[slot]; }
+
+  std::size_t size() const noexcept { return slots_.size(); }
+
+ private:
+  std::vector<SimWorkspace> slots_;
+};
+
+/// Sorted distinct grid rows (index / cols) covered by sorted flat bin
+/// indices -- the row-skip list for the sparse transforms.
+std::vector<std::uint32_t> occupied_rows(const std::vector<std::uint32_t>& bins,
+                                         std::size_t cols);
+
+}  // namespace bismo::sim
+
+#endif  // BISMO_SIM_WORKSPACE_HPP
