@@ -37,6 +37,7 @@ int main(int argc, char** argv) {
   const SmoConfig cfg = args.config();
   const BenchDatasets data = make_bench_datasets(args);
   const Layout& clip = data.suites[0].clips[0];
+  BenchReport report("abbe_accel", args);
 
   const std::size_t hw = std::max<std::size_t>(
       1, std::thread::hardware_concurrency());
@@ -63,6 +64,10 @@ int main(int argc, char** argv) {
     table.add_row({"Abbe (sigma=" + std::to_string(sigma_eff) + ")",
                    std::to_string(p), TablePrinter::num(abbe_ms, 1),
                    TablePrinter::num(abbe_p1 / abbe_ms, 2) + "x"});
+    report.add("abbe/P" + std::to_string(p),
+               {{"ms_per_iter", abbe_ms},
+                {"speedup_vs_p1", abbe_p1 / abbe_ms},
+                {"sigma_eff", static_cast<double>(sigma_eff)}});
 
     const RealGrid source = problem.source_image(theta_j);
     const SocsDecomposition socs(problem.abbe(), source, cfg.socs_kernels);
@@ -77,6 +82,10 @@ int main(int argc, char** argv) {
     table.add_row({"Hopkins (Q=" + std::to_string(q_kernels) + ")",
                    std::to_string(p), TablePrinter::num(hopkins_ms, 1),
                    TablePrinter::num(hopkins_p1 / hopkins_ms, 2) + "x"});
+    report.add("hopkins/P" + std::to_string(p),
+               {{"ms_per_iter", hopkins_ms},
+                {"speedup_vs_p1", hopkins_p1 / hopkins_ms},
+                {"q_kernels", static_cast<double>(q_kernels)}});
   }
   table.print(std::cout);
 
@@ -95,10 +104,13 @@ int main(int argc, char** argv) {
     std::cout << "\nSOCS/TCC rebuild (Gram + Jacobi eig + kernel map): "
               << TablePrinter::num(rebuild_ms, 1)
               << " ms -- paid by AM-SMO(A-H) every cycle.\n";
+    report.add("tcc_rebuild", {{"ms", rebuild_ms}});
   }
 
   const double ratio =
       static_cast<double>(sigma_eff) / static_cast<double>(q_kernels);
+  report.add("cost_model", {{"sigma_over_q", ratio}});
+  report.write();
   std::cout << "theoretical serial Abbe/Hopkins cost ratio sigma/Q = "
             << TablePrinter::num(ratio, 2)
             << "; with P >= sigma the parallel ratio approaches"

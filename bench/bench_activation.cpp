@@ -19,6 +19,7 @@ int main(int argc, char** argv) {
 
   TablePrinter table({"activation", "initial loss", "final loss",
                       "L2 (nm^2)", "PVB (nm^2)"});
+  BenchReport report("activation", args);
   for (ActivationKind kind :
        {ActivationKind::kSigmoid, ActivationKind::kCosine}) {
     SmoConfig cfg = args.config();
@@ -40,8 +41,14 @@ int main(int argc, char** argv) {
                    TablePrinter::num(run.final_loss(), 2),
                    TablePrinter::num(m.l2_nm2, 0),
                    TablePrinter::num(m.pvb_nm2, 0)});
+    report.add(kind == ActivationKind::kSigmoid ? "sigmoid" : "cosine",
+               {{"initial_loss", run.trace.front().loss},
+                {"final_loss", run.final_loss()},
+                {"l2_nm2", m.l2_nm2},
+                {"pvb_nm2", m.pvb_nm2}});
   }
   table.print(std::cout);
+  report.write();
   std::cout << "\nExpectation: the sigmoid path converges further; the"
                " cosine path stalls whenever parameters hit its hard"
                " saturation (zero-gradient region), reproducing the paper's"

@@ -7,6 +7,8 @@
 #include <iostream>
 #include <sstream>
 
+#include "io/json.hpp"
+
 namespace bismo::bench {
 namespace {
 
@@ -177,6 +179,63 @@ std::vector<CaseResult> run_full_comparison(const BenchArgs& args,
   }
   save_cache(args, results);
   return results;
+}
+
+BenchReport::BenchReport(std::string name, const BenchArgs& args)
+    : name_(std::move(name)), args_(args) {}
+
+void BenchReport::add(const std::string& label,
+                      std::vector<std::pair<std::string, double>> metrics) {
+  rows_.emplace_back(label, std::move(metrics));
+}
+
+void BenchReport::add_case_results(const std::vector<CaseResult>& results) {
+  for (const CaseResult& r : results) {
+    add(r.clip + "/" + to_string(r.method),
+        {{"l2_nm2", r.l2_nm2},
+         {"pvb_nm2", r.pvb_nm2},
+         {"epe", r.epe},
+         {"tat_seconds", r.tat_seconds},
+         {"grad_evals", static_cast<double>(r.grad_evals)},
+         {"final_loss", r.final_loss}});
+  }
+}
+
+std::string BenchReport::write() const {
+  const std::string path = "BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return "";
+  }
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("bench").value(name_);
+  w.key("config").begin_object();
+  w.key("mask_dim").value(args_.mask_dim);
+  w.key("tile_nm").value(args_.tile_nm);
+  w.key("source_dim").value(args_.source_dim);
+  w.key("cases_per_dataset").value(args_.cases_per_dataset);
+  w.key("outer_steps").value(args_.outer_steps);
+  w.key("unroll_steps").value(args_.unroll_steps);
+  w.key("hyper_terms").value(args_.hyper_terms);
+  w.key("am_cycles").value(args_.am_cycles);
+  w.key("am_epoch_steps").value(args_.am_epoch_steps);
+  w.key("seed").value(static_cast<std::size_t>(args_.seed));
+  w.key("full").value(args_.full);
+  w.key("fingerprint").value(config_fingerprint(args_));
+  w.end_object();
+  w.key("rows").begin_array();
+  for (const auto& [label, metrics] : rows_) {
+    w.begin_object();
+    w.key("label").value(label);
+    for (const auto& [key, value] : metrics) w.key(key).value(value);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  std::printf("machine-readable results: %s\n", path.c_str());
+  return path;
 }
 
 std::string config_fingerprint(const BenchArgs& args) {

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/problem.hpp"
@@ -87,6 +88,33 @@ std::optional<std::vector<CaseResult>> load_cache(const BenchArgs& args);
 
 /// Configuration fingerprint for cache validity.
 std::string config_fingerprint(const BenchArgs& args);
+
+/// Machine-readable bench results: accumulates labeled metric rows and
+/// writes `BENCH_<name>.json` (bench name + configuration + rows) so every
+/// driver's numbers feed perf-trajectory tracking without scraping stdout.
+class BenchReport {
+ public:
+  /// `name` is the file suffix ("table3_sota" -> BENCH_table3_sota.json).
+  BenchReport(std::string name, const BenchArgs& args);
+
+  /// Append one result row: a label plus (metric, value) pairs.
+  void add(const std::string& label,
+           std::vector<std::pair<std::string, double>> metrics);
+
+  /// Append every (method, clip) case as one row (the Table 3/4 drivers).
+  void add_case_results(const std::vector<CaseResult>& results);
+
+  /// Write `BENCH_<name>.json` in the working directory and return the
+  /// path; best-effort (prints a warning and returns "" on I/O failure).
+  std::string write() const;
+
+ private:
+  std::string name_;
+  BenchArgs args_;
+  std::vector<std::pair<std::string,
+                        std::vector<std::pair<std::string, double>>>>
+      rows_;
+};
 
 }  // namespace bismo::bench
 

@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   args.print_banner("Figure 3: loss convergence, MO (dashed) vs SMO (solid)");
   ThreadPool pool(args.threads);
   const BenchDatasets data = make_bench_datasets(args);
+  BenchReport report("fig3_convergence", args);
 
   // Panels: ICCAD13 case 0, ICCAD13 case 1, ICCAD-L case 0, ISPD19 case 0
   // (stand-ins for the paper's test5 / test7 / test17 / test62).
@@ -63,6 +64,11 @@ int main(int argc, char** argv) {
                 << (curve.empty() ? 0.0 : curve.front()) << " -> "
                 << (curve.empty() ? 0.0 : curve.back()) << " ("
                 << curve.size() << " steps)\n";
+      report.add(case_name + "/" + to_string(method),
+                 {{"log10_loss_first", curve.empty() ? 0.0 : curve.front()},
+                  {"log10_loss_last", curve.empty() ? 0.0 : curve.back()},
+                  {"steps", static_cast<double>(curve.size())},
+                  {"tat_seconds", run.wall_seconds}});
       columns.push_back(to_string(method));
       max_len = std::max(max_len, curve.size());
       logs.push_back(std::move(curve));
@@ -82,6 +88,7 @@ int main(int argc, char** argv) {
     write_csv(file, columns, series);
     std::cout << "  wrote " << file << "\n\n";
   }
+  report.write();
   std::cout << "Reproduction target (paper Fig. 3): SMO curves settle below"
                " MO curves; AM-SMO shows a zig-zag; BiSMO variants converge"
                " lowest and smoothest.\n";

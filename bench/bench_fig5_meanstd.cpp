@@ -18,6 +18,7 @@ int main(int argc, char** argv) {
   args.print_banner("Figure 5: mean/STD of Lsmo across each dataset");
   ThreadPool pool(args.threads);
   const BenchDatasets data = make_bench_datasets(args);
+  BenchReport report("fig5_meanstd", args);
 
   const std::vector<BismoVariant> variants{
       BismoVariant::kFd, BismoVariant::kCg, BismoVariant::kNmn};
@@ -68,6 +69,10 @@ int main(int argc, char** argv) {
       for (double s : std_curve) overall_std.push(s);
       std::cout << "  " << to_string(variant) << ": final mean loss "
                 << final_mean << ", avg STD " << overall_std.mean() << "\n";
+      report.add(suite.spec.name + "/" + to_string(variant),
+                 {{"final_mean_loss", final_mean},
+                  {"avg_std", overall_std.mean()},
+                  {"steps", static_cast<double>(steps)}});
       names.push_back(to_string(variant) + " mean");
       names.push_back(to_string(variant) + " std");
       all_mean.push_back(std::move(mean_curve));
@@ -85,6 +90,7 @@ int main(int argc, char** argv) {
     write_csv(file, names, columns);
     std::cout << "  wrote " << file << "\n\n";
   }
+  report.write();
   std::cout << "Reproduction target (paper Fig. 5): NMN converges lowest;"
                " CG exhibits the largest standard deviation (instability"
                " from indefinite inner Hessians); FD weakest but cheapest.\n";

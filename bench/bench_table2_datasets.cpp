@@ -14,11 +14,19 @@ int main(int argc, char** argv) {
   args.print_banner("Table 2: Details of the Dataset (synthetic stand-ins)");
 
   const BenchDatasets data = make_bench_datasets(args);
+  BenchReport report("table2_datasets", args);
   TablePrinter table({"Dataset", "From", "Area (avg nm^2)", "Test num.",
                       "Layer", "CD", "tile"});
   for (const Dataset& suite : data.suites) {
     RunningStats area;
     for (const Layout& clip : suite.clips) area.push(clip.union_area_nm2());
+    report.add(suite.spec.name,
+               {{"area_avg_nm2", area.mean()},
+                {"area_std_nm2", area.stddev()},
+                {"test_count", static_cast<double>(suite.clips.size())},
+                {"cd_nm", suite.spec.cd_nm},
+                {"tile_um2",
+                 suite.spec.tile_nm * suite.spec.tile_nm / 1e6}});
     table.add_row({suite.spec.name,
                    "synthetic generator",
                    TablePrinter::num(area.mean(), 0),
@@ -31,6 +39,7 @@ int main(int argc, char** argv) {
                        " um^2"});
   }
   table.print(std::cout);
+  report.write();
   std::cout << "\nPaper (Table 2, 4 um^2 tiles): ICCAD13 202655 / 10 / Metal"
                " / 32 nm; ICCAD-L 475571 / 10 / Metal / 32 nm;"
                " ISPD19 698743 / 100 / Metal+Via / 28 nm.\n"

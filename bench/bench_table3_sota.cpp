@@ -70,6 +70,17 @@ int main(int argc, char** argv) {
   table.add_row(ratio_row);
   table.print(std::cout);
 
+  BenchReport report("table3_sota", args);
+  report.add_case_results(results);
+  for (Method m : all_methods()) {
+    report.add("average/" + to_string(m),
+               {{"l2_nm2", l2_all[m].mean()},
+                {"pvb_nm2", pvb_all[m].mean()},
+                {"l2_ratio", l2_all[m].mean() / std::max(ref_l2, 1e-12)},
+                {"pvb_ratio", pvb_all[m].mean() / std::max(ref_pvb, 1e-12)}});
+  }
+  report.write();
+
   std::cout << "\nPaper Table 3 average ratios (vs BiSMO-NMN): NILT 2.56/2.44,"
                " DAC23-MILT 2.07/2.03, Abbe-MO 1.56/1.65, AM(A-H) 1.93/1.85,"
                " AM(A-A) 1.41/1.46, FD 1.03/1.09, CG 1.03/1.03, NMN 1.00/1.00.\n"

@@ -58,6 +58,19 @@ int main(int argc, char** argv) {
   add_metric("grad evals", evals, 0);
   table.print(std::cout);
 
+  BenchReport report("table4_epe_tat", args);
+  const double epe_ref = epe[Method::kBismoNmn].mean();
+  const double tat_ref = tat[Method::kBismoNmn].mean();
+  for (Method m : all_methods()) {
+    report.add(to_string(m),
+               {{"epe_avg", epe[m].mean()},
+                {"epe_ratio", epe[m].mean() / std::max(epe_ref, 1e-12)},
+                {"tat_seconds", tat[m].mean()},
+                {"tat_ratio", tat[m].mean() / std::max(tat_ref, 1e-12)},
+                {"grad_evals", evals[m].mean()}});
+  }
+  report.write();
+
   std::cout << "\nPaper Table 4: EPE avg 10.1 / 3.6 / 2.8 / 3.3 / 2.4 /"
                " 1.8 / 1.6 / 1.6; TAT avg (s) 12.4 / 3.8 / 11.7 / 287 /"
                " 122.5 / 12.6 / 15.3 / 14.7 (AM methods 8.3x-19.5x slower"

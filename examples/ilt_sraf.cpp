@@ -5,76 +5,69 @@
 // theta_M from the target "facilitates SRAF generation during MO").  The
 // demo dumps the mask at several step counts so the halo growth is visible,
 // and prints how far the optimized mask deviates from the target pattern.
+//
+// The custom checkpoint loop drives the gradient engine directly; the
+// problem itself comes from api::Session::make_problem -- the facade's
+// escape hatch for exactly this kind of bespoke loop.
 #include <cstdio>
 #include <filesystem>
 
-#include "core/mask_opt.hpp"
-#include "core/problem.hpp"
+#include "api/api.hpp"
 #include "io/image_io.hpp"
-#include "layout/layout.hpp"
 #include "math/grid_ops.hpp"
 #include "metrics/metrics.hpp"
-#include "parallel/thread_pool.hpp"
 
 int main() {
   using namespace bismo;
   const std::string out_dir = "ilt_sraf_out";
   std::filesystem::create_directories(out_dir);
 
-  SmoConfig config;
-  config.optics.mask_dim = 64;
-  config.optics.pixel_nm = 8.0;
-  config.source_dim = 9;
-
   // An isolated contact plus an isolated line: the structures that benefit
   // most from ILT bias and assist features.
-  Layout clip(config.optics.tile_nm());
+  Layout clip(512.0);
   clip.add_rect({224, 224, 288, 288});   // 64 nm contact
   clip.add_rect({96, 384, 416, 416});    // 320 x 32 nm line
-  ThreadPool pool;
-  const SmoProblem fast_problem(config, clip, &pool);
 
-  write_pgm(out_dir + "/target.pgm", fast_problem.target());
+  api::JobSpec spec;
+  spec.clip = api::ClipSource::from_layout(clip);
+  spec.config_overrides = {"mask_dim=64", "source_dim=9"};
 
-  RealGrid theta_m = fast_problem.initial_theta_m();
-  const RealGrid theta_j = fast_problem.initial_theta_j();
-  const double target_area =
-      pattern_area_nm2(fast_problem.target(), config.optics.pixel_nm);
+  api::Session session;
+  const auto problem = session.make_problem(spec);
+  const double pixel_nm = problem->config().optics.pixel_nm;
+
+  write_pgm(out_dir + "/target.pgm", problem->target());
+
+  RealGrid theta_m = problem->initial_theta_m();
+  const RealGrid theta_j = problem->initial_theta_j();
+  const double target_area = pattern_area_nm2(problem->target(), pixel_nm);
 
   std::printf("step | loss      | mask area / target | L2 (nm^2)\n");
   int done = 0;
   for (int checkpoint : {0, 10, 30, 60}) {
-    MoOptions opt;
-    opt.steps = checkpoint - done;
-    if (opt.steps > 0) {
-      // Continue optimizing from the current parameters by re-running the
-      // driver on a problem whose initial mask is the running theta_m: the
-      // public API exposes the engine directly for exactly this kind of
-      // custom loop.
+    const int steps = checkpoint - done;
+    if (steps > 0) {
       AdamOptimizer adam(0.1);
       GradRequest req;
       req.mask = true;
       req.source = false;
-      for (int s = 0; s < opt.steps; ++s) {
+      for (int s = 0; s < steps; ++s) {
         const SmoGradient g =
-            fast_problem.engine().evaluate(theta_m, theta_j, req);
+            problem->engine().evaluate(theta_m, theta_j, req);
         adam.step(theta_m, g.grad_theta_m);
       }
       done = checkpoint;
     }
-    const RealGrid mask = fast_problem.mask_image(theta_m, /*binary=*/true);
-    const double mask_area =
-        pattern_area_nm2(mask, config.optics.pixel_nm);
-    const SolutionMetrics m =
-        fast_problem.evaluate_solution(theta_m, theta_j);
+    const RealGrid mask = problem->mask_image(theta_m, /*binary=*/true);
+    const double mask_area = pattern_area_nm2(mask, pixel_nm);
+    const SolutionMetrics m = problem->evaluate_solution(theta_m, theta_j);
     std::printf("%4d | %9.3f | %17.2f | %.0f\n", checkpoint, m.loss,
                 mask_area / target_area, m.l2_nm2);
     write_pgm(out_dir + "/mask_step" + std::to_string(checkpoint) + ".pgm",
-              fast_problem.mask_image(theta_m, /*binary=*/false));
+              problem->mask_image(theta_m, /*binary=*/false));
   }
   write_pgm(out_dir + "/resist_final.pgm",
-            fast_problem.resist_image(theta_m, theta_j,
-                                      DoseCorner::kNominal));
+            problem->resist_image(theta_m, theta_j, DoseCorner::kNominal));
   std::printf(
       "\nmask area grows past the target (bias + assist halos) while L2"
       " falls -- the classic ILT signature.  Images in %s/.\n",

@@ -6,18 +6,16 @@
 // `sim::ScenarioBatch`: a single mask-spectrum FFT and one pooled engine
 // pass per distinct defocus serve the whole table (dose corners reuse the
 // defocus aerial via I_c = d^2 * I), instead of rebuilding the imaging
-// stack per corner.
+// stack per corner.  The SMO run and the sweep problem share one
+// api::Session (same pool, same warm workspaces).
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
-#include "core/problem.hpp"
-#include "core/runner.hpp"
+#include "api/api.hpp"
 #include "fft/fft.hpp"
-#include "layout/generators.hpp"
 #include "math/grid_ops.hpp"
 #include "metrics/metrics.hpp"
-#include "parallel/thread_pool.hpp"
 #include "sim/scenario.hpp"
 
 namespace {
@@ -46,25 +44,26 @@ std::vector<double> l2_per_scenario(const SmoProblem& problem,
 }  // namespace
 
 int main() {
-  SmoConfig config;
-  config.optics.mask_dim = 64;
-  config.optics.pixel_nm = 8.0;
-  config.source_dim = 9;
-  config.outer_steps = 25;
-  config.unroll_steps = 2;
-  config.hyper_terms = 3;
-  config.initial_source.shape = SourceShape::kConventional;
-  config.activation.source_init = 1.5;
+  api::JobSpec spec;
+  spec.clip = api::ClipSource::generated(DatasetKind::kIccadL, /*seed=*/3);
+  spec.method = Method::kBismoNmn;
+  spec.config.initial_source.shape = SourceShape::kConventional;
+  spec.config.activation.source_init = 1.5;
+  spec.config_overrides = {"mask_dim=64", "pixel_nm=8",  "source_dim=9",
+                           "outer_steps=25", "unroll_steps=2",
+                           "hyper_terms=3"};
 
-  DatasetSpec spec = dataset_spec(DatasetKind::kIccadL);
-  spec.tile_nm = config.optics.tile_nm();
-  const Layout clip = generate_clip(spec, 3);
-  ThreadPool pool;
-  const SmoProblem problem(config, clip, &pool);
+  api::Session session;
+  const auto problem = session.make_problem(spec);
+  const RealGrid theta_m0 = problem->initial_theta_m();
+  const RealGrid theta_j0 = problem->initial_theta_j();
 
-  const RealGrid theta_m0 = problem.initial_theta_m();
-  const RealGrid theta_j0 = problem.initial_theta_j();
-  const RunResult run = run_method(problem, Method::kBismoNmn);
+  const api::JobResult result = session.run(spec);
+  if (!result.ok()) {
+    std::fprintf(stderr, "job failed: %s\n", result.error.c_str());
+    return 1;
+  }
+  const RunResult& run = result.run;
 
   // One batch covers the dose sweep at nominal focus plus the defocus sweep
   // at nominal dose: 10 corners, 4 engine passes.
@@ -75,12 +74,12 @@ int main() {
   std::vector<sim::Scenario> scenarios;
   for (double dose : doses) scenarios.push_back({dose, 0.0});
   for (double dz : defocuses) scenarios.push_back({1.0, dz});
-  const sim::ScenarioBatch batch = problem.scenario_batch(scenarios);
+  const sim::ScenarioBatch batch = problem->scenario_batch(scenarios);
 
   const std::vector<double> before =
-      l2_per_scenario(problem, batch, theta_m0, theta_j0);
+      l2_per_scenario(*problem, batch, theta_m0, theta_j0);
   const std::vector<double> after =
-      l2_per_scenario(problem, batch, run.theta_m, run.theta_j);
+      l2_per_scenario(*problem, batch, run.theta_m, run.theta_j);
 
   std::printf("batched process window: %zu corners in %zu engine passes\n\n",
               scenarios.size(), batch.distinct_defocus_count());
@@ -89,12 +88,8 @@ int main() {
   for (std::size_t i = 0; i < doses.size(); ++i) {
     std::printf("  %.2f   | %10.0f | %9.0f\n", doses[i], before[i], after[i]);
   }
-  const SolutionMetrics before_sol =
-      problem.evaluate_solution(theta_m0, theta_j0);
-  const SolutionMetrics after_sol =
-      problem.evaluate_solution(run.theta_m, run.theta_j);
   std::printf("\nPVB (+/-2%% dose band): %.0f -> %.0f nm^2\n",
-              before_sol.pvb_nm2, after_sol.pvb_nm2);
+              result.before.pvb_nm2, result.after.pvb_nm2);
 
   // Defocus extension: nominal-focus optimization, defocused evaluation --
   // the classic process-window read-out.

@@ -1,58 +1,47 @@
-// Quickstart: the smallest end-to-end BiSMO run.
+// Quickstart: the smallest end-to-end BiSMO run, through the bismo::api
+// facade.
 //
-//   1. synthesize a metal clip,
-//   2. build the differentiable SMO problem,
-//   3. run BiSMO-NMN,
-//   4. report the paper's metrics (L2 / PVB / EPE) before and after.
+//   1. declare a job: a synthesized metal clip + BiSMO-NMN + config,
+//   2. run it in a Session,
+//   3. report the paper's metrics (L2 / PVB / EPE) before and after.
 //
 // Build & run:  ./examples/quickstart
 #include <cstdio>
 
-#include "core/problem.hpp"
-#include "core/runner.hpp"
-#include "layout/generators.hpp"
-#include "parallel/thread_pool.hpp"
+#include "api/api.hpp"
 
 int main() {
   using namespace bismo;
 
   // A small configuration that finishes in seconds on a laptop: 64 x 64
-  // mask over a 512 nm tile (8 nm pixels), 9 x 9 pixelated source.
-  SmoConfig config;
-  config.optics.mask_dim = 64;
-  config.optics.pixel_nm = 8.0;
-  config.source_dim = 9;
-  config.outer_steps = 40;
-  config.unroll_steps = 2;
-  config.hyper_terms = 3;
-  config.initial_source.shape = SourceShape::kConventional;
-  config.activation.source_init = 1.5;
+  // mask over a 512 nm tile (8 nm pixels), 9 x 9 pixelated source.  Every
+  // knob is a scriptable "key=value" override (see bismo_cli
+  // --list-config for the full reference).
+  api::JobSpec job;
+  job.clip = api::ClipSource::generated(DatasetKind::kIccad13, /*seed=*/7);
+  job.method = Method::kBismoNmn;
+  job.config.initial_source.shape = SourceShape::kConventional;
+  job.config.activation.source_init = 1.5;
+  job.config_overrides = {"mask_dim=64", "pixel_nm=8",  "source_dim=9",
+                          "outer_steps=40", "unroll_steps=2", "hyper_terms=3"};
 
-  // Synthesize an ICCAD13-like clip scaled to the tile.
-  DatasetSpec spec = dataset_spec(DatasetKind::kIccad13);
-  spec.tile_nm = config.optics.tile_nm();
-  const Layout clip = generate_clip(spec, /*seed=*/7);
-  std::printf("clip: %zu rectangles, %.0f nm^2 pattern area\n", clip.size(),
-              clip.union_area_nm2());
+  api::Session session;
+  const api::JobResult result = session.run(job);
+  if (!result.ok()) {
+    std::fprintf(stderr, "job failed: %s\n", result.error.c_str());
+    return 1;
+  }
 
-  ThreadPool pool;  // hardware-width worker pool
-  const SmoProblem problem(config, clip, &pool);
-
-  const SolutionMetrics before = problem.evaluate_solution(
-      problem.initial_theta_m(), problem.initial_theta_j());
+  std::printf("job %s (clip %s)\n", result.job_name.c_str(),
+              result.clip.c_str());
   std::printf("before SMO:  L2 = %7.0f nm^2   PVB = %7.0f nm^2   EPE = %zu/%zu\n",
-              before.l2_nm2, before.pvb_nm2, before.epe_violations,
-              before.epe_samples);
-
-  const RunResult run = run_method(problem, Method::kBismoNmn);
-
-  const SolutionMetrics after =
-      problem.evaluate_solution(run.theta_m, run.theta_j);
+              result.before.l2_nm2, result.before.pvb_nm2,
+              result.before.epe_violations, result.before.epe_samples);
   std::printf("after  SMO:  L2 = %7.0f nm^2   PVB = %7.0f nm^2   EPE = %zu/%zu\n",
-              after.l2_nm2, after.pvb_nm2, after.epe_violations,
-              after.epe_samples);
+              result.after.l2_nm2, result.after.pvb_nm2,
+              result.after.epe_violations, result.after.epe_samples);
   std::printf("loss %.2f -> %.2f in %.1f s (%ld gradient evaluations)\n",
-              run.trace.front().loss, run.final_loss(), run.wall_seconds,
-              run.gradient_evaluations);
+              result.run.trace.front().loss, result.run.final_loss(),
+              result.run.wall_seconds, result.run.gradient_evaluations);
   return 0;
 }

@@ -2,17 +2,17 @@
 // (source / mask / resist before and after SMO) for one ICCAD13-like and
 // one ISPD19-like clip, and contrasts AM-SMO with BiSMO on the same clip.
 //
+// Both methods on both clips run through one api::Session: the worker pool
+// and the warm per-shape workspaces are shared across all four jobs, and
+// the image dumps re-materialize each problem from its spec.
+//
 // Writes PGM/PPM images into ./smo_flow_out/.
 #include <cstdio>
 #include <filesystem>
 #include <string>
 
-#include "core/am_smo.hpp"
-#include "core/problem.hpp"
-#include "core/runner.hpp"
+#include "api/api.hpp"
 #include "io/image_io.hpp"
-#include "layout/generators.hpp"
-#include "parallel/thread_pool.hpp"
 
 namespace {
 
@@ -32,51 +32,56 @@ void dump_solution(const SmoProblem& problem, const RealGrid& theta_m,
                     problem.target());
 }
 
+void print_line(const api::JobResult& r) {
+  std::printf("  %-12s L2 %7.0f  PVB %7.0f  EPE %zu  (%.1f s)\n",
+              r.method.c_str(), r.after.l2_nm2, r.after.pvb_nm2,
+              r.after.epe_violations, r.run.wall_seconds);
+}
+
 }  // namespace
 
 int main() {
   const std::string out_dir = "smo_flow_out";
   std::filesystem::create_directories(out_dir);
 
-  SmoConfig config;
-  config.optics.mask_dim = 64;
-  config.optics.pixel_nm = 8.0;
-  config.source_dim = 9;
-  config.outer_steps = 30;
-  config.unroll_steps = 2;
-  config.hyper_terms = 3;
-  config.initial_source.shape = SourceShape::kConventional;
-  config.activation.source_init = 1.5;
+  api::JobSpec base;
+  base.config.initial_source.shape = SourceShape::kConventional;
+  base.config.activation.source_init = 1.5;
+  base.config_overrides = {"mask_dim=64", "pixel_nm=8",  "source_dim=9",
+                           "outer_steps=30", "unroll_steps=2",
+                           "hyper_terms=3"};
 
-  ThreadPool pool;
+  api::Session session;
   for (DatasetKind kind : {DatasetKind::kIccad13, DatasetKind::kIspd19}) {
-    DatasetSpec spec = dataset_spec(kind);
-    spec.tile_nm = config.optics.tile_nm();
-    const Layout clip = generate_clip(spec, 12);
-    const SmoProblem problem(config, clip, &pool);
+    api::JobSpec spec = base;
+    spec.clip = api::ClipSource::generated(kind, /*seed=*/12);
     const std::string tag = to_string(kind);
-    std::printf("=== %s clip (%zu rects) ===\n", tag.c_str(), clip.size());
 
-    write_pgm(out_dir + "/" + tag + "_target.pgm", problem.target());
-    dump_solution(problem, problem.initial_theta_m(),
-                  problem.initial_theta_j(), out_dir, tag + "_before");
+    const auto problem = session.make_problem(spec);
+    std::printf("=== %s clip ===\n", tag.c_str());
+    write_pgm(out_dir + "/" + tag + "_target.pgm", problem->target());
+    dump_solution(*problem, problem->initial_theta_m(),
+                  problem->initial_theta_j(), out_dir, tag + "_before");
 
-    // AM-SMO baseline and BiSMO on the same clip.
-    const RunResult am = run_method(problem, Method::kAmAbbeAbbe);
-    const SolutionMetrics am_metrics =
-        problem.evaluate_solution(am.theta_m, am.theta_j);
-    std::printf("  %-12s L2 %7.0f  PVB %7.0f  EPE %zu  (%.1f s)\n",
-                am.method.c_str(), am_metrics.l2_nm2, am_metrics.pvb_nm2,
-                am_metrics.epe_violations, am.wall_seconds);
+    // AM-SMO baseline and BiSMO on the same clip, same session.
+    spec.method = Method::kAmAbbeAbbe;
+    const api::JobResult am = session.run(spec);
+    if (!am.ok()) {
+      std::fprintf(stderr, "job failed: %s\n", am.error.c_str());
+      return 1;
+    }
+    print_line(am);
 
-    const RunResult bi = run_method(problem, Method::kBismoNmn);
-    const SolutionMetrics bi_metrics =
-        problem.evaluate_solution(bi.theta_m, bi.theta_j);
-    std::printf("  %-12s L2 %7.0f  PVB %7.0f  EPE %zu  (%.1f s)\n",
-                bi.method.c_str(), bi_metrics.l2_nm2, bi_metrics.pvb_nm2,
-                bi_metrics.epe_violations, bi.wall_seconds);
+    spec.method = Method::kBismoNmn;
+    const api::JobResult bi = session.run(spec);
+    if (!bi.ok()) {
+      std::fprintf(stderr, "job failed: %s\n", bi.error.c_str());
+      return 1;
+    }
+    print_line(bi);
 
-    dump_solution(problem, bi.theta_m, bi.theta_j, out_dir, tag + "_after");
+    dump_solution(*problem, bi.run.theta_m, bi.run.theta_j, out_dir,
+                  tag + "_after");
     std::printf("  images written to %s/%s_*.pgm|ppm\n", out_dir.c_str(),
                 tag.c_str());
   }

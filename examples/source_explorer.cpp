@@ -3,31 +3,28 @@
 // that the optimizer discovers the physically expected off-axis shape
 // (dipole-like poles for a 1-D grating) from a generic conventional disc.
 //
+// The SO problem is built through api::Session::make_problem; the custom
+// Adam loop then drives the gradient engine directly (the facade's escape
+// hatch), since source-only iteration with live inspection is not a
+// canned Method.
+//
 // Writes source images into ./source_explorer_out/.
 #include <cstdio>
 #include <filesystem>
 #include <string>
 
-#include "core/problem.hpp"
+#include "api/api.hpp"
 #include "io/image_io.hpp"
-#include "layout/layout.hpp"
 #include "math/grid_ops.hpp"
-#include "opt/optimizer.hpp"
-#include "parallel/thread_pool.hpp"
 
 int main() {
   using namespace bismo;
   const std::string out_dir = "source_explorer_out";
   std::filesystem::create_directories(out_dir);
 
-  SmoConfig config;
-  config.optics.mask_dim = 64;
-  config.optics.pixel_nm = 8.0;
-  config.source_dim = 15;  // finer sigma grid to make shapes visible
-  config.activation.source_init = 1.5;
-
-  // 1. Template gallery.
-  const SourceGeometry geometry(config.source_dim, config.optics);
+  // 1. Template gallery on a finer sigma grid so shapes are visible.
+  OpticsConfig optics{193.0, 1.35, 64, 8.0, 0.0};
+  const SourceGeometry geometry(/*nj=*/15, optics);
   for (SourceShape shape :
        {SourceShape::kAnnular, SourceShape::kConventional,
         SourceShape::kDipoleX, SourceShape::kDipoleY, SourceShape::kQuasar}) {
@@ -40,19 +37,24 @@ int main() {
   }
 
   // 2. SO on a dense vertical-line grating (pitch 96 nm, CD 32 nm).
-  Layout grating(config.optics.tile_nm());
+  Layout grating(512.0);
   for (double x = 64.0; x + 32.0 <= 448.0; x += 96.0) {
     grating.add_rect({x, 96.0, x + 32.0, 416.0});
   }
-  config.initial_source.shape = SourceShape::kConventional;
-  config.initial_source.sigma_out = 0.95;
-  ThreadPool pool;
-  const SmoProblem problem(config, grating, &pool);
 
-  RealGrid theta_j = problem.initial_theta_j();
-  const RealGrid theta_m = problem.initial_theta_m();
+  api::JobSpec spec;
+  spec.clip = api::ClipSource::from_layout(grating);
+  spec.config_overrides = {"mask_dim=64", "source_dim=15",
+                           "source_shape=conventional", "sigma_out=0.95",
+                           "source_init=1.5"};
+
+  api::Session session;
+  const auto problem = session.make_problem(spec);
+
+  RealGrid theta_j = problem->initial_theta_j();
+  const RealGrid theta_m = problem->initial_theta_m();
   write_pgm(out_dir + "/so_source_initial.pgm",
-            problem.source_image(theta_j));
+            problem->source_image(theta_j));
 
   AdamOptimizer adam(0.3);
   GradRequest req;
@@ -62,12 +64,12 @@ int main() {
   double last = 0.0;
   const int steps = 60;
   for (int s = 0; s < steps; ++s) {
-    const SmoGradient g = problem.engine().evaluate(theta_m, theta_j, req);
+    const SmoGradient g = problem->engine().evaluate(theta_m, theta_j, req);
     if (s == 0) first = g.loss;
     last = g.loss;
     adam.step(theta_j, g.grad_theta_j);
   }
-  const RealGrid j_final = problem.source_image(theta_j);
+  const RealGrid j_final = problem->source_image(theta_j);
   write_pgm(out_dir + "/so_source_final.pgm", j_final);
   std::printf("\nSO on vertical grating: loss %.2f -> %.2f (%d steps)\n",
               first, last, steps);
@@ -75,10 +77,11 @@ int main() {
   // Quantify the discovered anisotropy: energy in the x-axis poles vs the
   // y-axis poles.  A vertical grating diffracts along x, so off-axis poles
   // on the x axis are the physically useful ones (dipole-x illumination).
-  const std::size_t nj = geometry.dim();
+  const SourceGeometry& so_geometry = problem->geometry();
+  const std::size_t nj = so_geometry.dim();
   double x_energy = 0.0;
   double y_energy = 0.0;
-  for (const SourcePoint& p : geometry.points()) {
+  for (const SourcePoint& p : so_geometry.points()) {
     const double w = j_final(p.row, p.col);
     if (std::abs(p.sigma_x) > 2.0 * std::abs(p.sigma_y)) x_energy += w;
     if (std::abs(p.sigma_y) > 2.0 * std::abs(p.sigma_x)) y_energy += w;

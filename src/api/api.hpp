@@ -1,0 +1,13 @@
+// Umbrella header for the bismo::api facade: declarative JobSpecs, the
+// Session execution context, and structured JobResults.  This is the
+// supported entry point for tools, examples and services; see the README
+// "Architecture" section for the JobSpec lifecycle and the config-key
+// reference.
+#ifndef BISMO_API_API_HPP
+#define BISMO_API_API_HPP
+
+#include "api/job_result.hpp"
+#include "api/job_spec.hpp"
+#include "api/session.hpp"
+
+#endif  // BISMO_API_API_HPP

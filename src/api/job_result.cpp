@@ -1,0 +1,87 @@
+#include "api/job_result.hpp"
+
+#include "io/csv.hpp"
+#include "io/json.hpp"
+
+namespace bismo::api {
+namespace {
+
+void write_metrics(JsonWriter& w, const SolutionMetrics& m) {
+  w.begin_object();
+  w.key("l2_nm2").value(m.l2_nm2);
+  w.key("pvb_nm2").value(m.pvb_nm2);
+  w.key("epe_violations").value(m.epe_violations);
+  w.key("epe_samples").value(m.epe_samples);
+  w.key("loss").value(m.loss);
+  w.end_object();
+}
+
+void write_result_object(JsonWriter& w, const JobResult& r) {
+  w.begin_object();
+  w.key("job").value(r.job_name);
+  w.key("method").value(r.method);
+  w.key("clip").value(r.clip);
+  w.key("ok").value(r.ok());
+  if (!r.ok()) w.key("error").value(r.error);
+  w.key("cancelled").value(r.cancelled());
+  w.key("setup_seconds").value(r.setup_seconds);
+  w.key("run_seconds").value(r.run.wall_seconds);
+  w.key("total_seconds").value(r.total_seconds);
+  w.key("gradient_evaluations").value(r.run.gradient_evaluations);
+  w.key("workspaces_reused").value(r.workspaces_reused);
+  w.key("before");
+  write_metrics(w, r.before);
+  w.key("after");
+  write_metrics(w, r.after);
+  w.key("trace").begin_array();
+  for (const StepRecord& rec : r.run.trace) {
+    w.begin_object();
+    w.key("step").value(rec.step);
+    w.key("loss").value(rec.loss);
+    w.key("l2").value(rec.l2);
+    w.key("pvb").value(rec.pvb);
+    w.key("seconds").value(rec.seconds);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+void write_json(std::ostream& out, const JobResult& result) {
+  JsonWriter w(out);
+  write_result_object(w, result);
+}
+
+void write_json(std::ostream& out, const std::vector<JobResult>& results) {
+  JsonWriter w(out);
+  w.begin_object();
+  std::size_t ok = 0;
+  std::size_t cancelled = 0;
+  double total = 0.0;
+  for (const JobResult& r : results) {
+    ok += r.ok() ? 1 : 0;
+    cancelled += r.cancelled() ? 1 : 0;
+    total += r.total_seconds;
+  }
+  w.key("job_count").value(results.size());
+  w.key("ok_count").value(ok);
+  w.key("cancelled_count").value(cancelled);
+  w.key("total_seconds").value(total);
+  w.key("jobs").begin_array();
+  for (const JobResult& r : results) write_result_object(w, r);
+  w.end_array();
+  w.end_object();
+}
+
+void write_trace_csv(std::ostream& out, const JobResult& result) {
+  CsvWriter csv(out);
+  csv.header({"step", "loss", "l2", "pvb", "seconds"});
+  for (const StepRecord& rec : result.run.trace) {
+    csv.row({static_cast<double>(rec.step), rec.loss, rec.l2, rec.pvb,
+             rec.seconds});
+  }
+}
+
+}  // namespace bismo::api

@@ -1,0 +1,199 @@
+#include "api/session.hpp"
+
+#include <chrono>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+namespace bismo::api {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Load the clip's Layout once for layout-based kinds (so the tile lookup
+/// and the rasterization cannot disagree and files are parsed once);
+/// nullopt for generator/raw-grid clips.
+std::optional<Layout> load_layout(const ClipSource& clip) {
+  switch (clip.kind) {
+    case ClipSource::Kind::kLayoutFile:
+      return read_layout(clip.layout_path);
+    case ClipSource::Kind::kLayout:
+      return clip.layout;
+    default:
+      return std::nullopt;
+  }
+}
+
+/// Effective configuration given the (possibly preloaded) layout.
+SmoConfig resolve_config_impl(const JobSpec& spec, const Layout* layout) {
+  SmoConfig config = spec.config;
+  apply_config_overrides(config, spec.config_overrides);
+  switch (spec.clip.kind) {
+    case ClipSource::Kind::kLayoutFile:
+    case ClipSource::Kind::kLayout: {
+      // A layout clip fixes the physical tile: the rasterized grid spans
+      // the whole tile, so the pixel pitch is tile / mask_dim regardless
+      // of the config default.
+      const double tile = layout != nullptr ? layout->tile_nm() : 0.0;
+      if (tile > 0.0) {
+        config.optics.pixel_nm =
+            tile / static_cast<double>(config.optics.mask_dim);
+      }
+      break;
+    }
+    case ClipSource::Kind::kRawGrid: {
+      // A raw grid fixes the discretization instead.
+      if (spec.clip.grid.rows() != spec.clip.grid.cols()) {
+        throw std::invalid_argument("ClipSource: raw grid must be square");
+      }
+      config.optics.mask_dim = spec.clip.grid.rows();
+      break;
+    }
+    case ClipSource::Kind::kGenerator:
+      break;  // the generator adapts to the configured tile
+  }
+  config.validate();
+  return config;
+}
+
+/// Materialize the clip as a rasterized target grid for `config`.
+RealGrid resolve_target(const ClipSource& clip, const SmoConfig& config,
+                        const Layout* layout) {
+  if (layout != nullptr) return layout->rasterize(config.optics.mask_dim);
+  switch (clip.kind) {
+    case ClipSource::Kind::kGenerator: {
+      DatasetSpec spec = dataset_spec(clip.dataset);
+      spec.tile_nm = config.optics.tile_nm();
+      return generate_clip(spec, clip.seed)
+          .rasterize(config.optics.mask_dim);
+    }
+    case ClipSource::Kind::kRawGrid:
+      return clip.grid;
+    default:
+      throw std::invalid_argument("ClipSource: layout clip without layout");
+  }
+}
+
+const Layout* layout_ptr(const std::optional<Layout>& layout) {
+  return layout.has_value() ? &*layout : nullptr;
+}
+
+}  // namespace
+
+Session::Session(Options options)
+    : pool_(options.threads), observer_(std::move(options.on_progress)) {}
+
+SmoConfig Session::resolve_config(const JobSpec& spec) const {
+  const std::optional<Layout> layout = load_layout(spec.clip);
+  return resolve_config_impl(spec, layout_ptr(layout));
+}
+
+std::shared_ptr<sim::WorkspaceSet> Session::workspaces_for(
+    std::size_t mask_dim, bool* reused) {
+  auto it = workspace_cache_.find(mask_dim);
+  if (it != workspace_cache_.end()) {
+    if (reused != nullptr) *reused = true;
+    return it->second;
+  }
+  if (reused != nullptr) *reused = false;
+  auto set = std::make_shared<sim::WorkspaceSet>();
+  workspace_cache_.emplace(mask_dim, set);
+  return set;
+}
+
+std::unique_ptr<SmoProblem> Session::make_problem(const JobSpec& spec) {
+  const std::optional<Layout> layout = load_layout(spec.clip);
+  const SmoConfig config = resolve_config_impl(spec, layout_ptr(layout));
+  RealGrid target = resolve_target(spec.clip, config, layout_ptr(layout));
+  return std::make_unique<SmoProblem>(
+      config, std::move(target), &pool_,
+      workspaces_for(config.optics.mask_dim, nullptr));
+}
+
+int Session::planned_steps(Method method, const SmoConfig& config) {
+  switch (method) {
+    case Method::kAmAbbeHopkins:
+    case Method::kAmAbbeAbbe:
+      return config.am_cycles * (config.am_so_steps + config.am_mo_steps);
+    default:
+      return config.outer_steps;
+  }
+}
+
+JobResult Session::run_indexed(const JobSpec& spec, std::size_t index,
+                               std::size_t count) {
+  const auto start = Clock::now();
+  JobResult result;
+  result.job_name = spec.display_name();
+  result.method = to_string(spec.method);
+  result.clip = spec.clip.describe();
+  ++stats_.jobs_run;
+
+  // A pending cancel drains the job before any setup work (clip loading,
+  // engine construction, metric evaluation) so a cancelled batch exits
+  // promptly instead of paying full setup per remaining job.
+  if (cancel_.requested()) {
+    result.run.method = result.method;
+    result.run.cancelled = true;
+    result.total_seconds = elapsed_seconds(start);
+    return result;
+  }
+
+  try {
+    const std::optional<Layout> layout = load_layout(spec.clip);
+    const SmoConfig config = resolve_config_impl(spec, layout_ptr(layout));
+    bool reused = false;
+    auto workspaces = workspaces_for(config.optics.mask_dim, &reused);
+    result.workspaces_reused = reused;
+    if (reused) ++stats_.workspace_reuses;
+
+    RealGrid target = resolve_target(spec.clip, config, layout_ptr(layout));
+    const SmoProblem problem(config, std::move(target), &pool_,
+                             std::move(workspaces));
+    result.setup_seconds = elapsed_seconds(start);
+
+    RunControl control;
+    control.cancel = &cancel_;
+    if (observer_) {
+      Progress progress;
+      progress.job_index = index;
+      progress.job_count = count;
+      progress.job_name = result.job_name;
+      progress.method = result.method;
+      progress.planned_steps = planned_steps(spec.method, config);
+      control.on_step = [this, progress](const StepRecord& record) mutable {
+        progress.step = record;
+        observer_(progress);
+      };
+    }
+
+    result.before = problem.evaluate_solution(problem.initial_theta_m(),
+                                              problem.initial_theta_j());
+    result.run = run_method(problem, spec.method, control);
+    result.after = problem.evaluate_solution(result.run.theta_m,
+                                             result.run.theta_j);
+  } catch (const std::exception& e) {
+    result.error = e.what();
+  }
+  result.total_seconds = elapsed_seconds(start);
+  return result;
+}
+
+JobResult Session::run(const JobSpec& spec) {
+  return run_indexed(spec, 0, 1);
+}
+
+std::vector<JobResult> Session::run_batch(const std::vector<JobSpec>& specs) {
+  std::vector<JobResult> results;
+  results.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    results.push_back(run_indexed(specs[i], i, specs.size()));
+  }
+  return results;
+}
+
+}  // namespace bismo::api

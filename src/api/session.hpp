@@ -1,0 +1,125 @@
+// api::Session -- the single supported way to execute SMO runs.
+//
+// A Session owns the execution substrate every job shares: the worker
+// ThreadPool, a cache of warm sim::WorkspaceSets keyed by mask dimension
+// (so successive same-shaped jobs skip buffer allocation and FFT
+// planning), a cooperative CancelToken, and an optional progress observer.
+// Jobs are described declaratively (api::JobSpec) and executed one at a
+// time; `run_batch` drives multi-clip workloads through the shared pool --
+// each job's imaging engines parallelize across all workers, so the pool
+// is saturated for the whole batch while setup cost is amortized across
+// jobs.
+//
+// Failure containment: `run` and `run_batch` never throw for per-job
+// problems (bad layout file, invalid configuration, ...); the error is
+// captured in JobResult::error and a batch continues with the next job.
+#ifndef BISMO_API_SESSION_HPP
+#define BISMO_API_SESSION_HPP
+
+#include <cstddef>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/job_result.hpp"
+#include "api/job_spec.hpp"
+#include "core/run_control.hpp"
+#include "parallel/thread_pool.hpp"
+#include "sim/workspace.hpp"
+
+namespace bismo::api {
+
+/// One progress event: a freshly completed optimizer step of one job.
+struct Progress {
+  std::size_t job_index = 0;  ///< position in the batch (0 for single runs)
+  std::size_t job_count = 1;  ///< batch size (1 for single runs)
+  std::string job_name;       ///< JobSpec::display_name()
+  std::string method;         ///< method being run
+  StepRecord step;            ///< the step just recorded
+  int planned_steps = 0;      ///< expected trace length for this job
+};
+
+/// Invoked from the driver thread after every recorded step; keep cheap.
+/// It is safe to call Session::request_cancel() from the observer.
+using ProgressObserver = std::function<void(const Progress&)>;
+
+/// Execution context shared by a sequence of jobs.
+class Session {
+ public:
+  struct Options {
+    std::size_t threads = 0;       ///< worker threads (0 = hardware)
+    ProgressObserver on_progress;  ///< optional step observer
+  };
+
+  /// Cross-job reuse counters.
+  struct Stats {
+    std::size_t jobs_run = 0;
+    std::size_t workspace_reuses = 0;  ///< jobs served by a warm set
+  };
+
+  Session() : Session(Options{}) {}
+  explicit Session(Options options);
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// The shared worker pool (parallel width for every engine).
+  ThreadPool& pool() noexcept { return pool_; }
+
+  /// Ask the in-flight run (and any not-yet-started batch jobs) to stop at
+  /// the next step boundary.  Callable from any thread, including the
+  /// progress observer.
+  void request_cancel() noexcept { cancel_.request(); }
+
+  /// True once a cancel has been requested and not yet reset.
+  bool cancel_requested() const noexcept { return cancel_.requested(); }
+
+  /// Re-arm the session after a cancelled run (cancellation is sticky so a
+  /// batch drains quickly; new work needs an explicit reset).
+  void reset_cancel() noexcept { cancel_.reset(); }
+
+  Stats stats() const noexcept { return stats_; }
+
+  /// Execute one job.  Never throws for job-level failures; see
+  /// JobResult::error.
+  JobResult run(const JobSpec& spec);
+
+  /// Execute jobs in order through the shared pool and warm workspaces.
+  /// Continues past failed jobs; a cancel request drains the remainder as
+  /// cancelled results.
+  std::vector<JobResult> run_batch(const std::vector<JobSpec>& specs);
+
+  /// The spec's effective configuration: base config + clip-derived pixel
+  /// pitch + overrides, validated.  Throws std::invalid_argument on bad
+  /// overrides (this is what `run` captures into JobResult::error).
+  SmoConfig resolve_config(const JobSpec& spec) const;
+
+  /// Build the problem a spec describes, on this session's pool and warm
+  /// workspaces -- the escape hatch for custom loops (examples that drive
+  /// the gradient engine directly).  Throws on invalid specs.
+  std::unique_ptr<SmoProblem> make_problem(const JobSpec& spec);
+
+  /// Expected trace length of `method` under `config` (progress totals).
+  static int planned_steps(Method method, const SmoConfig& config);
+
+ private:
+  JobResult run_indexed(const JobSpec& spec, std::size_t index,
+                        std::size_t count);
+
+  /// Warm workspace set for a mask dimension; sets `reused` when a prior
+  /// job of this session already warmed it.
+  std::shared_ptr<sim::WorkspaceSet> workspaces_for(std::size_t mask_dim,
+                                                    bool* reused);
+
+  ThreadPool pool_;
+  ProgressObserver observer_;
+  CancelToken cancel_;
+  std::map<std::size_t, std::shared_ptr<sim::WorkspaceSet>> workspace_cache_;
+  Stats stats_;
+};
+
+}  // namespace bismo::api
+
+#endif  // BISMO_API_SESSION_HPP

@@ -27,7 +27,7 @@ std::string to_string(AmMode mode) {
 }
 
 RunResult run_am_smo(const SmoProblem& problem, AmMode mode,
-                     const AmOptions& options) {
+                     const AmOptions& options, const RunControl& control) {
   const auto start = Clock::now();
   const SmoConfig& cfg = problem.config();
   const LossWeights& w = cfg.weights;
@@ -40,7 +40,7 @@ RunResult run_am_smo(const SmoProblem& problem, AmMode mode,
   // minimization); the parameters themselves carry over.
   int global_step = 0;
 
-  for (int cycle = 0; cycle < options.cycles; ++cycle) {
+  for (int cycle = 0; cycle < options.cycles && !result.cancelled; ++cycle) {
     // ---- SO epoch (line 3): theta_M fixed. Always on the Abbe engine. ----
     {
       auto so_opt = make_optimizer(options.optimizer, options.lr_source);
@@ -48,13 +48,19 @@ RunResult run_am_smo(const SmoProblem& problem, AmMode mode,
       req.mask = false;
       req.source = true;
       for (int step = 0; step < options.so_steps; ++step) {
+        if (control.stop_requested()) {
+          result.cancelled = true;
+          break;
+        }
         const SmoGradient g = problem.engine().evaluate(theta_m, theta_j, req);
         ++result.gradient_evaluations;
         result.trace.push_back({global_step++, w.gamma * g.l2 + w.eta * g.pvb,
                                 g.l2, g.pvb, elapsed_seconds(start)});
+        control.notify(result.trace.back());
         so_opt->step(theta_j, g.grad_theta_j);
       }
     }
+    if (result.cancelled) break;
 
     // ---- MO epoch (line 5): theta_J fixed. ----
     if (mode == AmMode::kAbbeAbbe) {
@@ -63,10 +69,15 @@ RunResult run_am_smo(const SmoProblem& problem, AmMode mode,
       req.mask = true;
       req.source = false;
       for (int step = 0; step < options.mo_steps; ++step) {
+        if (control.stop_requested()) {
+          result.cancelled = true;
+          break;
+        }
         const SmoGradient g = problem.engine().evaluate(theta_m, theta_j, req);
         ++result.gradient_evaluations;
         result.trace.push_back({global_step++, w.gamma * g.l2 + w.eta * g.pvb,
                                 g.l2, g.pvb, elapsed_seconds(start)});
+        control.notify(result.trace.back());
         mo_opt->step(theta_m, g.grad_theta_m);
       }
     } else {
@@ -85,10 +96,15 @@ RunResult run_am_smo(const SmoProblem& problem, AmMode mode,
                                          cfg.process_window);
       auto mo_opt = make_optimizer(options.optimizer, options.lr_mask);
       for (int step = 0; step < options.mo_steps; ++step) {
+        if (control.stop_requested()) {
+          result.cancelled = true;
+          break;
+        }
         const SmoGradient g = engine.evaluate(theta_m);
         ++result.gradient_evaluations;
         result.trace.push_back({global_step++, w.gamma * g.l2 + w.eta * g.pvb,
                                 g.l2, g.pvb, elapsed_seconds(start)});
+        control.notify(result.trace.back());
         mo_opt->step(theta_m, g.grad_theta_m);
       }
     }

@@ -15,6 +15,7 @@
 #include <cstddef>
 
 #include "core/problem.hpp"
+#include "core/run_control.hpp"
 #include "core/trace.hpp"
 #include "opt/optimizer.hpp"
 
@@ -40,7 +41,7 @@ struct AmOptions {
 /// Run AM-SMO.  The trace interleaves SO and MO steps (the zig-zag loss of
 /// the paper's Fig. 3).
 RunResult run_am_smo(const SmoProblem& problem, AmMode mode,
-                     const AmOptions& options);
+                     const AmOptions& options, const RunControl& control = {});
 
 /// Human-readable mode name.
 std::string to_string(AmMode mode);

@@ -45,7 +45,7 @@ std::string to_string(BismoVariant variant) {
 }
 
 RunResult run_bismo(const SmoProblem& problem, BismoVariant variant,
-                    const BismoOptions& options) {
+                    const BismoOptions& options, const RunControl& control) {
   const auto start = Clock::now();
   const SmoConfig& cfg = problem.config();
   const LossWeights& w = cfg.weights;
@@ -68,6 +68,10 @@ RunResult run_bismo(const SmoProblem& problem, BismoVariant variant,
   source_only.source = true;
 
   for (int outer = 0; outer < options.outer_steps; ++outer) {
+    if (control.stop_requested()) {
+      result.cancelled = true;
+      break;
+    }
     // ---- Lower level: unroll T SO steps (Alg. 2 lines 2-4). ----
     for (int t = 0; t < options.unroll_steps; ++t) {
       const SmoGradient g = engine.evaluate(theta_m, theta_j, source_only);
@@ -80,6 +84,7 @@ RunResult run_bismo(const SmoProblem& problem, BismoVariant variant,
     ++result.gradient_evaluations;
     result.trace.push_back({outer, w.gamma * g.l2 + w.eta * g.pvb, g.l2,
                             g.pvb, elapsed_seconds(start)});
+    control.notify(result.trace.back());
     const RealGrid& v = g.grad_theta_j;  // dLmo/dthetaJ
 
     RealGrid wvec(theta_j.rows(), theta_j.cols(), 0.0);

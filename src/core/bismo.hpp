@@ -22,6 +22,7 @@
 #include <string>
 
 #include "core/problem.hpp"
+#include "core/run_control.hpp"
 #include "core/trace.hpp"
 #include "opt/optimizer.hpp"
 
@@ -45,7 +46,8 @@ struct BismoOptions {
 
 /// Run BiSMO with the chosen hypergradient variant.
 RunResult run_bismo(const SmoProblem& problem, BismoVariant variant,
-                    const BismoOptions& options);
+                    const BismoOptions& options,
+                    const RunControl& control = {});
 
 /// Human-readable variant name ("BiSMO-FD" etc.).
 std::string to_string(BismoVariant variant);

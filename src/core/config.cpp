@@ -1,29 +1,60 @@
 #include "core/config.hpp"
 
+#include <sstream>
 #include <stdexcept>
 
 namespace bismo {
+namespace {
+
+/// Uniform "field = value" diagnostic so callers (CLI, api::Session) can
+/// print configuration mistakes as one-line errors naming the knob.
+template <typename T>
+[[noreturn]] void reject(const char* field, T value, const char* requirement) {
+  std::ostringstream ss;
+  ss << "SmoConfig: " << field << " = " << value << " invalid ("
+     << requirement << ")";
+  throw std::invalid_argument(ss.str());
+}
+
+}  // namespace
 
 void SmoConfig::validate() const {
   optics.validate();
   if (source_dim < 2) {
-    throw std::invalid_argument("SmoConfig: source_dim must be >= 2");
+    reject("source_dim", source_dim, "need >= 2");
   }
-  if (lr_mask <= 0.0 || lr_source <= 0.0) {
-    throw std::invalid_argument("SmoConfig: learning rates must be positive");
+  if (lr_mask <= 0.0) {
+    reject("lr_mask", lr_mask, "learning rate must be positive");
   }
-  if (unroll_steps < 0 || hyper_terms < 0) {
-    throw std::invalid_argument("SmoConfig: negative bilevel budgets");
+  if (lr_source <= 0.0) {
+    reject("lr_source", lr_source, "learning rate must be positive");
   }
-  if (outer_steps <= 0 || am_cycles <= 0 || am_so_steps <= 0 ||
-      am_mo_steps <= 0) {
-    throw std::invalid_argument("SmoConfig: iteration budgets must be positive");
+  if (unroll_steps < 0) {
+    reject("unroll_steps", unroll_steps, "bilevel budget must be >= 0");
+  }
+  if (hyper_terms < 0) {
+    reject("hyper_terms", hyper_terms, "bilevel budget must be >= 0");
+  }
+  if (outer_steps <= 0) {
+    reject("outer_steps", outer_steps, "iteration budget must be positive");
+  }
+  if (am_cycles <= 0) {
+    reject("am_cycles", am_cycles, "iteration budget must be positive");
+  }
+  if (am_so_steps <= 0) {
+    reject("am_so_steps", am_so_steps, "iteration budget must be positive");
+  }
+  if (am_mo_steps <= 0) {
+    reject("am_mo_steps", am_mo_steps, "iteration budget must be positive");
   }
   if (socs_kernels == 0) {
-    throw std::invalid_argument("SmoConfig: socs_kernels must be >= 1");
+    reject("socs_kernels", socs_kernels, "need >= 1");
   }
-  if (weights.gamma < 0.0 || weights.eta < 0.0) {
-    throw std::invalid_argument("SmoConfig: negative loss weights");
+  if (weights.gamma < 0.0) {
+    reject("weights.gamma", weights.gamma, "loss weight must be >= 0");
+  }
+  if (weights.eta < 0.0) {
+    reject("weights.eta", weights.eta, "loss weight must be >= 0");
   }
 }
 

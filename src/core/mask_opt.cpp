@@ -56,7 +56,8 @@ RealGrid upsample_params(const RealGrid& grid, std::size_t factor) {
 
 }  // namespace
 
-RunResult run_abbe_mo(const SmoProblem& problem, const MoOptions& options) {
+RunResult run_abbe_mo(const SmoProblem& problem, const MoOptions& options,
+                      const RunControl& control) {
   const auto start = Clock::now();
   RunResult result;
   result.method = "Abbe-MO";
@@ -79,11 +80,16 @@ RunResult run_abbe_mo(const SmoProblem& problem, const MoOptions& options) {
   req.source = false;
   PlateauDetector plateau(options.stop);
   for (int step = 0; step < options.steps; ++step) {
+    if (control.stop_requested()) {
+      result.cancelled = true;
+      break;
+    }
     const SmoGradient g = engine.evaluate(theta_m, theta_j, req);
     ++result.gradient_evaluations;
     const double loss = standard_loss(problem, g.l2, g.pvb);
     result.trace.push_back({step, loss, g.l2, g.pvb,
                             elapsed_seconds(start)});
+    control.notify(result.trace.back());
     opt->step(theta_m, g.grad_theta_m);
     if (plateau.should_stop(loss)) break;
   }
@@ -94,7 +100,8 @@ RunResult run_abbe_mo(const SmoProblem& problem, const MoOptions& options) {
 }
 
 RunResult run_hopkins_mo(const SmoProblem& problem,
-                         const HopkinsMoOptions& options) {
+                         const HopkinsMoOptions& options,
+                         const RunControl& control) {
   const auto start = Clock::now();
   RunResult result;
   result.method = options.levels > 1 ? "DAC23-MILT-proxy" : "Hopkins-MO";
@@ -156,12 +163,25 @@ RunResult run_hopkins_mo(const SmoProblem& problem,
     // Mean-reduced losses are commensurate across resolutions, so coarse
     // levels trace directly.
     for (int step = 0; step < steps; ++step) {
+      if (control.stop_requested()) {
+        result.cancelled = true;
+        break;
+      }
       const SmoGradient g = engine.evaluate(theta_m);
       ++result.gradient_evaluations;
       result.trace.push_back({global_step++,
                               standard_loss(problem, g.l2, g.pvb), g.l2, g.pvb,
                               elapsed_seconds(start)});
+      control.notify(result.trace.back());
       opt->step(theta_m, g.grad_theta_m);
+    }
+    if (result.cancelled) {
+      // Cancelled at a coarse level: upsample to the full-resolution shape
+      // so the returned parameters are always usable with the problem.
+      while (theta_m.rows() < cfg.optics.mask_dim) {
+        theta_m = upsample_params(theta_m, 2);
+      }
+      break;
     }
     if (level + 1 < options.levels) {
       theta_m = upsample_params(theta_m, 2);

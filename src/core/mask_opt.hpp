@@ -15,6 +15,7 @@
 #include <cstddef>
 
 #include "core/problem.hpp"
+#include "core/run_control.hpp"
 #include "core/stop.hpp"
 #include "core/trace.hpp"
 
@@ -38,12 +39,14 @@ struct HopkinsMoOptions {
 
 /// Abbe-based MO: optimizes theta_M with theta_J frozen at the template.
 /// The trace records the full Lsmo (standard weights) for comparability.
-RunResult run_abbe_mo(const SmoProblem& problem, const MoOptions& options);
+RunResult run_abbe_mo(const SmoProblem& problem, const MoOptions& options,
+                      const RunControl& control = {});
 
 /// Hopkins-based MO (single or multi-level).  The TCC is built once from
 /// the frozen template source.  The returned theta_j is the frozen initial.
 RunResult run_hopkins_mo(const SmoProblem& problem,
-                         const HopkinsMoOptions& options);
+                         const HopkinsMoOptions& options,
+                         const RunControl& control = {});
 
 }  // namespace bismo
 

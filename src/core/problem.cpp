@@ -9,11 +9,13 @@
 namespace bismo {
 
 SmoProblem::SmoProblem(const SmoConfig& config, RealGrid target,
-                       ThreadPool* pool)
+                       ThreadPool* pool,
+                       std::shared_ptr<sim::WorkspaceSet> workspaces)
     : config_(config),
       target_(std::move(target)),
       pool_(pool),
-      workspaces_(std::make_shared<sim::WorkspaceSet>()) {
+      workspaces_(workspaces ? std::move(workspaces)
+                             : std::make_shared<sim::WorkspaceSet>()) {
   config_.validate();
   const std::size_t n = config_.optics.mask_dim;
   if (target_.rows() != n || target_.cols() != n) {
@@ -35,8 +37,10 @@ sim::ScenarioBatch SmoProblem::scenario_batch(
 }
 
 SmoProblem::SmoProblem(const SmoConfig& config, const Layout& clip,
-                       ThreadPool* pool)
-    : SmoProblem(config, clip.rasterize(config.optics.mask_dim), pool) {}
+                       ThreadPool* pool,
+                       std::shared_ptr<sim::WorkspaceSet> workspaces)
+    : SmoProblem(config, clip.rasterize(config.optics.mask_dim), pool,
+                 std::move(workspaces)) {}
 
 RealGrid SmoProblem::initial_theta_m() const {
   return init_mask_params(target_, config_.activation);

@@ -32,13 +32,18 @@ struct SolutionMetrics {
 /// copyable (engines hold internal references).
 class SmoProblem {
  public:
-  /// Build from a prerasterized binary target grid.
+  /// Build from a prerasterized binary target grid.  `workspaces` lets a
+  /// caller (api::Session) share one warm WorkspaceSet across successive
+  /// same-shaped problems so later jobs skip buffer allocation and FFT
+  /// planning; null means a private set.
   SmoProblem(const SmoConfig& config, RealGrid target,
-             ThreadPool* pool = nullptr);
+             ThreadPool* pool = nullptr,
+             std::shared_ptr<sim::WorkspaceSet> workspaces = nullptr);
 
   /// Build from a layout clip (rasterized to the configured mask grid).
   SmoProblem(const SmoConfig& config, const Layout& clip,
-             ThreadPool* pool = nullptr);
+             ThreadPool* pool = nullptr,
+             std::shared_ptr<sim::WorkspaceSet> workspaces = nullptr);
 
   SmoProblem(const SmoProblem&) = delete;
   SmoProblem& operator=(const SmoProblem&) = delete;

@@ -1,0 +1,70 @@
+// Run-time control of the optimization drivers: per-step progress
+// observation and cooperative cancellation.
+//
+// Every driver loop (core/bismo, core/am_smo, core/mask_opt,
+// core/source_opt) records a StepRecord per optimizer step; a RunControl
+// passed alongside the options forwards each record to an observer as it
+// is produced and lets a long run be aborted between steps.  Cancellation
+// is cooperative: the token is checked once per step, the driver keeps the
+// trace and parameters computed so far and returns with
+// `RunResult::cancelled` set.  This complements the plateau-based early
+// stopping of core/stop.hpp (which the loss stream itself triggers).
+#ifndef BISMO_CORE_RUN_CONTROL_HPP
+#define BISMO_CORE_RUN_CONTROL_HPP
+
+#include <atomic>
+#include <functional>
+
+#include "core/trace.hpp"
+
+namespace bismo {
+
+/// Shared flag requesting a run to stop at the next step boundary.
+/// Thread-safe: any thread may call `request()` while a driver polls
+/// `requested()` from the optimization loop.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Ask the run(s) observing this token to stop.
+  void request() noexcept { flag_.store(true, std::memory_order_relaxed); }
+
+  /// True once a stop has been requested.
+  bool requested() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arm the token for a new run.
+  void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Per-step progress callback.  Invoked from the driver's own thread
+/// immediately after the step is appended to the trace; keep it cheap.
+using StepObserver = std::function<void(const StepRecord&)>;
+
+/// Observation + cancellation bundle threaded through `run_method` and the
+/// individual drivers.  Default-constructed it is inert (no observer, no
+/// cancellation) so existing call sites are unaffected.
+struct RunControl {
+  StepObserver on_step;               ///< optional per-step callback
+  const CancelToken* cancel = nullptr;  ///< optional cancellation token
+
+  /// True when the driver should stop at the next step boundary.
+  bool stop_requested() const noexcept {
+    return cancel != nullptr && cancel->requested();
+  }
+
+  /// Forward a freshly recorded step to the observer, if any.
+  void notify(const StepRecord& record) const {
+    if (on_step) on_step(record);
+  }
+};
+
+}  // namespace bismo
+
+#endif  // BISMO_CORE_RUN_CONTROL_HPP

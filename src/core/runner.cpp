@@ -1,5 +1,7 @@
 #include "core/runner.hpp"
 
+#include <algorithm>
+#include <cctype>
 #include <stdexcept>
 
 #include "core/am_smo.hpp"
@@ -7,6 +9,40 @@
 #include "core/mask_opt.hpp"
 
 namespace bismo {
+namespace {
+
+std::string lowered(const std::string& s) {
+  std::string out = s;
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+/// Short CLI alias for a method (the historical bismo_cli spellings).
+std::string method_alias(Method method) {
+  switch (method) {
+    case Method::kNiltProxy:
+      return "nilt";
+    case Method::kDac23Proxy:
+      return "dac23";
+    case Method::kAbbeMo:
+      return "abbe-mo";
+    case Method::kAmAbbeHopkins:
+      return "am-ah";
+    case Method::kAmAbbeAbbe:
+      return "am-aa";
+    case Method::kBismoFd:
+      return "bismo-fd";
+    case Method::kBismoCg:
+      return "bismo-cg";
+    case Method::kBismoNmn:
+      return "bismo-nmn";
+  }
+  return "?";
+}
+
+}  // namespace
 
 const std::vector<Method>& all_methods() {
   static const std::vector<Method> methods = {
@@ -50,7 +86,35 @@ bool optimizes_source(Method method) {
   }
 }
 
-RunResult run_method(const SmoProblem& problem, Method method) {
+Method method_from_string(const std::string& name) {
+  const std::string want = lowered(name);
+  for (Method m : all_methods()) {
+    if (want == lowered(to_string(m)) || want == method_alias(m)) return m;
+  }
+  std::string known;
+  for (Method m : all_methods()) {
+    if (!known.empty()) known += ", ";
+    known += to_string(m) + " (" + method_alias(m) + ")";
+  }
+  throw std::invalid_argument("unknown method \"" + name +
+                              "\"; expected one of: " + known);
+}
+
+DatasetKind dataset_from_string(const std::string& name) {
+  const std::string want = lowered(name);
+  std::string known;
+  for (DatasetKind kind :
+       {DatasetKind::kIccad13, DatasetKind::kIccadL, DatasetKind::kIspd19}) {
+    if (want == lowered(to_string(kind))) return kind;
+    if (!known.empty()) known += ", ";
+    known += to_string(kind);
+  }
+  throw std::invalid_argument("unknown dataset \"" + name +
+                              "\"; expected one of: " + known);
+}
+
+RunResult run_method(const SmoProblem& problem, Method method,
+                     const RunControl& control) {
   const SmoConfig& cfg = problem.config();
   switch (method) {
     case Method::kNiltProxy: {
@@ -64,7 +128,7 @@ RunResult run_method(const SmoProblem& problem, Method method) {
       opt.base.use_pvb = false;
       opt.kernels = std::max<std::size_t>(1, cfg.socs_kernels / 3);
       opt.levels = 1;
-      RunResult r = run_hopkins_mo(problem, opt);
+      RunResult r = run_hopkins_mo(problem, opt, control);
       r.method = to_string(method);
       return r;
     }
@@ -76,7 +140,7 @@ RunResult run_method(const SmoProblem& problem, Method method) {
       opt.base.use_pvb = true;
       opt.kernels = cfg.socs_kernels;
       opt.levels = 2;  // the "multi-level" of DAC23-MILT
-      RunResult r = run_hopkins_mo(problem, opt);
+      RunResult r = run_hopkins_mo(problem, opt, control);
       r.method = to_string(method);
       return r;
     }
@@ -86,7 +150,7 @@ RunResult run_method(const SmoProblem& problem, Method method) {
       opt.optimizer = cfg.optimizer;
       opt.lr = cfg.lr_mask;
       opt.use_pvb = true;
-      return run_abbe_mo(problem, opt);
+      return run_abbe_mo(problem, opt, control);
     }
     case Method::kAmAbbeHopkins:
     case Method::kAmAbbeAbbe: {
@@ -101,7 +165,7 @@ RunResult run_method(const SmoProblem& problem, Method method) {
       const AmMode mode = method == Method::kAmAbbeAbbe
                               ? AmMode::kAbbeAbbe
                               : AmMode::kAbbeHopkins;
-      RunResult r = run_am_smo(problem, mode, opt);
+      RunResult r = run_am_smo(problem, mode, opt, control);
       r.method = to_string(method);
       return r;
     }
@@ -121,7 +185,7 @@ RunResult run_method(const SmoProblem& problem, Method method) {
       BismoVariant variant = BismoVariant::kNmn;
       if (method == Method::kBismoFd) variant = BismoVariant::kFd;
       if (method == Method::kBismoCg) variant = BismoVariant::kCg;
-      RunResult r = run_bismo(problem, variant, opt);
+      RunResult r = run_bismo(problem, variant, opt, control);
       r.method = to_string(method);
       return r;
     }

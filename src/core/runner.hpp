@@ -8,7 +8,9 @@
 #include <vector>
 
 #include "core/problem.hpp"
+#include "core/run_control.hpp"
 #include "core/trace.hpp"
+#include "layout/generators.hpp"
 
 namespace bismo {
 
@@ -33,8 +35,24 @@ std::string to_string(Method method);
 /// True for methods that optimize the source as well as the mask.
 bool optimizes_source(Method method);
 
+/// Parse a method name.  Exact inverse of `to_string` (for every method m,
+/// `method_from_string(to_string(m)) == m`); additionally accepts the
+/// short CLI aliases (nilt, dac23, abbe-mo, am-ah, am-aa, bismo-fd,
+/// bismo-cg, bismo-nmn), case-insensitively.  Throws std::invalid_argument
+/// on an unknown name, listing the accepted spellings.
+Method method_from_string(const std::string& name);
+
+/// Parse a dataset-suite name.  Exact inverse of `to_string(DatasetKind)`
+/// ("ICCAD13" / "ICCAD-L" / "ISPD19"), case-insensitive.  Throws
+/// std::invalid_argument on an unknown name.
+DatasetKind dataset_from_string(const std::string& name);
+
 /// Run `method` on `problem` with budgets from `problem.config()`.
-RunResult run_method(const SmoProblem& problem, Method method);
+/// `control` provides optional per-step progress observation and
+/// cooperative cancellation (a cancelled run returns the trace and
+/// parameters accumulated so far with `RunResult::cancelled` set).
+RunResult run_method(const SmoProblem& problem, Method method,
+                     const RunControl& control = {});
 
 }  // namespace bismo
 

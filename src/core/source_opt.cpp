@@ -14,7 +14,8 @@ double elapsed_seconds(Clock::time_point start) {
 }  // namespace
 
 RunResult run_source_opt(const SmoProblem& problem, const RealGrid& theta_m,
-                         const SoOptions& options) {
+                         const SoOptions& options,
+                         const RunControl& control) {
   const auto start = Clock::now();
   const LossWeights& w = problem.config().weights;
   RunResult result;
@@ -29,11 +30,16 @@ RunResult run_source_opt(const SmoProblem& problem, const RealGrid& theta_m,
   req.mask = false;
   req.source = true;
   for (int step = 0; step < options.steps; ++step) {
+    if (control.stop_requested()) {
+      result.cancelled = true;
+      break;
+    }
     const SmoGradient g =
         problem.engine().evaluate(theta_m, theta_j, req);
     ++result.gradient_evaluations;
     const double loss = w.gamma * g.l2 + w.eta * g.pvb;
     result.trace.push_back({step, loss, g.l2, g.pvb, elapsed_seconds(start)});
+    control.notify(result.trace.back());
     opt->step(theta_j, g.grad_theta_j);
     if (plateau.should_stop(loss)) break;
   }
@@ -42,9 +48,9 @@ RunResult run_source_opt(const SmoProblem& problem, const RealGrid& theta_m,
   return result;
 }
 
-RunResult run_source_opt(const SmoProblem& problem,
-                         const SoOptions& options) {
-  return run_source_opt(problem, problem.initial_theta_m(), options);
+RunResult run_source_opt(const SmoProblem& problem, const SoOptions& options,
+                         const RunControl& control) {
+  return run_source_opt(problem, problem.initial_theta_m(), options, control);
 }
 
 }  // namespace bismo

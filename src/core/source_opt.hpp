@@ -6,6 +6,7 @@
 #define BISMO_CORE_SOURCE_OPT_HPP
 
 #include "core/problem.hpp"
+#include "core/run_control.hpp"
 #include "core/stop.hpp"
 #include "core/trace.hpp"
 #include "opt/optimizer.hpp"
@@ -23,10 +24,12 @@ struct SoOptions {
 /// Optimize theta_J with theta_M frozen (at `theta_m`); returns the run
 /// with theta_m passed through unchanged.
 RunResult run_source_opt(const SmoProblem& problem, const RealGrid& theta_m,
-                         const SoOptions& options);
+                         const SoOptions& options,
+                         const RunControl& control = {});
 
 /// Convenience overload starting from the Table 1 mask initialization.
-RunResult run_source_opt(const SmoProblem& problem, const SoOptions& options);
+RunResult run_source_opt(const SmoProblem& problem, const SoOptions& options,
+                         const RunControl& control = {});
 
 }  // namespace bismo
 

@@ -27,6 +27,7 @@ struct RunResult {
   std::vector<StepRecord> trace; ///< per-step loss trajectory
   double wall_seconds = 0.0;     ///< total optimization time (TAT)
   long gradient_evaluations = 0; ///< count of backward passes
+  bool cancelled = false;        ///< stopped early by a CancelToken
 
   /// Final recorded loss (+inf when the trace is empty).
   double final_loss() const;

@@ -1,0 +1,188 @@
+#include "io/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <stdexcept>
+
+namespace bismo {
+
+std::string JsonWriter::quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+void JsonWriter::newline_indent() {
+  *out_ << '\n';
+  for (std::size_t i = 0; i < stack_.size() * static_cast<std::size_t>(indent_);
+       ++i) {
+    *out_ << ' ';
+  }
+}
+
+void JsonWriter::prepare_value() {
+  if (stack_.empty()) {
+    if (wrote_root_) {
+      throw std::logic_error("JsonWriter: multiple root values");
+    }
+    return;
+  }
+  if (stack_.back() == Scope::kObject && !key_pending_) {
+    throw std::logic_error("JsonWriter: value inside object requires key()");
+  }
+  if (!key_pending_) {
+    if (has_items_.back()) *out_ << ',';
+    newline_indent();
+    has_items_.back() = true;
+  }
+  key_pending_ = false;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  if (stack_.empty() || stack_.back() != Scope::kObject) {
+    throw std::logic_error("JsonWriter: key() outside an object");
+  }
+  if (key_pending_) {
+    throw std::logic_error("JsonWriter: key() after key()");
+  }
+  if (has_items_.back()) *out_ << ',';
+  newline_indent();
+  has_items_.back() = true;
+  *out_ << quote(name) << ": ";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  prepare_value();
+  *out_ << '{';
+  stack_.push_back(Scope::kObject);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  if (stack_.empty() || stack_.back() != Scope::kObject || key_pending_) {
+    throw std::logic_error("JsonWriter: mismatched end_object()");
+  }
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  *out_ << '}';
+  if (stack_.empty()) {
+    wrote_root_ = true;
+    *out_ << '\n';
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  prepare_value();
+  *out_ << '[';
+  stack_.push_back(Scope::kArray);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  if (stack_.empty() || stack_.back() != Scope::kArray) {
+    throw std::logic_error("JsonWriter: mismatched end_array()");
+  }
+  const bool had_items = has_items_.back();
+  stack_.pop_back();
+  has_items_.pop_back();
+  if (had_items) newline_indent();
+  *out_ << ']';
+  if (stack_.empty()) {
+    wrote_root_ = true;
+    *out_ << '\n';
+  }
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& v) {
+  prepare_value();
+  *out_ << quote(v);
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* v) { return value(std::string(v)); }
+
+JsonWriter& JsonWriter::value(double v) {
+  if (!std::isfinite(v)) return null();
+  prepare_value();
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.*g",
+                std::numeric_limits<double>::max_digits10, v);
+  *out_ << buf;
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(long v) {
+  prepare_value();
+  *out_ << v;
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::size_t v) {
+  prepare_value();
+  *out_ << v;
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool v) {
+  prepare_value();
+  *out_ << (v ? "true" : "false");
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  prepare_value();
+  *out_ << "null";
+  if (stack_.empty()) wrote_root_ = true;
+  return *this;
+}
+
+}  // namespace bismo

@@ -1,0 +1,78 @@
+// Minimal JSON emission for structured run results (api::JobResult, the
+// bench drivers' BENCH_<name>.json files).  Writer-only by design: the
+// repository consumes JSON downstream (plotting, dashboards, CI trend
+// tracking), it never parses it back.
+//
+// JsonWriter is a streaming emitter with an explicit object/array stack:
+// the caller opens containers, emits keyed or bare values, and closes them;
+// commas, quoting (RFC 8259 escapes) and indentation are handled here.
+// Doubles are emitted with max_digits10 round-trip precision; non-finite
+// doubles become null (JSON has no NaN/Inf).
+#ifndef BISMO_IO_JSON_HPP
+#define BISMO_IO_JSON_HPP
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace bismo {
+
+/// Streaming JSON writer with correct escaping and comma placement.
+///
+/// Usage:
+///   JsonWriter w(out);
+///   w.begin_object();
+///   w.key("name").value("run1");
+///   w.key("trace").begin_array();
+///   w.value(1.0).value(2.0);
+///   w.end_array();
+///   w.end_object();
+///
+/// Misuse (closing the wrong container, keys in arrays, values without a
+/// key inside an object) throws std::logic_error.
+class JsonWriter {
+ public:
+  explicit JsonWriter(std::ostream& out, int indent = 2)
+      : out_(&out), indent_(indent) {}
+
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Emit the key of the next value; only valid directly inside an object.
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& v);
+  JsonWriter& value(const char* v);
+  JsonWriter& value(double v);
+  JsonWriter& value(long v);
+  JsonWriter& value(int v) { return value(static_cast<long>(v)); }
+  JsonWriter& value(std::size_t v);
+  JsonWriter& value(bool v);
+  JsonWriter& null();
+
+  /// True once every opened container has been closed.
+  bool complete() const noexcept { return stack_.empty() && wrote_root_; }
+
+  /// Quote + escape a string per RFC 8259 (exposed for tests).
+  static std::string quote(const std::string& s);
+
+ private:
+  enum class Scope { kObject, kArray };
+
+  void prepare_value();  // comma/newline/indent bookkeeping before a value
+  void newline_indent();
+
+  std::ostream* out_;
+  int indent_;
+  std::vector<Scope> stack_;
+  std::vector<bool> has_items_;  // parallel to stack_
+  bool key_pending_ = false;
+  bool wrote_root_ = false;
+};
+
+}  // namespace bismo
+
+#endif  // BISMO_IO_JSON_HPP

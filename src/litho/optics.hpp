@@ -9,6 +9,7 @@
 
 #include <cstddef>
 #include <stdexcept>
+#include <string>
 
 namespace bismo {
 
@@ -42,14 +43,32 @@ struct OpticsConfig {
   /// sampling cannot represent the doubled pupil band (|f| <= 2 NA/lambda
   /// must fit below Nyquist, i.e. pixel_nm <= lambda / (4 NA)).
   void validate() const {
-    if (wavelength_nm <= 0 || na <= 0 || pixel_nm <= 0 || mask_dim < 8) {
-      throw std::invalid_argument("OpticsConfig: non-physical parameters");
+    if (wavelength_nm <= 0) {
+      throw std::invalid_argument("OpticsConfig: wavelength_nm = " +
+                                  std::to_string(wavelength_nm) +
+                                  " invalid (must be positive)");
+    }
+    if (na <= 0) {
+      throw std::invalid_argument("OpticsConfig: na = " + std::to_string(na) +
+                                  " invalid (must be positive)");
+    }
+    if (pixel_nm <= 0) {
+      throw std::invalid_argument("OpticsConfig: pixel_nm = " +
+                                  std::to_string(pixel_nm) +
+                                  " invalid (must be positive)");
+    }
+    if (mask_dim < 8) {
+      throw std::invalid_argument("OpticsConfig: mask_dim = " +
+                                  std::to_string(mask_dim) +
+                                  " invalid (need >= 8)");
     }
     const double nyquist = 1.0 / (2.0 * pixel_nm);
     if (2.0 * cutoff_frequency() > nyquist) {
       throw std::invalid_argument(
-          "OpticsConfig: pixel pitch too coarse for the shifted pupil band "
-          "(need pixel_nm <= lambda / (4 NA))");
+          "OpticsConfig: pixel_nm = " + std::to_string(pixel_nm) +
+          " too coarse for the shifted pupil band (need pixel_nm <= lambda /"
+          " (4 NA) = " +
+          std::to_string(wavelength_nm / (4.0 * na)) + " nm)");
     }
   }
 };

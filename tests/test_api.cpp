@@ -1,0 +1,257 @@
+// bismo::api facade tests: JobSpec config overrides, Session batch runs
+// with workspace reuse, progress observation, mid-run cancellation, and
+// structured JSON/CSV result serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "api/api.hpp"
+#include "io/json.hpp"
+#include "math/grid_ops.hpp"
+#include "test_util.hpp"
+
+namespace bismo {
+namespace {
+
+/// A fast spec over the shared tiny 32 x 32 target.
+api::JobSpec tiny_spec(Method method = Method::kBismoNmn) {
+  api::JobSpec spec;
+  spec.clip = api::ClipSource::from_grid(testing::tiny_target32());
+  spec.method = method;
+  spec.config.optics.pixel_nm = 16.0;
+  spec.config_overrides = {"source_dim=7",  "outer_steps=4",
+                           "unroll_steps=1", "hyper_terms=1",
+                           "am_cycles=1",   "am_so_steps=2",
+                           "am_mo_steps=2", "socs_kernels=6"};
+  return spec;
+}
+
+TEST(JobSpecOverrides, ApplyInOrderAndCoverEveryKey) {
+  SmoConfig config;
+  api::apply_config_overrides(
+      config, {"mask_dim=48", "lr_mask=0.25", "optimizer=sgd",
+               "source_shape=dipole-x", "outer_steps=7", "mask_dim=96"});
+  EXPECT_EQ(config.optics.mask_dim, 96u);  // later override wins
+  EXPECT_DOUBLE_EQ(config.lr_mask, 0.25);
+  EXPECT_EQ(config.optimizer, OptimizerKind::kSgd);
+  EXPECT_EQ(config.initial_source.shape, SourceShape::kDipoleX);
+  EXPECT_EQ(config.outer_steps, 7);
+
+  // The documented key table is non-empty and duplicate-free.
+  const auto& keys = api::config_keys();
+  ASSERT_FALSE(keys.empty());
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    for (std::size_t j = i + 1; j < keys.size(); ++j) {
+      EXPECT_NE(keys[i].key, keys[j].key);
+    }
+    EXPECT_FALSE(keys[i].doc.empty()) << keys[i].key;
+  }
+}
+
+TEST(JobSpecOverrides, RejectionsNameTheKey) {
+  SmoConfig config;
+  try {
+    api::apply_config_override(config, "no_such_knob=1");
+    FAIL() << "unknown key accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("no_such_knob"), std::string::npos);
+  }
+  try {
+    api::apply_config_override(config, "lr_mask=fast");
+    FAIL() << "bad value accepted";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("lr_mask"), std::string::npos);
+  }
+  EXPECT_THROW(api::apply_config_override(config, "not-a-pair"),
+               std::invalid_argument);
+  EXPECT_THROW(api::apply_config_override(config, "=5"),
+               std::invalid_argument);
+}
+
+TEST(JobSpecOverrides, InvalidConfigIsCapturedAsJobError) {
+  api::JobSpec spec = tiny_spec();
+  spec.config_overrides.push_back("lr_mask=-1");
+  api::Session session;
+  const api::JobResult result = session.run(spec);
+  EXPECT_FALSE(result.ok());
+  // The validate() message names the offending field and value.
+  EXPECT_NE(result.error.find("lr_mask"), std::string::npos) << result.error;
+  EXPECT_NE(result.error.find("-1"), std::string::npos) << result.error;
+}
+
+TEST(SessionRun, SingleJobImprovesLoss) {
+  api::Session session;
+  const api::JobResult result = session.run(tiny_spec());
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_FALSE(result.cancelled());
+  ASSERT_FALSE(result.run.trace.empty());
+  EXPECT_LT(result.run.final_loss(), result.run.trace.front().loss);
+  EXPECT_GT(result.total_seconds, 0.0);
+  EXPECT_GE(result.total_seconds, result.setup_seconds);
+  EXPECT_TRUE(std::isfinite(result.after.l2_nm2));
+}
+
+TEST(SessionRun, RawGridFixesMaskDimAndRejectsNonSquare) {
+  api::Session session;
+  api::JobSpec spec = tiny_spec();
+  EXPECT_EQ(session.resolve_config(spec).optics.mask_dim, 32u);
+
+  spec.clip = api::ClipSource::from_grid(RealGrid(32, 16, 0.0));
+  const api::JobResult result = session.run(spec);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.error.find("square"), std::string::npos);
+}
+
+TEST(SessionRun, LayoutClipDerivesPixelPitchFromTile) {
+  Layout clip(640.0);  // 640 nm tile
+  clip.add_rect({128, 256, 512, 320});
+  api::JobSpec spec;
+  spec.clip = api::ClipSource::from_layout(clip);
+  spec.config_overrides = {"mask_dim=32"};
+  api::Session session;
+  const SmoConfig config = session.resolve_config(spec);
+  EXPECT_DOUBLE_EQ(config.optics.pixel_nm, 20.0);  // 640 / 32
+}
+
+TEST(SessionBatch, SharesWarmWorkspacesAcrossSameShapedJobs) {
+  api::Session session;
+  std::vector<api::JobSpec> specs(3, tiny_spec(Method::kAbbeMo));
+  const std::vector<api::JobResult> results = session.run_batch(specs);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_FALSE(results[0].workspaces_reused);
+  EXPECT_TRUE(results[1].workspaces_reused);
+  EXPECT_TRUE(results[2].workspaces_reused);
+  for (const api::JobResult& r : results) {
+    ASSERT_TRUE(r.ok()) << r.error;
+    EXPECT_LT(r.run.final_loss(), r.run.trace.front().loss);
+  }
+  const api::Session::Stats stats = session.stats();
+  EXPECT_EQ(stats.jobs_run, 3u);
+  EXPECT_EQ(stats.workspace_reuses, 2u);
+}
+
+TEST(SessionBatch, ContinuesPastFailedJobs) {
+  api::Session session;
+  std::vector<api::JobSpec> specs{tiny_spec(), tiny_spec()};
+  specs[0].config_overrides.push_back("socs_kernels=0");  // invalid
+  const std::vector<api::JobResult> results = session.run_batch(specs);
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_FALSE(results[0].ok());
+  EXPECT_NE(results[0].error.find("socs_kernels"), std::string::npos);
+  EXPECT_TRUE(results[1].ok()) << results[1].error;
+}
+
+TEST(SessionProgress, ObserverSeesEveryStepWithJobContext) {
+  std::vector<api::Progress> events;
+  api::Session::Options options;
+  options.on_progress = [&events](const api::Progress& p) {
+    events.push_back(p);
+  };
+  api::Session session(options);
+  const api::JobResult result = session.run(tiny_spec(Method::kAbbeMo));
+  ASSERT_TRUE(result.ok()) << result.error;
+  ASSERT_EQ(events.size(), result.run.trace.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].step.step, static_cast<int>(i));
+    EXPECT_DOUBLE_EQ(events[i].step.loss, result.run.trace[i].loss);
+    EXPECT_EQ(events[i].job_count, 1u);
+    EXPECT_EQ(events[i].planned_steps, 4);
+    EXPECT_EQ(events[i].method, "Abbe-MO");
+  }
+}
+
+TEST(SessionCancel, ObserverCanCancelMidRun) {
+  api::Session::Options options;
+  api::Session* session_ptr = nullptr;
+  int seen = 0;
+  options.on_progress = [&](const api::Progress& p) {
+    ++seen;
+    if (p.step.step >= 1) session_ptr->request_cancel();
+  };
+  api::Session session(options);
+  session_ptr = &session;
+
+  api::JobSpec spec = tiny_spec(Method::kBismoNmn);
+  spec.config_overrides.push_back("outer_steps=50");
+  const api::JobResult result = session.run(spec);
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_TRUE(result.cancelled());
+  EXPECT_TRUE(result.run.cancelled);
+  // Stopped at the step boundary right after the request: far short of 50.
+  EXPECT_GE(result.run.trace.size(), 2u);
+  EXPECT_LE(result.run.trace.size(), 4u);
+  EXPECT_GE(seen, 2);
+
+  // Cancellation is sticky: the next run drains immediately...
+  const api::JobResult drained = session.run(tiny_spec());
+  EXPECT_TRUE(drained.cancelled());
+  EXPECT_TRUE(drained.run.trace.empty());
+  // ...until the session is re-armed.
+  session.reset_cancel();
+  EXPECT_FALSE(session.cancel_requested());
+}
+
+TEST(SessionCancel, BatchDrainsRemainingJobsAsCancelled) {
+  api::Session::Options options;
+  api::Session* session_ptr = nullptr;
+  options.on_progress = [&](const api::Progress& p) {
+    if (p.job_index == 0 && p.step.step >= 1) session_ptr->request_cancel();
+  };
+  api::Session session(options);
+  session_ptr = &session;
+
+  std::vector<api::JobSpec> specs(3, tiny_spec(Method::kAbbeMo));
+  const std::vector<api::JobResult> results = session.run_batch(specs);
+  ASSERT_EQ(results.size(), 3u);
+  EXPECT_TRUE(results[0].cancelled());
+  EXPECT_FALSE(results[0].run.trace.empty());
+  EXPECT_TRUE(results[1].cancelled());
+  EXPECT_TRUE(results[1].run.trace.empty());
+  EXPECT_TRUE(results[2].cancelled());
+}
+
+TEST(JobResultJson, BatchDocumentIsStructurallySound) {
+  api::Session session;
+  std::vector<api::JobSpec> specs(2, tiny_spec(Method::kAbbeMo));
+  const std::vector<api::JobResult> results = session.run_batch(specs);
+
+  std::ostringstream out;
+  api::write_json(out, results);
+  const std::string json = out.str();
+
+  // Balanced braces/brackets and the required summary fields.
+  long depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_NE(json.find("\"job_count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"ok_count\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs\""), std::string::npos);
+  EXPECT_NE(json.find("\"trace\""), std::string::npos);
+  EXPECT_NE(json.find("\"workspaces_reused\": true"), std::string::npos);
+
+  std::ostringstream csv;
+  api::write_trace_csv(csv, results[0]);
+  EXPECT_NE(csv.str().find("step,loss,l2,pvb,seconds"), std::string::npos);
+}
+
+TEST(JsonWriter, EscapesAndNonFiniteValues) {
+  std::ostringstream out;
+  JsonWriter w(out);
+  w.begin_object();
+  w.key("text").value("a\"b\\c\nd");
+  w.key("nan").value(std::nan(""));
+  w.key("count").value(std::size_t{3});
+  w.end_object();
+  EXPECT_TRUE(w.complete());
+  const std::string json = out.str();
+  EXPECT_NE(json.find("a\\\"b\\\\c\\nd"), std::string::npos);
+  EXPECT_NE(json.find("\"nan\": null"), std::string::npos);
+  EXPECT_THROW(JsonWriter(out).end_object(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace bismo

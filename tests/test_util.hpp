@@ -56,6 +56,20 @@ inline ComplexGrid naive_dft2(const ComplexGrid& g, bool inverse) {
   return out;
 }
 
+/// Tiny 32 x 32 binary target (a line plus a pad, both axes exercised)
+/// shared by the runner-dispatch and api-facade suites; pairs with a
+/// 512 nm tile at 16 nm pixels so every method runs in milliseconds.
+inline RealGrid tiny_target32() {
+  RealGrid t(32, 32, 0.0);
+  for (std::size_t r = 14; r < 17; ++r) {
+    for (std::size_t c = 6; c < 26; ++c) t(r, c) = 1.0;
+  }
+  for (std::size_t r = 20; r < 26; ++r) {
+    for (std::size_t c = 20; c < 26; ++c) t(r, c) = 1.0;
+  }
+  return t;
+}
+
 /// Random complex grid with entries in the unit square.
 inline ComplexGrid random_complex_grid(Rng& rng, std::size_t rows,
                                        std::size_t cols) {

@@ -1,25 +1,28 @@
-// bismo_cli: run any SMO method on a layout clip from the command line.
+// bismo_cli: run SMO jobs through the bismo::api facade.
 //
 //   bismo_cli --layout clip.txt --method bismo-nmn --steps 40 --out out/
 //   bismo_cli --generate iccad13 --seed 7 --method am-aa
+//   bismo_cli --generate ispd19 --batch 4 --json results.json
+//   bismo_cli --generate iccad13 --config mask_dim=128 --config lr_mask=0.2
 //
-// Reads the text layout format (see layout/layout.hpp) or synthesizes a
-// clip, runs the chosen method, prints the paper's metrics, and writes
-// source/mask/resist images plus BSMG parameter checkpoints for resuming
-// or downstream analysis.
+// One Session owns the worker pool and the warm per-shape workspaces, so a
+// --batch run amortizes setup across all clips.  Results are printed as a
+// summary and, with --json, written as one machine-readable document.
+// Ctrl-C cancels cooperatively: the in-flight job stops at the next step
+// and partial results are still reported.
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <iostream>
 #include <string>
+#include <vector>
 
-#include "core/problem.hpp"
-#include "core/runner.hpp"
+#include "api/api.hpp"
 #include "io/grid_io.hpp"
 #include "io/image_io.hpp"
-#include "layout/generators.hpp"
-#include "layout/layout.hpp"
-#include "parallel/thread_pool.hpp"
 
 namespace {
 
@@ -29,38 +32,72 @@ using namespace bismo;
   std::printf(
       "usage: %s [options]\n"
       "  --layout PATH      layout text file (TILE/RECT format)\n"
-      "  --generate KIND    synthesize a clip: iccad13 | iccad-l | ispd19\n"
+      "  --generate KIND    synthesize clips: iccad13 | iccad-l | ispd19\n"
       "  --seed N           generator seed (default 1)\n"
+      "  --batch N          run N generated clips (seeds seed..seed+N-1)\n"
       "  --method NAME      nilt | dac23 | abbe-mo | am-ah | am-aa |\n"
       "                     bismo-fd | bismo-cg | bismo-nmn (default)\n"
-      "  --nm N             mask grid dimension (default 64)\n"
-      "  --nj N             source grid dimension (default 9)\n"
-      "  --steps N          outer/MO steps (default 40)\n"
+      "  --config K=V       override a config key (repeatable; see\n"
+      "                     --list-config for the key reference)\n"
+      "  --nm N             shorthand for --config mask_dim=N (default 64)\n"
+      "  --nj N             shorthand for --config source_dim=N (default 9)\n"
+      "  --steps N          shorthand for --config outer_steps=N (default 40)\n"
       "  --threads N        worker threads (default: hardware)\n"
-      "  --out DIR          output directory (default bismo_cli_out)\n",
+      "  --json PATH        write results JSON ('-' for stdout)\n"
+      "  --progress         print per-step progress to stderr\n"
+      "  --out DIR          image/checkpoint directory for single runs\n"
+      "                     (default bismo_cli_out)\n"
+      "  --list-config      print the config-key reference and exit\n",
       argv0);
   std::exit(2);
 }
 
-Method parse_method(const std::string& name, const char* argv0) {
-  if (name == "nilt") return Method::kNiltProxy;
-  if (name == "dac23") return Method::kDac23Proxy;
-  if (name == "abbe-mo") return Method::kAbbeMo;
-  if (name == "am-ah") return Method::kAmAbbeHopkins;
-  if (name == "am-aa") return Method::kAmAbbeAbbe;
-  if (name == "bismo-fd") return Method::kBismoFd;
-  if (name == "bismo-cg") return Method::kBismoCg;
-  if (name == "bismo-nmn") return Method::kBismoNmn;
-  std::fprintf(stderr, "unknown method: %s\n", name.c_str());
-  usage(argv0);
+void print_config_keys() {
+  std::printf("config keys (--config key=value):\n");
+  for (const api::ConfigKeyInfo& info : api::config_keys()) {
+    std::printf("  %-18s %s\n", info.key.c_str(), info.doc.c_str());
+  }
 }
 
-DatasetKind parse_kind(const std::string& name, const char* argv0) {
-  if (name == "iccad13") return DatasetKind::kIccad13;
-  if (name == "iccad-l") return DatasetKind::kIccadL;
-  if (name == "ispd19") return DatasetKind::kIspd19;
-  std::fprintf(stderr, "unknown dataset kind: %s\n", name.c_str());
-  usage(argv0);
+std::atomic<api::Session*> g_session{nullptr};
+
+void handle_interrupt(int) {
+  // Lock-free atomic load + an atomic-flag store inside request_cancel:
+  // both async-signal-safe.
+  api::Session* session = g_session.load(std::memory_order_relaxed);
+  if (session != nullptr) session->request_cancel();
+}
+
+void write_images(api::Session& session, const api::JobSpec& spec,
+                  const api::JobResult& result, const std::string& out_dir) {
+  // Re-materialize the problem (cheap: warm workspaces) to render images.
+  const auto problem = session.make_problem(spec);
+  std::filesystem::create_directories(out_dir);
+  write_pgm(out_dir + "/target.pgm", problem->target());
+  write_pgm(out_dir + "/source.pgm",
+            problem->source_image(result.run.theta_j));
+  write_pgm(out_dir + "/mask.pgm", problem->mask_image(result.run.theta_m));
+  const RealGrid resist = problem->resist_image(
+      result.run.theta_m, result.run.theta_j, DoseCorner::kNominal);
+  write_pgm(out_dir + "/resist.pgm", resist);
+  write_compare_ppm(out_dir + "/resist_vs_target.ppm", resist,
+                    problem->target());
+  save_grid(out_dir + "/theta_m.bsmg", result.run.theta_m);
+  save_grid(out_dir + "/theta_j.bsmg", result.run.theta_j);
+  std::printf("outputs in %s/\n", out_dir.c_str());
+}
+
+void print_result(const api::JobResult& r) {
+  if (!r.ok()) {
+    std::printf("%-28s ERROR: %s\n", r.job_name.c_str(), r.error.c_str());
+    return;
+  }
+  std::printf("%-28s L2 %8.0f -> %8.0f | PVB %8.0f -> %8.0f |"
+              " EPE %zu -> %zu | %.1f s%s\n",
+              r.job_name.c_str(), r.before.l2_nm2, r.after.l2_nm2,
+              r.before.pvb_nm2, r.after.pvb_nm2, r.before.epe_violations,
+              r.after.epe_violations, r.total_seconds,
+              r.cancelled() ? " [cancelled]" : "");
 }
 
 }  // namespace
@@ -70,11 +107,17 @@ int main(int argc, char** argv) {
   std::string generate_kind;
   std::string method_name = "bismo-nmn";
   std::string out_dir = "bismo_cli_out";
+  std::string json_path;
+  std::vector<std::string> overrides;
   std::uint64_t seed = 1;
-  std::size_t mask_dim = 64;
-  std::size_t source_dim = 9;
+  std::size_t batch = 0;
   std::size_t threads = 0;
-  int steps = 40;
+  bool progress = false;
+
+  // Shorthand flags keep their historical defaults by prepending their
+  // override before any explicit --config (so --config wins on conflict).
+  std::vector<std::string> shorthand{"mask_dim=64", "source_dim=9",
+                                     "outer_steps=40"};
 
   for (int i = 1; i < argc; ++i) {
     const std::string flag = argv[i];
@@ -83,14 +126,19 @@ int main(int argc, char** argv) {
       return argv[++i];
     };
     if (flag == "--help" || flag == "-h") usage(argv[0]);
+    else if (flag == "--list-config") { print_config_keys(); return 0; }
     else if (flag == "--layout") layout_path = next();
     else if (flag == "--generate") generate_kind = next();
     else if (flag == "--seed") seed = std::strtoull(next().c_str(), nullptr, 10);
+    else if (flag == "--batch") batch = std::strtoul(next().c_str(), nullptr, 10);
     else if (flag == "--method") method_name = next();
-    else if (flag == "--nm") mask_dim = std::strtoul(next().c_str(), nullptr, 10);
-    else if (flag == "--nj") source_dim = std::strtoul(next().c_str(), nullptr, 10);
-    else if (flag == "--steps") steps = std::atoi(next().c_str());
+    else if (flag == "--config") overrides.push_back(next());
+    else if (flag == "--nm") shorthand[0] = "mask_dim=" + next();
+    else if (flag == "--nj") shorthand[1] = "source_dim=" + next();
+    else if (flag == "--steps") shorthand[2] = "outer_steps=" + next();
     else if (flag == "--threads") threads = std::strtoul(next().c_str(), nullptr, 10);
+    else if (flag == "--json") json_path = next();
+    else if (flag == "--progress") progress = true;
     else if (flag == "--out") out_dir = next();
     else usage(argv[0]);
   }
@@ -98,62 +146,90 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "exactly one of --layout / --generate required\n");
     usage(argv[0]);
   }
+  if (batch > 0 && generate_kind.empty()) {
+    std::fprintf(stderr, "--batch requires --generate\n");
+    usage(argv[0]);
+  }
 
   try {
-    Layout clip;
+    const Method method = method_from_string(method_name);
+
+    // Shared base configuration for every job.
+    api::JobSpec base;
+    base.method = method;
+    base.config.initial_source.shape = SourceShape::kConventional;
+    base.config.activation.source_init = 1.5;
+    base.config_overrides = shorthand;
+    base.config_overrides.insert(base.config_overrides.end(),
+                                 overrides.begin(), overrides.end());
+
+    std::vector<api::JobSpec> specs;
     if (!layout_path.empty()) {
-      clip = read_layout(layout_path);
+      api::JobSpec spec = base;
+      spec.clip = api::ClipSource::from_file(layout_path);
+      specs.push_back(std::move(spec));
     } else {
-      DatasetSpec spec = dataset_spec(parse_kind(generate_kind, argv[0]));
-      spec.tile_nm = 512.0 * static_cast<double>(mask_dim) / 64.0;
-      clip = generate_clip(spec, seed);
+      const DatasetKind kind = dataset_from_string(generate_kind);
+      const std::size_t count = batch > 0 ? batch : 1;
+      for (std::size_t b = 0; b < count; ++b) {
+        api::JobSpec spec = base;
+        spec.clip = api::ClipSource::generated(kind, seed + b);
+        specs.push_back(std::move(spec));
+      }
     }
 
-    SmoConfig config;
-    config.optics.mask_dim = mask_dim;
-    config.optics.pixel_nm = clip.tile_nm() / static_cast<double>(mask_dim);
-    config.source_dim = source_dim;
-    config.outer_steps = steps;
-    config.initial_source.shape = SourceShape::kConventional;
-    config.activation.source_init = 1.5;
+    api::Session::Options options;
+    options.threads = threads;
+    if (progress) {
+      options.on_progress = [](const api::Progress& p) {
+        std::fprintf(stderr, "\r[%zu/%zu %s] step %d/%d loss %.3f   ",
+                     p.job_index + 1, p.job_count, p.job_name.c_str(),
+                     p.step.step + 1, p.planned_steps, p.step.loss);
+      };
+    }
+    api::Session session(options);
+    g_session.store(&session);
+    std::signal(SIGINT, handle_interrupt);
 
-    ThreadPool pool(threads);
-    const SmoProblem problem(config, clip, &pool);
-    const Method method = parse_method(method_name, argv[0]);
+    std::printf("%zu job(s), method %s, %zu worker threads\n", specs.size(),
+                to_string(method).c_str(), session.pool().width());
 
-    std::printf("clip: %zu rects, %.0f nm^2 | grid %zu px @ %.2f nm |"
-                " method %s, %d steps\n",
-                clip.size(), clip.union_area_nm2(), mask_dim,
-                config.optics.pixel_nm, to_string(method).c_str(), steps);
+    const std::vector<api::JobResult> results = session.run_batch(specs);
+    g_session.store(nullptr);
+    // Terminate the live \r progress line (early-stopped or cancelled runs
+    // never reach their planned final step).
+    if (progress) std::fputc('\n', stderr);
 
-    const SolutionMetrics before = problem.evaluate_solution(
-        problem.initial_theta_m(), problem.initial_theta_j());
-    const RunResult run = run_method(problem, method);
-    const SolutionMetrics after =
-        problem.evaluate_solution(run.theta_m, run.theta_j);
+    int failures = 0;
+    for (const api::JobResult& r : results) {
+      print_result(r);
+      if (!r.ok()) ++failures;
+    }
+    const api::Session::Stats stats = session.stats();
+    if (results.size() > 1) {
+      std::printf("session: %zu jobs, %zu served from warm workspaces\n",
+                  stats.jobs_run, stats.workspace_reuses);
+    }
 
-    std::printf("L2  %8.0f -> %8.0f nm^2\n", before.l2_nm2, after.l2_nm2);
-    std::printf("PVB %8.0f -> %8.0f nm^2\n", before.pvb_nm2, after.pvb_nm2);
-    std::printf("EPE %5zu/%zu -> %5zu/%zu violations\n",
-                before.epe_violations, before.epe_samples,
-                after.epe_violations, after.epe_samples);
-    std::printf("loss %.3f -> %.3f | %.1f s, %ld gradient evals\n",
-                run.trace.front().loss, run.final_loss(), run.wall_seconds,
-                run.gradient_evaluations);
+    if (!json_path.empty()) {
+      if (json_path == "-") {
+        api::write_json(std::cout, results);
+      } else {
+        std::ofstream out(json_path);
+        if (!out) {
+          std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+          return 1;
+        }
+        api::write_json(out, results);
+        std::printf("results JSON: %s\n", json_path.c_str());
+      }
+    }
 
-    std::filesystem::create_directories(out_dir);
-    write_pgm(out_dir + "/target.pgm", problem.target());
-    write_pgm(out_dir + "/source.pgm", problem.source_image(run.theta_j));
-    write_pgm(out_dir + "/mask.pgm", problem.mask_image(run.theta_m));
-    const RealGrid resist =
-        problem.resist_image(run.theta_m, run.theta_j, DoseCorner::kNominal);
-    write_pgm(out_dir + "/resist.pgm", resist);
-    write_compare_ppm(out_dir + "/resist_vs_target.ppm", resist,
-                      problem.target());
-    save_grid(out_dir + "/theta_m.bsmg", run.theta_m);
-    save_grid(out_dir + "/theta_j.bsmg", run.theta_j);
-    std::printf("outputs in %s/\n", out_dir.c_str());
-    return 0;
+    // Single successful runs keep the historical image/checkpoint dump.
+    if (results.size() == 1 && results[0].ok() && !results[0].cancelled()) {
+      write_images(session, specs[0], results[0], out_dir);
+    }
+    return failures == 0 ? 0 : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
