@@ -1,0 +1,156 @@
+// Tiled large-layout execution scaling (src/shard/): one full layout is
+// sharded into a 2x2 grid of overlapping tiles and the identical tile
+// workload is timed under three scheduling policies:
+//
+//   monolithic  -- the full layout as ONE job at the full grid dimension
+//                  (the pre-shard baseline; the workload class src/shard/
+//                  exists to relieve),
+//   sequential  -- the four tile jobs one at a time through the session
+//                  (every engine pass parallelizes over all workers),
+//   concurrent  -- the four tile jobs on Session lane pools (tile-level
+//                  parallelism; engine passes run on partitioned pools).
+//
+// Tile results are bitwise identical between sequential and concurrent
+// (slot-deterministic reductions), so the comparison is pure scheduling.
+// Small per-tile grids underutilize wide machines inside one engine pass
+// (work items are too small to amortize pool dispatch), which is exactly
+// what tile-level concurrency recovers: expect the concurrent sweep to
+// approach `lanes`-times the sequential throughput on machines with
+// >= `lanes` cores, and to match it (within noise) on a single core.
+//
+// Reports tiles/sec per policy and the concurrent-vs-sequential speedup
+// into BENCH_shard_scaling.json, plus the full TileScheduler pipeline
+// (sweep + stitch + full-grid metrics) for context.
+#include <chrono>
+#include <iostream>
+#include <thread>
+
+#include "bench_common.hpp"
+#include "io/table.hpp"
+#include "shard/shard.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bismo;
+  using namespace bismo::bench;
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  args.print_banner("shard scaling: tiled layout execution");
+
+  // The full layout: one generated clip at 2x the bench tile, gridded at
+  // 2x the bench mask dimension -- so each 2x2 tile core is exactly the
+  // bench-scale problem every other driver runs.
+  DatasetSpec spec = dataset_spec(DatasetKind::kIccad13);
+  spec.tile_nm = 2.0 * args.tile_nm;
+  const Layout layout = generate_clip(spec, args.seed);
+  const std::size_t full_dim = 2 * args.mask_dim;
+  const double pixel_nm = spec.tile_nm / static_cast<double>(full_dim);
+
+  api::JobSpec base;
+  base.name = "shard";
+  base.method = Method::kAbbeMo;
+  base.config = args.config();
+  base.config.optics.mask_dim = full_dim;
+  base.config.outer_steps = std::max(4, args.outer_steps / 4);
+
+  shard::ShardOptions opts;
+  opts.rows = 2;
+  opts.cols = 2;
+  opts.halo_nm = 8.0 * pixel_nm;  // 8 px cross-fade band
+
+  api::Session session(api::Session::Options{args.threads, nullptr, 8});
+  shard::TileScheduler scheduler(session);
+  const shard::TilePlan plan = scheduler.plan_for(layout, base, opts);
+  const std::vector<api::JobSpec> specs =
+      scheduler.tile_specs(layout, base, plan);
+  const std::size_t lanes =
+      std::min(plan.tile_count(), session.pool().width());
+
+  std::printf("full grid %zu px, %zu tiles of %zu px (%zu px halo), "
+              "%zu workers, %zu lanes\n\n",
+              full_dim, plan.tile_count(), plan.tile_dim(), plan.halo_px(),
+              session.pool().width(), lanes);
+
+  BenchReport report("shard_scaling", args);
+  TablePrinter table({"policy", "wall s", "tiles/s", "speedup vs seq"});
+
+  // Monolithic baseline: the whole layout as one job (context row).
+  api::JobSpec mono = base;
+  mono.clip = api::ClipSource::from_layout(layout);
+  mono.evaluate_solution = false;
+  {
+    const auto t0 = Clock::now();
+    const api::JobResult r = session.run(mono);
+    const double s = seconds_since(t0);
+    table.add_row({"monolithic (1 job)", TablePrinter::num(s, 2), "-", "-"});
+    report.add("monolithic", {{"wall_seconds", s},
+                              {"ok", r.ok() ? 1.0 : 0.0}});
+  }
+
+  // Warm the workspace cache so neither tiled policy pays cold setup: a
+  // `lanes`-way pass leaves one warm set per lane in the idle cache (a
+  // sequential warm-up would only leave one, and the timed concurrent
+  // sweep would cold-start lanes 2..N).
+  (void)session.run_batch(specs, {lanes});
+
+  const auto t_seq = Clock::now();
+  const std::vector<api::JobResult> seq = session.run_batch(specs, {1});
+  const double seq_s = seconds_since(t_seq);
+
+  const auto t_con = Clock::now();
+  const std::vector<api::JobResult> con = session.run_batch(specs, {lanes});
+  const double con_s = seconds_since(t_con);
+
+  // Scheduling must not change results: bitwise check across policies.
+  bool bitwise = seq.size() == con.size();
+  for (std::size_t i = 0; bitwise && i < seq.size(); ++i) {
+    bitwise = seq[i].ok() && con[i].ok() &&
+              seq[i].run.theta_m == con[i].run.theta_m &&
+              seq[i].run.theta_j == con[i].run.theta_j;
+  }
+
+  const double tiles = static_cast<double>(plan.tile_count());
+  const double speedup = con_s > 0.0 ? seq_s / con_s : 0.0;
+  table.add_row({"sequential tiles", TablePrinter::num(seq_s, 2),
+                 TablePrinter::num(tiles / seq_s, 2), "1.00x"});
+  table.add_row({"concurrent tiles (" + std::to_string(lanes) + " lanes)",
+                 TablePrinter::num(con_s, 2),
+                 TablePrinter::num(tiles / con_s, 2),
+                 TablePrinter::num(speedup, 2) + "x"});
+  report.add("sequential",
+             {{"wall_seconds", seq_s}, {"tiles_per_second", tiles / seq_s}});
+  report.add("concurrent", {{"wall_seconds", con_s},
+                            {"tiles_per_second", tiles / con_s},
+                            {"lanes", static_cast<double>(lanes)},
+                            {"speedup_vs_sequential", speedup},
+                            {"bitwise_equal", bitwise ? 1.0 : 0.0}});
+
+  // Full pipeline (sweep + stitch + full-grid metrics) for context.
+  {
+    const auto t0 = Clock::now();
+    const shard::ShardResult r = scheduler.run(layout, base, opts);
+    const double s = seconds_since(t0);
+    table.add_row({"scheduler + stitch", TablePrinter::num(s, 2),
+                   TablePrinter::num(tiles / s, 2), "-"});
+    report.add("scheduler_pipeline",
+               {{"wall_seconds", s},
+                {"stitched_l2_nm2", r.stitched.l2_nm2},
+                {"stitched_pvb_nm2", r.stitched.pvb_nm2},
+                {"stitched_epe",
+                 static_cast<double>(r.stitched.epe_violations)}});
+  }
+
+  table.print(std::cout);
+  std::printf("\nconcurrent vs sequential: %.2fx (%s results)\n", speedup,
+              bitwise ? "bitwise-identical" : "DIVERGED");
+  report.write();
+  return bitwise ? 0 : 1;
+}

@@ -29,6 +29,7 @@ void write_result_object(JsonWriter& w, const JobResult& r) {
   w.key("total_seconds").value(r.total_seconds);
   w.key("gradient_evaluations").value(r.run.gradient_evaluations);
   w.key("workspaces_reused").value(r.workspaces_reused);
+  w.key("workspace_evictions").value(r.workspace_evictions);
   w.key("before");
   write_metrics(w, r.before);
   w.key("after");

@@ -24,6 +24,7 @@ struct JobResult {
   double setup_seconds = 0.0;  ///< problem construction (rasterize, engines)
   double total_seconds = 0.0;  ///< setup + optimization + evaluation
   bool workspaces_reused = false;  ///< warm WorkspaceSet from a prior job
+  std::size_t workspace_evictions = 0;  ///< idle sets evicted at release
   std::string error;        ///< non-empty when the job failed
 
   bool ok() const noexcept { return error.empty(); }

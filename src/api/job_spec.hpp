@@ -55,6 +55,11 @@ struct JobSpec {
   /// "key=value" overrides applied on top of `config` at run time, in
   /// order.  See `config_keys()`; unknown keys / bad values throw.
   std::vector<std::string> config_overrides;
+  /// Evaluate the paper's before/after solution metrics (two extra engine
+  /// passes + EPE measurement).  The tiled execution layer turns this off
+  /// for per-tile jobs: tile metrics are meaningless in isolation and the
+  /// stitched full-layout evaluation replaces them.
+  bool evaluate_solution = true;
 
   /// The label used in results: `name` when set, else clip description.
   std::string display_name() const;

@@ -1,8 +1,10 @@
 #include "api/session.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <optional>
 #include <stdexcept>
+#include <thread>
 #include <utility>
 
 namespace bismo::api {
@@ -85,33 +87,92 @@ const Layout* layout_ptr(const std::optional<Layout>& layout) {
 }  // namespace
 
 Session::Session(Options options)
-    : pool_(options.threads), observer_(std::move(options.on_progress)) {}
+    : pool_(options.threads),
+      observer_(std::move(options.on_progress)),
+      workspace_cache_cap_(options.workspace_cache_cap) {}
+
+Session::Stats Session::stats() const noexcept {
+  Stats s;
+  s.jobs_run = jobs_run_.load(std::memory_order_relaxed);
+  s.workspace_reuses = workspace_reuses_.load(std::memory_order_relaxed);
+  s.workspace_evictions = workspace_evictions_.load(std::memory_order_relaxed);
+  return s;
+}
 
 SmoConfig Session::resolve_config(const JobSpec& spec) const {
   const std::optional<Layout> layout = load_layout(spec.clip);
   return resolve_config_impl(spec, layout_ptr(layout));
 }
 
-std::shared_ptr<sim::WorkspaceSet> Session::workspaces_for(
-    std::size_t mask_dim, bool* reused) {
-  auto it = workspace_cache_.find(mask_dim);
-  if (it != workspace_cache_.end()) {
-    if (reused != nullptr) *reused = true;
-    return it->second;
+Session::WorkspaceLease Session::acquire_workspaces(std::size_t mask_dim) {
+  WorkspaceLease lease;
+  lease.dim = mask_dim;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    // Prefer the most recently used idle set of this dimension (warmest
+    // caches, freshest FFT plans).
+    auto best = idle_workspaces_.end();
+    for (auto it = idle_workspaces_.begin(); it != idle_workspaces_.end();
+         ++it) {
+      if (it->dim != mask_dim) continue;
+      if (best == idle_workspaces_.end() || it->last_used > best->last_used) {
+        best = it;
+      }
+    }
+    if (best != idle_workspaces_.end()) {
+      lease.set = std::move(best->set);
+      lease.reused = true;
+      idle_workspaces_.erase(best);
+      return lease;
+    }
   }
-  if (reused != nullptr) *reused = false;
-  auto set = std::make_shared<sim::WorkspaceSet>();
-  workspace_cache_.emplace(mask_dim, set);
-  return set;
+  // Cold path outside the lock: WorkspaceSet construction allocates.
+  lease.set = std::make_shared<sim::WorkspaceSet>();
+  lease.reused = false;
+  return lease;
+}
+
+std::size_t Session::release_workspaces(WorkspaceLease lease) {
+  std::size_t evictions = 0;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    CacheEntry entry;
+    entry.set = std::move(lease.set);
+    entry.dim = lease.dim;
+    entry.last_used = ++cache_tick_;
+    idle_workspaces_.push_back(std::move(entry));
+    while (idle_workspaces_.size() > workspace_cache_cap_) {
+      auto lru = std::min_element(
+          idle_workspaces_.begin(), idle_workspaces_.end(),
+          [](const CacheEntry& a, const CacheEntry& b) {
+            return a.last_used < b.last_used;
+          });
+      idle_workspaces_.erase(lru);
+      ++evictions;
+    }
+  }
+  if (evictions > 0) {
+    workspace_evictions_.fetch_add(evictions, std::memory_order_relaxed);
+  }
+  return evictions;
+}
+
+void Session::notify_progress(const Progress& progress) {
+  std::lock_guard<std::mutex> lock(observer_mutex_);
+  if (observer_) observer_(progress);
 }
 
 std::unique_ptr<SmoProblem> Session::make_problem(const JobSpec& spec) {
   const std::optional<Layout> layout = load_layout(spec.clip);
   const SmoConfig config = resolve_config_impl(spec, layout_ptr(layout));
   RealGrid target = resolve_target(spec.clip, config, layout_ptr(layout));
-  return std::make_unique<SmoProblem>(
-      config, std::move(target), &pool_,
-      workspaces_for(config.optics.mask_dim, nullptr));
+  WorkspaceLease lease = acquire_workspaces(config.optics.mask_dim);
+  auto workspaces = lease.set;
+  // Return the lease immediately: the problem keeps the shared set alive,
+  // and make_problem callers are sequential by contract (see header).
+  release_workspaces(std::move(lease));
+  return std::make_unique<SmoProblem>(config, std::move(target), &pool_,
+                                      std::move(workspaces));
 }
 
 int Session::planned_steps(Method method, const SmoConfig& config) {
@@ -125,13 +186,13 @@ int Session::planned_steps(Method method, const SmoConfig& config) {
 }
 
 JobResult Session::run_indexed(const JobSpec& spec, std::size_t index,
-                               std::size_t count) {
+                               std::size_t count, ThreadPool* pool) {
   const auto start = Clock::now();
   JobResult result;
   result.job_name = spec.display_name();
   result.method = to_string(spec.method);
   result.clip = spec.clip.describe();
-  ++stats_.jobs_run;
+  jobs_run_.fetch_add(1, std::memory_order_relaxed);
 
   // A pending cancel drains the job before any setup work (clip loading,
   // engine construction, metric evaluation) so a cancelled batch exits
@@ -143,17 +204,18 @@ JobResult Session::run_indexed(const JobSpec& spec, std::size_t index,
     return result;
   }
 
+  WorkspaceLease lease;
   try {
     const std::optional<Layout> layout = load_layout(spec.clip);
     const SmoConfig config = resolve_config_impl(spec, layout_ptr(layout));
-    bool reused = false;
-    auto workspaces = workspaces_for(config.optics.mask_dim, &reused);
-    result.workspaces_reused = reused;
-    if (reused) ++stats_.workspace_reuses;
+    lease = acquire_workspaces(config.optics.mask_dim);
+    result.workspaces_reused = lease.reused;
+    if (lease.reused) {
+      workspace_reuses_.fetch_add(1, std::memory_order_relaxed);
+    }
 
     RealGrid target = resolve_target(spec.clip, config, layout_ptr(layout));
-    const SmoProblem problem(config, std::move(target), &pool_,
-                             std::move(workspaces));
+    const SmoProblem problem(config, std::move(target), pool, lease.set);
     result.setup_seconds = elapsed_seconds(start);
 
     RunControl control;
@@ -167,32 +229,71 @@ JobResult Session::run_indexed(const JobSpec& spec, std::size_t index,
       progress.planned_steps = planned_steps(spec.method, config);
       control.on_step = [this, progress](const StepRecord& record) mutable {
         progress.step = record;
-        observer_(progress);
+        notify_progress(progress);
       };
     }
 
-    result.before = problem.evaluate_solution(problem.initial_theta_m(),
-                                              problem.initial_theta_j());
+    if (spec.evaluate_solution) {
+      result.before = problem.evaluate_solution(problem.initial_theta_m(),
+                                                problem.initial_theta_j());
+    }
     result.run = run_method(problem, spec.method, control);
-    result.after = problem.evaluate_solution(result.run.theta_m,
-                                             result.run.theta_j);
+    if (spec.evaluate_solution) {
+      result.after = problem.evaluate_solution(result.run.theta_m,
+                                               result.run.theta_j);
+    }
   } catch (const std::exception& e) {
     result.error = e.what();
+  }
+  if (lease.set != nullptr) {
+    result.workspace_evictions = release_workspaces(std::move(lease));
   }
   result.total_seconds = elapsed_seconds(start);
   return result;
 }
 
 JobResult Session::run(const JobSpec& spec) {
-  return run_indexed(spec, 0, 1);
+  return run_indexed(spec, 0, 1, &pool_);
 }
 
-std::vector<JobResult> Session::run_batch(const std::vector<JobSpec>& specs) {
-  std::vector<JobResult> results;
-  results.reserve(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    results.push_back(run_indexed(specs[i], i, specs.size()));
+std::vector<JobResult> Session::run_batch(const std::vector<JobSpec>& specs,
+                                          const BatchOptions& options) {
+  std::vector<JobResult> results(specs.size());
+  const std::size_t lanes = std::max<std::size_t>(
+      1, std::min(options.concurrency, specs.size()));
+  if (lanes <= 1) {
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      results[i] = run_indexed(specs[i], i, specs.size(), &pool_);
+    }
+    return results;
   }
+
+  // Lane execution: each lane thread owns one transient pool (an equal
+  // share of the configured width; spawning them is microseconds against
+  // any real job) and pulls the next unstarted job.  Jobs never share
+  // engine state (workspace leases are exclusive), the observer is
+  // serialized, and results are bitwise independent of the lane count
+  // (slot-deterministic reductions), so concurrency is purely a
+  // scheduling choice.
+  const std::size_t width = std::max<std::size_t>(1, pool_.width() / lanes);
+  std::vector<std::unique_ptr<ThreadPool>> pools;
+  pools.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    pools.push_back(std::make_unique<ThreadPool>(width));
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> threads;
+  threads.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    threads.emplace_back([this, lane, &pools, &next, &specs, &results]() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= specs.size()) return;
+        results[i] = run_indexed(specs[i], i, specs.size(), pools[lane].get());
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
   return results;
 }
 

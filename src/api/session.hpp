@@ -4,11 +4,19 @@
 // ThreadPool, a cache of warm sim::WorkspaceSets keyed by mask dimension
 // (so successive same-shaped jobs skip buffer allocation and FFT
 // planning), a cooperative CancelToken, and an optional progress observer.
-// Jobs are described declaratively (api::JobSpec) and executed one at a
-// time; `run_batch` drives multi-clip workloads through the shared pool --
-// each job's imaging engines parallelize across all workers, so the pool
-// is saturated for the whole batch while setup cost is amortized across
-// jobs.
+// Jobs are described declaratively (api::JobSpec); `run_batch` drives
+// multi-clip workloads through the shared pool, either one job at a time
+// (each job's imaging engines parallelize across all workers) or -- with
+// BatchOptions::concurrency > 1 -- several jobs at once on partitioned
+// lane pools, which is how the tiled execution layer (src/shard/) keeps
+// small per-tile problems from underutilizing wide machines.
+//
+// Thread-safety: the workspace cache is a synchronized lease pool -- a job
+// checks a set out for its lifetime and returns it afterwards, so
+// concurrent lanes never share scratch buffers; idle sets beyond a small
+// cap are evicted least-recently-used.  The progress observer is invoked
+// under a lock (jobs may progress on scheduler lanes) and
+// `request_cancel` remains callable from any thread.
 //
 // Failure containment: `run` and `run_batch` never throw for per-job
 // problems (bad layout file, invalid configuration, ...); the error is
@@ -16,10 +24,12 @@
 #ifndef BISMO_API_SESSION_HPP
 #define BISMO_API_SESSION_HPP
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
-#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -41,8 +51,10 @@ struct Progress {
   int planned_steps = 0;      ///< expected trace length for this job
 };
 
-/// Invoked from the driver thread after every recorded step; keep cheap.
-/// It is safe to call Session::request_cancel() from the observer.
+/// Invoked after every recorded step of any job; keep cheap.  Calls are
+/// serialized by the session (concurrent batches progress on lane
+/// threads), and it is safe to call Session::request_cancel() from the
+/// observer.
 using ProgressObserver = std::function<void(const Progress&)>;
 
 /// Execution context shared by a sequence of jobs.
@@ -51,12 +63,28 @@ class Session {
   struct Options {
     std::size_t threads = 0;       ///< worker threads (0 = hardware)
     ProgressObserver on_progress;  ///< optional step observer
+    /// Maximum idle warm WorkspaceSets kept for reuse.  Leases checked out
+    /// by running jobs never count against the cap; returning a set past
+    /// it evicts the least-recently-used idle set.
+    std::size_t workspace_cache_cap = 4;
+  };
+
+  /// Per-batch execution options.
+  struct BatchOptions {
+    /// Jobs executed simultaneously.  1 = classic sequential batch on the
+    /// full-width session pool; k > 1 runs up to k jobs at once on k
+    /// transient lane pools, each with a 1/k share of the configured
+    /// width, while the shared pool idles for the duration (lane pools
+    /// are torn down when the batch returns).  Results are bitwise
+    /// identical either way -- reductions are slot-deterministic.
+    std::size_t concurrency = 1;
   };
 
   /// Cross-job reuse counters.
   struct Stats {
     std::size_t jobs_run = 0;
-    std::size_t workspace_reuses = 0;  ///< jobs served by a warm set
+    std::size_t workspace_reuses = 0;     ///< jobs served by a warm set
+    std::size_t workspace_evictions = 0;  ///< idle sets dropped by the cap
   };
 
   Session() : Session(Options{}) {}
@@ -80,16 +108,21 @@ class Session {
   /// batch drains quickly; new work needs an explicit reset).
   void reset_cancel() noexcept { cancel_.reset(); }
 
-  Stats stats() const noexcept { return stats_; }
+  Stats stats() const noexcept;
 
   /// Execute one job.  Never throws for job-level failures; see
   /// JobResult::error.
   JobResult run(const JobSpec& spec);
 
-  /// Execute jobs in order through the shared pool and warm workspaces.
-  /// Continues past failed jobs; a cancel request drains the remainder as
-  /// cancelled results.
-  std::vector<JobResult> run_batch(const std::vector<JobSpec>& specs);
+  /// Execute jobs through the shared pool and warm workspaces --
+  /// sequentially by default, or `options.concurrency` at a time on lane
+  /// pools.  Continues past failed jobs; a cancel request drains the
+  /// remainder as cancelled results.  Results are in spec order.
+  std::vector<JobResult> run_batch(const std::vector<JobSpec>& specs) {
+    return run_batch(specs, BatchOptions{});
+  }
+  std::vector<JobResult> run_batch(const std::vector<JobSpec>& specs,
+                                   const BatchOptions& options);
 
   /// The spec's effective configuration: base config + clip-derived pixel
   /// pitch + overrides, validated.  Throws std::invalid_argument on bad
@@ -98,26 +131,57 @@ class Session {
 
   /// Build the problem a spec describes, on this session's pool and warm
   /// workspaces -- the escape hatch for custom loops (examples that drive
-  /// the gradient engine directly).  Throws on invalid specs.
+  /// the gradient engine directly).  The problem shares a cached
+  /// WorkspaceSet, so it must not be evaluated concurrently with other
+  /// work on this session.  Throws on invalid specs.
   std::unique_ptr<SmoProblem> make_problem(const JobSpec& spec);
 
   /// Expected trace length of `method` under `config` (progress totals).
   static int planned_steps(Method method, const SmoConfig& config);
 
  private:
-  JobResult run_indexed(const JobSpec& spec, std::size_t index,
-                        std::size_t count);
+  /// A checked-out warm workspace set.
+  struct WorkspaceLease {
+    std::shared_ptr<sim::WorkspaceSet> set;
+    std::size_t dim = 0;
+    bool reused = false;  ///< served from the idle cache
+  };
 
-  /// Warm workspace set for a mask dimension; sets `reused` when a prior
-  /// job of this session already warmed it.
-  std::shared_ptr<sim::WorkspaceSet> workspaces_for(std::size_t mask_dim,
-                                                    bool* reused);
+  /// One idle (checked-in) warm set.
+  struct CacheEntry {
+    std::shared_ptr<sim::WorkspaceSet> set;
+    std::size_t dim = 0;
+    std::uint64_t last_used = 0;  ///< LRU tick
+  };
+
+  JobResult run_indexed(const JobSpec& spec, std::size_t index,
+                        std::size_t count, ThreadPool* pool);
+
+  /// Check a warm set for `mask_dim` out of the cache (or create a cold
+  /// one).  Thread-safe.
+  WorkspaceLease acquire_workspaces(std::size_t mask_dim);
+
+  /// Return a lease to the idle cache; evicts least-recently-used idle
+  /// sets past the cap.  Returns the number of evictions performed.
+  /// Thread-safe.
+  std::size_t release_workspaces(WorkspaceLease lease);
+
+  /// Serialized observer invocation (lanes progress concurrently).
+  void notify_progress(const Progress& progress);
 
   ThreadPool pool_;
   ProgressObserver observer_;
+  std::mutex observer_mutex_;
   CancelToken cancel_;
-  std::map<std::size_t, std::shared_ptr<sim::WorkspaceSet>> workspace_cache_;
-  Stats stats_;
+
+  std::mutex cache_mutex_;
+  std::vector<CacheEntry> idle_workspaces_;
+  std::uint64_t cache_tick_ = 0;
+  std::size_t workspace_cache_cap_;
+
+  std::atomic<std::size_t> jobs_run_{0};
+  std::atomic<std::size_t> workspace_reuses_{0};
+  std::atomic<std::size_t> workspace_evictions_{0};
 };
 
 }  // namespace bismo::api

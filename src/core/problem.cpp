@@ -60,50 +60,31 @@ RealGrid SmoProblem::mask_image(const RealGrid& theta_m, bool binary) const {
   return binary ? binarize(m) : m;
 }
 
-RealGrid SmoProblem::resist_image(const RealGrid& theta_m,
-                                  const RealGrid& theta_j, DoseCorner corner,
+RealGrid SmoProblem::aerial_image(const RealGrid& theta_m,
+                                  const RealGrid& theta_j,
                                   bool binary_mask) const {
   const RealGrid mask = mask_image(theta_m, binary_mask);
   const RealGrid source = source_image(theta_j);
   ComplexGrid o = to_complex(mask);
   fft2(o);
-  const RealGrid intensity =
-      abbe_->aerial(o, source, config_.source_cutoff).intensity;
+  return abbe_->aerial(o, source, config_.source_cutoff).intensity;
+}
+
+RealGrid SmoProblem::resist_image(const RealGrid& theta_m,
+                                  const RealGrid& theta_j, DoseCorner corner,
+                                  bool binary_mask) const {
+  const RealGrid intensity = aerial_image(theta_m, theta_j, binary_mask);
   const double d = dose_factor(corner, config_.process_window);
   return config_.resist.apply(intensity * (d * d));
 }
 
 SolutionMetrics SmoProblem::evaluate_solution(const RealGrid& theta_m,
                                               const RealGrid& theta_j) const {
-  const RealGrid mask = mask_image(theta_m, /*binary=*/true);
-  const RealGrid source = source_image(theta_j);
-  ComplexGrid o = to_complex(mask);
-  fft2(o);
   const RealGrid intensity =
-      abbe_->aerial(o, source, config_.source_cutoff).intensity;
-
-  const double pixel = config_.optics.pixel_nm;
-  const ProcessWindow& pw = config_.process_window;
-  const RealGrid print_nom = config_.resist.print(intensity);
-  const RealGrid print_min =
-      config_.resist.print(intensity * (pw.dose_min * pw.dose_min));
-  const RealGrid print_max =
-      config_.resist.print(intensity * (pw.dose_max * pw.dose_max));
-
-  SolutionMetrics out;
-  out.l2_nm2 = squared_l2_nm2(print_nom, target_, pixel);
-  out.pvb_nm2 = pvb_nm2(print_min, print_max, pixel);
-
-  const RealGrid z_cont = config_.resist.apply(intensity);
-  const EpeResult epe = measure_epe(z_cont, target_, pixel, config_.epe);
-  out.epe_violations = epe.violations;
-  out.epe_samples = epe.samples;
-
-  const SmoLoss loss = evaluate_smo_loss(intensity, target_, config_.resist,
-                                         config_.weights, pw,
-                                         /*want_backprop=*/false);
-  out.loss = loss.total;
-  return out;
+      aerial_image(theta_m, theta_j, /*binary_mask=*/true);
+  return evaluate_solution_metrics(intensity, target_, config_.resist,
+                                   config_.weights, config_.process_window,
+                                   config_.epe, config_.optics.pixel_nm);
 }
 
 }  // namespace bismo

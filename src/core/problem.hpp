@@ -12,21 +12,12 @@
 #include "layout/layout.hpp"
 #include "litho/abbe.hpp"
 #include "metrics/epe.hpp"
+#include "metrics/solution.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sim/scenario.hpp"
 #include "sim/workspace.hpp"
 
 namespace bismo {
-
-/// Final-solution quality under the paper's evaluation protocol
-/// (binarized mask, grayscale source, Abbe imaging).
-struct SolutionMetrics {
-  double l2_nm2 = 0.0;            ///< Definition 1 at nominal dose
-  double pvb_nm2 = 0.0;           ///< Definition 2 across dose corners
-  std::size_t epe_violations = 0; ///< Definition 3 count
-  std::size_t epe_samples = 0;
-  double loss = 0.0;              ///< Lsmo of the binarized solution
-};
 
 /// One clip's SMO problem instance.  Owns the engines; movable, not
 /// copyable (engines hold internal references).
@@ -74,6 +65,13 @@ class SmoProblem {
 
   /// theta_J0 from the configured source template (Table 1).
   RealGrid initial_theta_j() const;
+
+  /// Normalized nominal-dose aerial intensity for the given parameters
+  /// (mask binarized when `binary_mask`) -- the input of both the resist
+  /// model and the metric evaluation, exposed so the tiled execution layer
+  /// can stitch intensities before thresholding.
+  RealGrid aerial_image(const RealGrid& theta_m, const RealGrid& theta_j,
+                        bool binary_mask = true) const;
 
   /// Continuous resist image at a dose corner for the given parameters
   /// (mask binarized when `binary_mask`).

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <fstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "math/grid_ops.hpp"
@@ -64,7 +65,30 @@ RealGrid read_pgm(const std::string& path) {
   if (maxval <= 0 || maxval > 255) {
     throw std::runtime_error("read_pgm: unsupported max value");
   }
-  in.get();  // single whitespace after header
+  // Consume the single whitespace that terminates the header (PGM spec),
+  // tolerating two real-world deviations the strict `in.get()` corrupted:
+  //   * CRLF line endings -- "255\r\n" is one line terminator, not a '\r'
+  //     terminator followed by a '\n' raster byte;
+  //   * a trailing comment -- "255 # maxval\n" ends at that newline.
+  // Raster bytes that happen to be whitespace-valued are never consumed:
+  // after a space/tab terminator only a '#' (overwhelmingly a comment,
+  // never legitimately the first pixel of a space-terminated header)
+  // extends the header.
+  const auto skip_comment_line = [&in]() {
+    std::string rest;
+    std::getline(in, rest);
+  };
+  int ch = in.get();
+  if (ch == ' ' || ch == '\t') {
+    if (in.peek() == '#') ch = in.get();  // "255 # comment\n"
+  }
+  if (ch == '#') {
+    skip_comment_line();  // header ends at the comment's newline
+  } else if (ch == '\r') {
+    if (in.peek() == '\n') in.get();  // CRLF counts as one terminator
+  }
+  // Any other terminator ('\n', or the single space/tab above) is already
+  // consumed; raster data starts at the next byte.
   RealGrid image(rows, cols);
   std::vector<std::uint8_t> row(cols);
   for (std::size_t r = 0; r < rows; ++r) {

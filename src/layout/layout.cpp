@@ -76,6 +76,31 @@ RealGrid Layout::rasterize(std::size_t dim) const {
   return grid;
 }
 
+Layout Layout::window(double x0, double y0, double side) const {
+  if (side <= 0.0) {
+    throw std::invalid_argument("Layout::window: non-positive side");
+  }
+  // Tolerate sub-pixel fp noise from nm<->pixel conversions, but reject
+  // genuinely out-of-tile windows.
+  const double tol = 1e-6 * std::max(1.0, tile_nm_);
+  if (x0 < -tol || y0 < -tol || x0 + side > tile_nm_ + tol ||
+      y0 + side > tile_nm_ + tol) {
+    throw std::invalid_argument("Layout::window: window outside tile");
+  }
+  Layout out(side);
+  for (const Rect& r : rects_) {
+    Rect c{std::max(r.x0, x0) - x0, std::max(r.y0, y0) - y0,
+           std::min(r.x1, x0 + side) - x0, std::min(r.y1, y0 + side) - y0};
+    // Clamp fp residue so clipped rects satisfy add_rect's bounds check.
+    c.x0 = std::max(c.x0, 0.0);
+    c.y0 = std::max(c.y0, 0.0);
+    c.x1 = std::min(c.x1, side);
+    c.y1 = std::min(c.y1, side);
+    if (c.valid()) out.add_rect(c);
+  }
+  return out;
+}
+
 bool Layout::violates_spacing(const Rect& r, double spacing) const {
   const Rect probe = r.inflated(spacing);
   for (const Rect& existing : rects_) {

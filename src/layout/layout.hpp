@@ -62,6 +62,16 @@ class Layout {
   /// rectangle become 1.
   RealGrid rasterize(std::size_t dim) const;
 
+  /// Square window query for tiled execution (src/shard/): the sub-layout
+  /// of side `side` whose lower-left corner sits at (x0, y0) in this
+  /// layout's coordinates.  Rectangles are clipped to the window and
+  /// translated to window coordinates; rectangles that miss the window are
+  /// dropped.  The window must lie inside the tile (up to a small fp
+  /// tolerance; throws std::invalid_argument otherwise).  Rasterizing the
+  /// window reproduces the corresponding pixels of the full raster when
+  /// the window is aligned to pixel boundaries.
+  Layout window(double x0, double y0, double side) const;
+
   /// Would `r` (inflated by `spacing`) collide with an existing rect?
   bool violates_spacing(const Rect& r, double spacing) const;
 

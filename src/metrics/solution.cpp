@@ -1,0 +1,42 @@
+#include "metrics/solution.hpp"
+
+#include <stdexcept>
+
+#include "metrics/metrics.hpp"
+
+namespace bismo {
+
+SolutionMetrics evaluate_solution_metrics(const RealGrid& intensity,
+                                          const RealGrid& target,
+                                          const ResistModel& resist,
+                                          const LossWeights& weights,
+                                          const ProcessWindow& process_window,
+                                          const EpeConfig& epe,
+                                          double pixel_nm) {
+  if (!intensity.same_shape(target)) {
+    throw std::invalid_argument(
+        "evaluate_solution_metrics: intensity/target shape mismatch");
+  }
+  const ProcessWindow& pw = process_window;
+  const RealGrid print_nom = resist.print(intensity);
+  const RealGrid print_min =
+      resist.print(intensity * (pw.dose_min * pw.dose_min));
+  const RealGrid print_max =
+      resist.print(intensity * (pw.dose_max * pw.dose_max));
+
+  SolutionMetrics out;
+  out.l2_nm2 = squared_l2_nm2(print_nom, target, pixel_nm);
+  out.pvb_nm2 = pvb_nm2(print_min, print_max, pixel_nm);
+
+  const RealGrid z_cont = resist.apply(intensity);
+  const EpeResult epe_result = measure_epe(z_cont, target, pixel_nm, epe);
+  out.epe_violations = epe_result.violations;
+  out.epe_samples = epe_result.samples;
+
+  const SmoLoss loss = evaluate_smo_loss(intensity, target, resist, weights,
+                                         pw, /*want_backprop=*/false);
+  out.loss = loss.total;
+  return out;
+}
+
+}  // namespace bismo

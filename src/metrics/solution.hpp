@@ -1,0 +1,46 @@
+// Final-solution metric evaluation (paper Sec. 2.2) from an aerial
+// intensity image: the shared pipeline behind SmoProblem::evaluate_solution
+// and the stitched full-layout evaluation of src/shard/.  Both callers feed
+// a normalized aerial intensity (binarized mask, grayscale source, Abbe
+// imaging) and get Definitions 1-3 plus the SMO loss of that intensity;
+// keeping one implementation guarantees a clip evaluated monolithically and
+// the same clip evaluated through the tiled path score identically.
+#ifndef BISMO_METRICS_SOLUTION_HPP
+#define BISMO_METRICS_SOLUTION_HPP
+
+#include <cstddef>
+
+#include "grad/loss.hpp"
+#include "litho/optics.hpp"
+#include "litho/resist.hpp"
+#include "math/grid2d.hpp"
+#include "metrics/epe.hpp"
+
+namespace bismo {
+
+/// Final-solution quality under the paper's evaluation protocol
+/// (binarized mask, grayscale source, Abbe imaging).
+struct SolutionMetrics {
+  double l2_nm2 = 0.0;            ///< Definition 1 at nominal dose
+  double pvb_nm2 = 0.0;           ///< Definition 2 across dose corners
+  std::size_t epe_violations = 0; ///< Definition 3 count
+  std::size_t epe_samples = 0;
+  double loss = 0.0;              ///< Lsmo of the binarized solution
+};
+
+/// Evaluate the paper's metrics from a normalized aerial intensity image:
+/// prints at the dose corners give L2 (nominal) and PVB (min/max XOR), the
+/// continuous resist gives EPE, and Lsmo is evaluated on the intensity
+/// itself.  `intensity` and `target` must share shape (throws
+/// std::invalid_argument otherwise).
+SolutionMetrics evaluate_solution_metrics(const RealGrid& intensity,
+                                          const RealGrid& target,
+                                          const ResistModel& resist,
+                                          const LossWeights& weights,
+                                          const ProcessWindow& process_window,
+                                          const EpeConfig& epe,
+                                          double pixel_nm);
+
+}  // namespace bismo
+
+#endif  // BISMO_METRICS_SOLUTION_HPP

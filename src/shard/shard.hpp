@@ -1,0 +1,16 @@
+// Umbrella header for the tiled large-layout execution layer.
+//
+//   TilePlan      -- pixel-exact R x C decomposition with halo margins
+//   stitch()      -- halo cross-fade reassembly of per-tile grids
+//   TileScheduler -- concurrent tile sweeps through api::Session with
+//                    stitched full-layout images and metrics
+//
+// See README "Architecture" for the tile/halo lifecycle.
+#ifndef BISMO_SHARD_SHARD_HPP
+#define BISMO_SHARD_SHARD_HPP
+
+#include "shard/stitch.hpp"       // IWYU pragma: export
+#include "shard/tile_plan.hpp"    // IWYU pragma: export
+#include "shard/tile_scheduler.hpp"  // IWYU pragma: export
+
+#endif  // BISMO_SHARD_SHARD_HPP

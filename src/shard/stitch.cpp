@@ -1,0 +1,77 @@
+#include "shard/stitch.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <stdexcept>
+
+namespace bismo::shard {
+namespace {
+
+double edge_ramp(std::size_t d, std::size_t halo_px) {
+  return std::min(1.0, static_cast<double>(d + 1) /
+                           static_cast<double>(halo_px + 1));
+}
+
+}  // namespace
+
+double stitch_weight(const TilePlan& plan, std::size_t i, std::size_t j) {
+  const std::size_t n = plan.tile_dim();
+  const std::size_t di = std::min(i, n - 1 - i);
+  const std::size_t dj = std::min(j, n - 1 - j);
+  return edge_ramp(di, plan.halo_px()) * edge_ramp(dj, plan.halo_px());
+}
+
+RealGrid stitch(const TilePlan& plan, const std::vector<RealGrid>& tiles) {
+  if (tiles.size() != plan.tile_count()) {
+    throw std::invalid_argument("stitch: tile count mismatch");
+  }
+  const std::size_t n = plan.tile_dim();
+  const std::size_t full = plan.full_dim();
+  for (const RealGrid& t : tiles) {
+    if (t.rows() != n || t.cols() != n) {
+      throw std::invalid_argument("stitch: tile grid shape mismatch");
+    }
+  }
+
+  // Precompute the separable edge ramp once; every window shares it.
+  std::vector<double> ramp(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ramp[i] = edge_ramp(std::min(i, n - 1 - i), plan.halo_px());
+  }
+
+  RealGrid accum(full, full, 0.0);   // weighted sum
+  RealGrid weight(full, full, 0.0);  // total weight
+  RealGrid raw(full, full, 0.0);     // last contributor's raw value
+  Grid2D<std::uint8_t> count(full, full, 0);
+
+  for (std::size_t t = 0; t < tiles.size(); ++t) {
+    const TileWindow& w = plan.tiles()[t];
+    const RealGrid& grid = tiles[t];
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t fr = w.win_r0 + i;
+      for (std::size_t j = 0; j < n; ++j) {
+        const std::size_t fc = w.win_c0 + j;
+        const double wt = ramp[i] * ramp[j];
+        accum(fr, fc) += wt * grid(i, j);
+        weight(fr, fc) += wt;
+        raw(fr, fc) = grid(i, j);
+        if (count(fr, fc) < 255) ++count(fr, fc);
+      }
+    }
+  }
+
+  RealGrid out(full, full, 0.0);
+  for (std::size_t r = 0; r < full; ++r) {
+    for (std::size_t c = 0; c < full; ++c) {
+      if (count(r, c) == 0) {
+        throw std::logic_error("stitch: uncovered pixel");  // plan invariant
+      }
+      // Single contributor: bypass the weighted average so the value is
+      // copied bitwise (multiply/divide by the same weight is not exact).
+      out(r, c) = count(r, c) == 1 ? raw(r, c) : accum(r, c) / weight(r, c);
+    }
+  }
+  return out;
+}
+
+}  // namespace bismo::shard

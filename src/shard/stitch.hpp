@@ -1,0 +1,34 @@
+// stitch(): reassemble per-tile result grids into the full-layout grid.
+//
+// Every tile contributes its whole window, weighted by a separable ramp
+// that is 1 on the tile's core-interior and falls off linearly across the
+// halo toward the window edge; contributions are normalized by the total
+// weight per pixel.  Seams between tiles therefore cross-fade over the
+// overlap instead of hard-switching at the core boundary, which suppresses
+// the discontinuity where two tiles disagree about shared geometry.  A
+// pixel covered by exactly one window copies its value bitwise (no
+// multiply/divide round trip) -- the property the single-tile equivalence
+// guarantee rests on.
+#ifndef BISMO_SHARD_STITCH_HPP
+#define BISMO_SHARD_STITCH_HPP
+
+#include <vector>
+
+#include "math/grid2d.hpp"
+#include "shard/tile_plan.hpp"
+
+namespace bismo::shard {
+
+/// Blend per-tile grids (one per plan tile, each tile_dim x tile_dim, in
+/// plan.tiles() order) into the full_dim x full_dim layout grid.  Throws
+/// std::invalid_argument on count/shape mismatch.
+RealGrid stitch(const TilePlan& plan, const std::vector<RealGrid>& tiles);
+
+/// The blend weight of tile window pixel (i, j) -- exposed for tests.
+/// Separable: ramp(i) * ramp(j), ramp(d) = min(1, (d+1) / (halo_px+1))
+/// with d the distance to the nearest window edge.
+double stitch_weight(const TilePlan& plan, std::size_t i, std::size_t j);
+
+}  // namespace bismo::shard
+
+#endif  // BISMO_SHARD_STITCH_HPP

@@ -1,0 +1,118 @@
+#include "shard/tile_scheduler.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <utility>
+
+#include "math/grid_ops.hpp"
+#include "shard/stitch.hpp"
+
+namespace bismo::shard {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double elapsed_seconds(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+TilePlan TileScheduler::plan_for(const Layout& layout,
+                                 const api::JobSpec& base,
+                                 const ShardOptions& options) const {
+  if (layout.tile_nm() <= 0.0) {
+    throw std::invalid_argument("TileScheduler: layout without a tile size");
+  }
+  // The base spec's resolved mask_dim is the FULL-layout grid dimension.
+  api::JobSpec probe = base;
+  probe.clip = api::ClipSource::from_layout(layout);
+  const SmoConfig config = session_.resolve_config(probe);
+  return TilePlan::make(layout.tile_nm(), config.optics.mask_dim,
+                        options.rows, options.cols, options.halo_nm);
+}
+
+std::vector<api::JobSpec> TileScheduler::tile_specs(
+    const Layout& layout, const api::JobSpec& base,
+    const TilePlan& plan) const {
+  const std::string prefix = base.name.empty() ? "tile" : base.name;
+  std::vector<api::JobSpec> specs;
+  specs.reserve(plan.tile_count());
+  for (const TileWindow& t : plan.tiles()) {
+    api::JobSpec spec = base;
+    spec.name = prefix + "[" + std::to_string(t.row) + "," +
+                std::to_string(t.col) + "]";
+    // The full-cover window IS the layout; passing it through unchanged
+    // keeps the degenerate 1x1 plan bit-identical to a monolithic run.
+    spec.clip = plan.single_window()
+                    ? api::ClipSource::from_layout(layout)
+                    : api::ClipSource::from_layout(layout.window(
+                          plan.nm_of_px(t.win_c0), plan.nm_of_px(t.win_r0),
+                          plan.window_nm()));
+    // Appended last so it wins over any base mask_dim override.
+    spec.config_overrides.push_back("mask_dim=" +
+                                    std::to_string(plan.tile_dim()));
+    spec.evaluate_solution = false;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+ShardResult TileScheduler::run(const Layout& layout, const api::JobSpec& base,
+                               const ShardOptions& options) {
+  const auto start = Clock::now();
+  ShardResult result;
+  result.plan = plan_for(layout, base, options);
+  const TilePlan& plan = result.plan;
+
+  const std::vector<api::JobSpec> specs = tile_specs(layout, base, plan);
+  api::Session::BatchOptions batch;
+  batch.concurrency = options.concurrency > 0
+                          ? options.concurrency
+                          : std::min(plan.tile_count(),
+                                     session_.pool().width());
+  result.tiles = session_.run_batch(specs, batch);
+  result.run_seconds = elapsed_seconds(start);
+
+  for (std::size_t t = 0; t < result.tiles.size(); ++t) {
+    const api::JobResult& tile = result.tiles[t];
+    if (tile.cancelled()) result.cancelled = true;
+    if (!tile.ok() && result.error.empty()) {
+      const TileWindow& w = plan.tiles()[t];
+      result.error = "tile (" + std::to_string(w.row) + "," +
+                     std::to_string(w.col) + "): " + tile.error;
+    }
+  }
+
+  if (options.stitch_images && result.ok() && !result.cancelled) {
+    // Render every tile's optimized mask and aerial once (warm
+    // workspaces, sequential on the session pool), then cross-fade.
+    std::vector<RealGrid> masks;
+    std::vector<RealGrid> aerials;
+    masks.reserve(specs.size());
+    aerials.reserve(specs.size());
+    SmoConfig config{};
+    for (std::size_t t = 0; t < specs.size(); ++t) {
+      const auto problem = session_.make_problem(specs[t]);
+      const RunResult& run = result.tiles[t].run;
+      masks.push_back(problem->mask_image(run.theta_m, /*binary=*/true));
+      aerials.push_back(
+          problem->aerial_image(run.theta_m, run.theta_j,
+                                /*binary_mask=*/true));
+      config = problem->config();  // identical across tiles
+    }
+    result.mask = binarize(stitch(plan, masks));
+    result.aerial = stitch(plan, aerials);
+    result.target = layout.rasterize(plan.full_dim());
+    result.resist = config.resist.apply(result.aerial);
+    result.stitched = evaluate_solution_metrics(
+        result.aerial, result.target, config.resist, config.weights,
+        config.process_window, config.epe, config.optics.pixel_nm);
+  }
+
+  result.total_seconds = elapsed_seconds(start);
+  return result;
+}
+
+}  // namespace bismo::shard

@@ -1,0 +1,100 @@
+// TileScheduler: tiled execution of one large layout through api::Session.
+//
+// The scheduler turns a TilePlan into one api::JobSpec per tile (same
+// method, same configuration, per-tile window clip, shared mask
+// dimension), fans the jobs out through Session::run_batch -- concurrently
+// on lane pools when asked, with per-step progress forwarded through the
+// session's observer and one cooperative cancel draining the whole sweep
+// -- and stitches the optimized results back into full-layout images and
+// metrics.
+//
+// Per-tile jobs skip the isolated before/after metric evaluation
+// (JobSpec::evaluate_solution = false): a tile's L2 against its own halo
+// padding is not a meaningful number.  Instead the scheduler renders each
+// tile's binarized mask and nominal aerial intensity, cross-fades them
+// over the halo overlaps (see stitch.hpp), and evaluates the paper's
+// metrics once on the stitched full-layout grids -- the same
+// evaluate_solution_metrics pipeline a monolithic Session::run uses, so a
+// layout that fits in a single tile scores bitwise identically either way.
+#ifndef BISMO_SHARD_TILE_SCHEDULER_HPP
+#define BISMO_SHARD_TILE_SCHEDULER_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "api/session.hpp"
+#include "layout/layout.hpp"
+#include "math/grid2d.hpp"
+#include "metrics/solution.hpp"
+#include "shard/tile_plan.hpp"
+
+namespace bismo::shard {
+
+/// How to shard one layout.
+struct ShardOptions {
+  std::size_t rows = 2;      ///< tile-grid rows
+  std::size_t cols = 2;      ///< tile-grid columns
+  double halo_nm = 128.0;    ///< overlap margin per window side
+  /// Tiles optimized simultaneously (Session lane pools); 0 picks
+  /// min(tile count, session worker count).
+  std::size_t concurrency = 0;
+  /// Render, stitch, and evaluate full-layout images/metrics after the
+  /// sweep (one extra engine pass per tile).  Off: only per-tile results.
+  bool stitch_images = true;
+};
+
+/// Outcome of one tiled sweep.
+struct ShardResult {
+  TilePlan plan;
+  std::vector<api::JobResult> tiles;  ///< per-tile results, plan order
+
+  // Stitched full-layout grids (empty when stitch_images was off, the
+  // sweep was cancelled, or a tile failed).
+  RealGrid mask;     ///< binarized optimized mask
+  RealGrid aerial;   ///< nominal-dose aerial intensity
+  RealGrid resist;   ///< continuous nominal resist of `aerial`
+  RealGrid target;   ///< full-layout rasterization
+  SolutionMetrics stitched;  ///< Definitions 1-3 on the stitched grids
+
+  double total_seconds = 0.0;  ///< whole sweep including stitching
+  double run_seconds = 0.0;    ///< tile execution only
+  bool cancelled = false;      ///< at least one tile drained by a cancel
+  std::string error;           ///< first tile failure ("" when all ran)
+
+  bool ok() const noexcept { return error.empty(); }
+};
+
+/// Shards layouts through one shared api::Session (whose warm workspace
+/// cache, worker pool, observer, and cancel token the sweep reuses).
+class TileScheduler {
+ public:
+  explicit TileScheduler(api::Session& session) : session_(session) {}
+
+  /// Decompose `layout` per `options` and optimize every tile with
+  /// `base`'s method/configuration (base.clip is ignored -- the layout
+  /// argument is the clip; base.config_overrides apply to every tile, and
+  /// the base mask_dim is reinterpreted as the FULL-layout grid dimension
+  /// from which the per-tile dimension is derived).  Tile-level failures
+  /// are contained in the result; plan-level misuse (non-divisible tile
+  /// grid, empty layout) throws std::invalid_argument.
+  ShardResult run(const Layout& layout, const api::JobSpec& base,
+                  const ShardOptions& options);
+
+  /// The plan `run` would use (exposed for benches and tests).
+  TilePlan plan_for(const Layout& layout, const api::JobSpec& base,
+                    const ShardOptions& options) const;
+
+  /// The per-tile job specs `run` would execute (exposed so benches can
+  /// time the identical workload under different scheduling policies).
+  std::vector<api::JobSpec> tile_specs(const Layout& layout,
+                                       const api::JobSpec& base,
+                                       const TilePlan& plan) const;
+
+ private:
+  api::Session& session_;
+};
+
+}  // namespace bismo::shard
+
+#endif  // BISMO_SHARD_TILE_SCHEDULER_HPP

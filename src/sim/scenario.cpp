@@ -14,10 +14,15 @@ ScenarioBatch::ScenarioBatch(const OpticsConfig& optics,
   if (workspaces == nullptr) workspaces = std::make_shared<WorkspaceSet>();
   std::vector<double> defocus_values;
   model_of_.reserve(scenarios_.size());
+  // Corner defocus values are often computed (nominal +/- delta, unit
+  // conversions), so analytically equal corners can differ by rounding
+  // noise; exact comparison would silently build one engine per corner.
+  // 1e-9 nm is far below any physically meaningful defocus difference.
+  constexpr double kDefocusTolNm = 1e-9;
   for (const Scenario& s : scenarios_) {
     std::size_t idx = defocus_values.size();
     for (std::size_t i = 0; i < defocus_values.size(); ++i) {
-      if (defocus_values[i] == s.defocus_nm) {
+      if (std::abs(defocus_values[i] - s.defocus_nm) <= kDefocusTolNm) {
         idx = i;
         break;
       }

@@ -141,6 +141,82 @@ TEST(SessionBatch, ContinuesPastFailedJobs) {
   EXPECT_TRUE(results[1].ok()) << results[1].error;
 }
 
+TEST(SessionBatch, ConcurrentLanesMatchSequentialBitwise) {
+  api::Session session;
+  std::vector<api::JobSpec> specs(4, tiny_spec(Method::kAbbeMo));
+  const std::vector<api::JobResult> seq =
+      session.run_batch(specs, api::Session::BatchOptions{1});
+  const std::vector<api::JobResult> con =
+      session.run_batch(specs, api::Session::BatchOptions{4});
+  ASSERT_EQ(seq.size(), 4u);
+  ASSERT_EQ(con.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    ASSERT_TRUE(seq[i].ok()) << seq[i].error;
+    ASSERT_TRUE(con[i].ok()) << con[i].error;
+    // Lane scheduling is invisible in the results: reductions are
+    // slot-deterministic, so parameters agree bitwise.
+    EXPECT_TRUE(seq[i].run.theta_m == con[i].run.theta_m);
+    EXPECT_TRUE(seq[i].run.theta_j == con[i].run.theta_j);
+    EXPECT_EQ(seq[i].after.l2_nm2, con[i].after.l2_nm2);
+  }
+}
+
+TEST(SessionBatch, ConcurrentProgressEventsAreSerializedAndComplete) {
+  std::vector<api::Progress> events;
+  api::Session::Options options;
+  options.on_progress = [&events](const api::Progress& p) {
+    events.push_back(p);  // safe: the session serializes observer calls
+  };
+  api::Session session(options);
+  std::vector<api::JobSpec> specs(3, tiny_spec(Method::kAbbeMo));
+  const std::vector<api::JobResult> results =
+      session.run_batch(specs, api::Session::BatchOptions{3});
+  std::size_t steps = 0;
+  for (const api::JobResult& r : results) {
+    ASSERT_TRUE(r.ok()) << r.error;
+    steps += r.run.trace.size();
+  }
+  EXPECT_EQ(events.size(), steps);
+  for (const api::Progress& p : events) EXPECT_EQ(p.job_count, 3u);
+}
+
+TEST(SessionWorkspaces, CacheEvictsLeastRecentlyUsedPastCap) {
+  api::Session::Options options;
+  options.workspace_cache_cap = 1;
+  api::Session session(options);
+
+  api::JobSpec small = tiny_spec(Method::kAbbeMo);
+  RealGrid big_target(48, 48, 0.0);
+  const RealGrid tiny = testing::tiny_target32();
+  for (std::size_t r = 0; r < 32; ++r) {
+    for (std::size_t c = 0; c < 32; ++c) big_target(r + 8, c + 8) = tiny(r, c);
+  }
+  api::JobSpec big = small;
+  big.clip = api::ClipSource::from_grid(big_target);
+
+  const api::JobResult first = session.run(small);
+  ASSERT_TRUE(first.ok()) << first.error;
+  EXPECT_FALSE(first.workspaces_reused);
+  EXPECT_EQ(first.workspace_evictions, 0u);
+
+  // A different shape pushes the idle cache past cap=1: the 32-px set is
+  // the least recently used and gets evicted.
+  const api::JobResult second = session.run(big);
+  ASSERT_TRUE(second.ok()) << second.error;
+  EXPECT_FALSE(second.workspaces_reused);
+  EXPECT_EQ(second.workspace_evictions, 1u);
+
+  // The evicted shape is cold again; the cached 48-px set is warm.
+  const api::JobResult third = session.run(small);
+  EXPECT_FALSE(third.workspaces_reused);
+  const api::JobResult fourth = session.run(small);
+  EXPECT_TRUE(fourth.workspaces_reused);
+
+  const api::Session::Stats stats = session.stats();
+  EXPECT_EQ(stats.jobs_run, 4u);
+  EXPECT_GE(stats.workspace_evictions, 2u);
+}
+
 TEST(SessionProgress, ObserverSeesEveryStepWithJobContext) {
   std::vector<api::Progress> events;
   api::Session::Options options;

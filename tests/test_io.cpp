@@ -32,6 +32,61 @@ TEST(ImageIo, PgmRoundTripPreservesQuantizedValues) {
   std::remove(path.c_str());
 }
 
+TEST(ImageIo, PgmReadsCrlfTerminatedHeaders) {
+  // A CRLF-writing producer terminates every header line with "\r\n"; the
+  // raster must still start at the right byte.  The first pixel values are
+  // chosen to be whitespace bytes ('\n' = 10, '\r' = 13, ' ' = 32) so an
+  // off-by-one header parse visibly corrupts the row.
+  const std::string path = temp_path("bismo_test_crlf.pgm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\r\n3 2\r\n255\r\n";
+    const unsigned char data[6] = {10, 13, 32, 100, 200, 255};
+    out.write(reinterpret_cast<const char*>(data), 6);
+  }
+  const RealGrid img = read_pgm(path);
+  ASSERT_EQ(img.rows(), 2u);
+  ASSERT_EQ(img.cols(), 3u);
+  EXPECT_DOUBLE_EQ(img(0, 0), 10.0 / 255.0);
+  EXPECT_DOUBLE_EQ(img(0, 1), 13.0 / 255.0);
+  EXPECT_DOUBLE_EQ(img(0, 2), 32.0 / 255.0);
+  EXPECT_DOUBLE_EQ(img(1, 0), 100.0 / 255.0);
+  EXPECT_DOUBLE_EQ(img(1, 2), 1.0);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, PgmReadsCommentAfterMaxval) {
+  const std::string path = temp_path("bismo_test_comment.pgm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n# made by a commenting producer\n2 1 # dims\n255 # maxval\n";
+    const unsigned char data[2] = {0, 128};
+    out.write(reinterpret_cast<const char*>(data), 2);
+  }
+  const RealGrid img = read_pgm(path);
+  ASSERT_EQ(img.rows(), 1u);
+  ASSERT_EQ(img.cols(), 2u);
+  EXPECT_DOUBLE_EQ(img(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(img(0, 1), 128.0 / 255.0);
+  std::remove(path.c_str());
+}
+
+TEST(ImageIo, PgmSingleSpaceHeaderTerminatorStillWorks) {
+  // Minimal legal separator: one space, raster immediately after -- the
+  // parser must not eat the first pixel even when it is a space byte.
+  const std::string path = temp_path("bismo_test_space.pgm");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "P5\n2 1\n255 ";
+    const unsigned char data[2] = {32, 7};
+    out.write(reinterpret_cast<const char*>(data), 2);
+  }
+  const RealGrid img = read_pgm(path);
+  EXPECT_DOUBLE_EQ(img(0, 0), 32.0 / 255.0);
+  EXPECT_DOUBLE_EQ(img(0, 1), 7.0 / 255.0);
+  std::remove(path.c_str());
+}
+
 TEST(ImageIo, PgmClampsOutOfRange) {
   RealGrid img(1, 2);
   img[0] = -5.0;

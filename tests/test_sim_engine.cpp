@@ -335,5 +335,32 @@ TEST(ScenarioBatch, MatchesPerCornerEvaluation) {
   }
 }
 
+TEST(ScenarioBatch, DedupsAnalyticallyEqualDefocusCorners) {
+  const OpticsConfig optics = small_optics();
+  const SourceGeometry geometry(7, optics);
+
+  // Computed corners that are analytically zero / analytically 80 but
+  // carry double-rounding noise: exact comparison would build four
+  // engines for two physical conditions.
+  const double noisy_zero = (0.1 + 0.2) - 0.3;  // 5.55e-17, != 0.0
+  ASSERT_NE(noisy_zero, 0.0);
+  const double noisy_eighty = 80.0 * ((1.0 / 3.0) * 3.0);
+  const std::vector<sim::Scenario> scenarios = {
+      {1.0, 0.0}, {0.98, noisy_zero}, {1.0, 80.0}, {1.0, noisy_eighty}};
+  const sim::ScenarioBatch batch(optics, geometry, scenarios);
+  EXPECT_EQ(batch.distinct_defocus_count(), 2u);
+
+  // Same-dose scenarios of one deduplicated condition share the engine
+  // pass, so their aerials are bitwise identical.
+  const RealGrid source = make_source(geometry, SourceSpec{});
+  const ComplexGrid o = random_spectrum(21);
+  const std::vector<RealGrid> got = batch.aerial(o, source);
+  EXPECT_TRUE(got[2] == got[3]);
+
+  // Genuinely distinct corners must stay distinct.
+  const sim::ScenarioBatch two(optics, geometry, {{1.0, 0.0}, {1.0, 25.0}});
+  EXPECT_EQ(two.distinct_defocus_count(), 2u);
+}
+
 }  // namespace
 }  // namespace bismo

@@ -23,6 +23,8 @@
 #include "api/api.hpp"
 #include "io/grid_io.hpp"
 #include "io/image_io.hpp"
+#include "math/grid_ops.hpp"
+#include "shard/shard.hpp"
 
 namespace {
 
@@ -42,6 +44,12 @@ using namespace bismo;
       "  --nm N             shorthand for --config mask_dim=N (default 64)\n"
       "  --nj N             shorthand for --config source_dim=N (default 9)\n"
       "  --steps N          shorthand for --config outer_steps=N (default 40)\n"
+      "  --tiles RxC        tiled execution: shard the layout into an RxC\n"
+      "                     grid of overlapping clips, optimize them\n"
+      "                     concurrently, stitch the results (--nm then\n"
+      "                     sets the FULL-layout grid dimension)\n"
+      "  --halo-nm H        tile overlap margin in nm (default 128)\n"
+      "  --lanes N          tiles optimized at once (default: auto)\n"
       "  --threads N        worker threads (default: hardware)\n"
       "  --json PATH        write results JSON ('-' for stdout)\n"
       "  --progress         print per-step progress to stderr\n"
@@ -100,6 +108,87 @@ void print_result(const api::JobResult& r) {
               r.cancelled() ? " [cancelled]" : "");
 }
 
+/// Tiled execution: shard the layout, sweep the tiles concurrently,
+/// stitch, report full-layout metrics, dump images/JSON.
+int run_tiled(api::Session& session, const api::JobSpec& base,
+              const std::string& layout_path,
+              const std::string& generate_kind, std::uint64_t seed,
+              std::size_t rows, std::size_t cols, double halo_nm,
+              std::size_t lanes, bool progress, const std::string& json_path,
+              const std::string& out_dir) {
+  Layout layout;
+  if (!layout_path.empty()) {
+    layout = read_layout(layout_path);
+  } else {
+    DatasetSpec dspec = dataset_spec(dataset_from_string(generate_kind));
+    layout = generate_clip(dspec, seed);
+  }
+
+  shard::ShardOptions opts;
+  opts.rows = rows;
+  opts.cols = cols;
+  opts.halo_nm = halo_nm;
+  opts.concurrency = lanes;
+
+  shard::TileScheduler scheduler(session);
+  const shard::TilePlan plan = scheduler.plan_for(layout, base, opts);
+  std::printf("%zu tiles (%zux%zu, %zu px windows, %zu px halo), "
+              "%zu worker threads\n",
+              plan.tile_count(), rows, cols, plan.tile_dim(), plan.halo_px(),
+              session.pool().width());
+
+  const shard::ShardResult result = scheduler.run(layout, base, opts);
+  (void)progress;  // tiled progress prints whole lines; nothing to flush
+
+  int failures = 0;
+  for (const api::JobResult& tile : result.tiles) {
+    if (!tile.ok()) {
+      std::printf("%-28s ERROR: %s\n", tile.job_name.c_str(),
+                  tile.error.c_str());
+      ++failures;
+    } else {
+      std::printf("%-28s loss %8.3f | %3zu steps | %.1f s%s\n",
+                  tile.job_name.c_str(), tile.run.final_loss(),
+                  tile.run.trace.size(), tile.total_seconds,
+                  tile.cancelled() ? " [cancelled]" : "");
+    }
+  }
+  if (result.ok() && !result.cancelled) {
+    std::printf("stitched %zux%zu: L2 %8.0f | PVB %8.0f | EPE %zu/%zu | "
+                "%.1f s total (%.1f s tiles)\n",
+                result.plan.full_dim(), result.plan.full_dim(),
+                result.stitched.l2_nm2, result.stitched.pvb_nm2,
+                result.stitched.epe_violations, result.stitched.epe_samples,
+                result.total_seconds, result.run_seconds);
+
+    std::filesystem::create_directories(out_dir);
+    write_pgm(out_dir + "/target.pgm", result.target);
+    write_pgm(out_dir + "/mask.pgm", result.mask);
+    const RealGrid print = binarize(result.resist);
+    write_pgm(out_dir + "/resist.pgm", result.resist);
+    write_compare_ppm(out_dir + "/resist_vs_target.ppm", print,
+                      result.target);
+    std::printf("stitched images in %s/\n", out_dir.c_str());
+  } else if (!result.ok()) {
+    std::printf("sweep failed: %s\n", result.error.c_str());
+  }
+
+  if (!json_path.empty()) {
+    if (json_path == "-") {
+      api::write_json(std::cout, result.tiles);
+    } else {
+      std::ofstream out(json_path);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", json_path.c_str());
+        return 1;
+      }
+      api::write_json(out, result.tiles);
+      std::printf("per-tile results JSON: %s\n", json_path.c_str());
+    }
+  }
+  return failures == 0 && result.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -113,6 +202,10 @@ int main(int argc, char** argv) {
   std::size_t batch = 0;
   std::size_t threads = 0;
   bool progress = false;
+  std::size_t tile_rows = 0;
+  std::size_t tile_cols = 0;
+  double halo_nm = 128.0;
+  std::size_t lanes = 0;
 
   // Shorthand flags keep their historical defaults by prepending their
   // override before any explicit --config (so --config wins on conflict).
@@ -136,6 +229,16 @@ int main(int argc, char** argv) {
     else if (flag == "--nm") shorthand[0] = "mask_dim=" + next();
     else if (flag == "--nj") shorthand[1] = "source_dim=" + next();
     else if (flag == "--steps") shorthand[2] = "outer_steps=" + next();
+    else if (flag == "--tiles") {
+      const std::string grid = next();
+      const std::size_t x = grid.find_first_of("xX");
+      if (x == std::string::npos) usage(argv[0]);
+      tile_rows = std::strtoul(grid.substr(0, x).c_str(), nullptr, 10);
+      tile_cols = std::strtoul(grid.substr(x + 1).c_str(), nullptr, 10);
+      if (tile_rows == 0 || tile_cols == 0) usage(argv[0]);
+    }
+    else if (flag == "--halo-nm") halo_nm = std::strtod(next().c_str(), nullptr);
+    else if (flag == "--lanes") lanes = std::strtoul(next().c_str(), nullptr, 10);
     else if (flag == "--threads") threads = std::strtoul(next().c_str(), nullptr, 10);
     else if (flag == "--json") json_path = next();
     else if (flag == "--progress") progress = true;
@@ -148,6 +251,10 @@ int main(int argc, char** argv) {
   }
   if (batch > 0 && generate_kind.empty()) {
     std::fprintf(stderr, "--batch requires --generate\n");
+    usage(argv[0]);
+  }
+  if (tile_rows > 0 && batch > 0) {
+    std::fprintf(stderr, "--tiles cannot be combined with --batch\n");
     usage(argv[0]);
   }
 
@@ -163,6 +270,39 @@ int main(int argc, char** argv) {
     base.config_overrides.insert(base.config_overrides.end(),
                                  overrides.begin(), overrides.end());
 
+    api::Session::Options options;
+    options.threads = threads;
+    if (progress && tile_rows > 0) {
+      // Tiles progress concurrently, so a single \r-rewritten line would
+      // interleave different jobs; print whole lines at coarse intervals.
+      options.on_progress = [](const api::Progress& p) {
+        const int quarter = p.planned_steps > 4 ? p.planned_steps / 4 : 1;
+        if (p.step.step % quarter == 0 ||
+            p.step.step + 1 == p.planned_steps) {
+          std::fprintf(stderr, "[%zu/%zu %s] step %d/%d loss %.3f\n",
+                       p.job_index + 1, p.job_count, p.job_name.c_str(),
+                       p.step.step + 1, p.planned_steps, p.step.loss);
+        }
+      };
+    } else if (progress) {
+      options.on_progress = [](const api::Progress& p) {
+        std::fprintf(stderr, "\r[%zu/%zu %s] step %d/%d loss %.3f   ",
+                     p.job_index + 1, p.job_count, p.job_name.c_str(),
+                     p.step.step + 1, p.planned_steps, p.step.loss);
+      };
+    }
+    api::Session session(options);
+    g_session.store(&session);
+    std::signal(SIGINT, handle_interrupt);
+
+    if (tile_rows > 0) {
+      const int rc = run_tiled(session, base, layout_path, generate_kind,
+                               seed, tile_rows, tile_cols, halo_nm, lanes,
+                               progress, json_path, out_dir);
+      g_session.store(nullptr);
+      return rc;
+    }
+
     std::vector<api::JobSpec> specs;
     if (!layout_path.empty()) {
       api::JobSpec spec = base;
@@ -177,19 +317,6 @@ int main(int argc, char** argv) {
         specs.push_back(std::move(spec));
       }
     }
-
-    api::Session::Options options;
-    options.threads = threads;
-    if (progress) {
-      options.on_progress = [](const api::Progress& p) {
-        std::fprintf(stderr, "\r[%zu/%zu %s] step %d/%d loss %.3f   ",
-                     p.job_index + 1, p.job_count, p.job_name.c_str(),
-                     p.step.step + 1, p.planned_steps, p.step.loss);
-      };
-    }
-    api::Session session(options);
-    g_session.store(&session);
-    std::signal(SIGINT, handle_interrupt);
 
     std::printf("%zu job(s), method %s, %zu worker threads\n", specs.size(),
                 to_string(method).c_str(), session.pool().width());
