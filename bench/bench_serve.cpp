@@ -1,0 +1,165 @@
+// Serving-throughput bench (src/api/ async job service): a mixed stream of
+// heterogeneous jobs (two mask shapes, alternating) is pushed through the
+// session under two scheduling regimes:
+//
+//   transient   -- the pre-service pattern: a FRESH Session per wave of
+//                  jobs, so every wave pays lane/pool spin-up, cold FFT
+//                  plans, and cold workspaces, and the machine idles
+//                  between waves (this is what PR 3's per-batch lane pools
+//                  amounted to across a request stream),
+//   persistent  -- one long-lived Session: the whole stream is submitted
+//                  up front and the persistent lane scheduler drains it,
+//                  leasing warm pools and warm per-shape WorkspaceSets
+//                  across jobs.
+//
+// The job mix alternates shapes so the workspace cache is genuinely
+// contended (a warm set only helps the same shape).  Reported per regime:
+// jobs/sec over the whole stream; for the persistent service additionally
+// p50/p95 queue latency (JobResult::queued_ms) -- the serving-observability
+// counters this API exposes end to end.  Expect persistent >= transient
+// everywhere; the gap widens with wave count and shape reuse.
+//
+// Results land in BENCH_serve.json.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "api/api.hpp"
+#include "bench_common.hpp"
+#include "math/grid_ops.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = p * static_cast<double>(values.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, values.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace bismo;
+  using namespace bismo::bench;
+  BenchArgs args = BenchArgs::parse(argc, argv);
+  args.print_banner("serve: persistent lane scheduler vs transient pools");
+
+  // A 16-job stream in 4 waves of 4, alternating between two shapes so
+  // workspace reuse is contended like a real mixed clip stream.
+  constexpr std::size_t kWaves = 4;
+  constexpr std::size_t kWaveSize = 4;
+  constexpr std::size_t kJobs = kWaves * kWaveSize;
+  const std::size_t small_dim = args.mask_dim;
+  const std::size_t large_dim = (3 * args.mask_dim) / 2;
+
+  std::vector<api::JobSpec> stream;
+  stream.reserve(kJobs);
+  for (std::size_t j = 0; j < kJobs; ++j) {
+    api::JobSpec spec;
+    spec.name = "serve" + std::to_string(j);
+    spec.method = Method::kAbbeMo;
+    spec.config = args.config();
+    spec.clip = api::ClipSource::generated(DatasetKind::kIccad13,
+                                           args.seed + j);
+    const std::size_t dim = (j % 2 == 0) ? small_dim : large_dim;
+    spec.config_overrides = {"mask_dim=" + std::to_string(dim),
+                             "outer_steps=6"};
+    spec.evaluate_solution = false;
+    stream.push_back(std::move(spec));
+  }
+
+  // Untimed warm-up: first-touch process-global state (the shared FFT
+  // plan cache, allocator arenas) would otherwise bill entirely to
+  // whichever regime runs first.
+  {
+    api::Session::Options options;
+    options.threads = args.threads;
+    api::Session warmup(options);
+    (void)warmup.run(stream[0]);
+    (void)warmup.run(stream[1]);
+  }
+
+  // -- transient: fresh Session (cold lanes, pools, workspaces) per wave.
+  const auto transient_t0 = Clock::now();
+  std::size_t transient_ok = 0;
+  for (std::size_t w = 0; w < kWaves; ++w) {
+    api::Session::Options options;
+    options.threads = args.threads;
+    api::Session session(options);
+    const std::vector<api::JobSpec> wave(
+        stream.begin() + static_cast<std::ptrdiff_t>(w * kWaveSize),
+        stream.begin() + static_cast<std::ptrdiff_t>((w + 1) * kWaveSize));
+    const std::vector<api::JobResult> results =
+        session.run_batch(wave, api::Session::BatchOptions{kWaveSize});
+    for (const api::JobResult& r : results) transient_ok += r.ok() ? 1 : 0;
+  }
+  const double transient_seconds = seconds_since(transient_t0);
+
+  // -- persistent: one long-lived service, the whole stream submitted up
+  // front (the waves exist only in how the stream was produced).
+  api::Session::Options options;
+  options.threads = args.threads;
+  api::Session session(options);
+  const auto persistent_t0 = Clock::now();
+  api::SubmitOptions submit_options;
+  submit_options.lanes_hint = kWaveSize;
+  std::vector<api::JobHandle> handles =
+      session.submit_batch(stream, submit_options);
+  std::size_t persistent_ok = 0;
+  std::vector<double> queued_ms;
+  queued_ms.reserve(kJobs);
+  for (const api::JobHandle& handle : handles) {
+    const api::JobResult& r = handle.wait();
+    persistent_ok += r.ok() ? 1 : 0;
+    queued_ms.push_back(r.queued_ms);
+  }
+  const double persistent_seconds = seconds_since(persistent_t0);
+
+  const double transient_jps =
+      static_cast<double>(kJobs) / transient_seconds;
+  const double persistent_jps =
+      static_cast<double>(kJobs) / persistent_seconds;
+  const double p50 = percentile(queued_ms, 0.50);
+  const double p95 = percentile(queued_ms, 0.95);
+  const api::Session::Stats stats = session.stats();
+
+  std::printf("transient  : %5.2f jobs/sec (%zu/%zu ok, %.2f s)\n",
+              transient_jps, transient_ok, kJobs, transient_seconds);
+  std::printf("persistent : %5.2f jobs/sec (%zu/%zu ok, %.2f s), "
+              "queue p50 %.1f ms p95 %.1f ms\n",
+              persistent_jps, persistent_ok, kJobs, persistent_seconds, p50,
+              p95);
+  std::printf("speedup    : %5.2fx | warm workspaces %zu | warm pools %zu\n",
+              persistent_jps / transient_jps, stats.workspace_reuses,
+              stats.lane_pool_reuses);
+
+  BenchReport report("serve", args);
+  report.add("transient", {{"jobs_per_sec", transient_jps},
+                           {"seconds", transient_seconds},
+                           {"ok", static_cast<double>(transient_ok)}});
+  report.add("persistent",
+             {{"jobs_per_sec", persistent_jps},
+              {"seconds", persistent_seconds},
+              {"ok", static_cast<double>(persistent_ok)},
+              {"queue_p50_ms", p50},
+              {"queue_p95_ms", p95},
+              {"workspace_reuses",
+               static_cast<double>(stats.workspace_reuses)},
+              {"lane_pool_reuses",
+               static_cast<double>(stats.lane_pool_reuses)}});
+  report.add("speedup",
+             {{"persistent_over_transient", persistent_jps / transient_jps}});
+  report.write();
+  return 0;
+}

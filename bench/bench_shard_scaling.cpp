@@ -66,18 +66,21 @@ int main(int argc, char** argv) {
   opts.cols = 2;
   opts.halo_nm = 8.0 * pixel_nm;  // 8 px cross-fade band
 
-  api::Session session(api::Session::Options{args.threads, nullptr, 8});
+  api::Session::Options session_options;
+  session_options.threads = args.threads;
+  session_options.workspace_cache_cap = 8;
+  api::Session session(session_options);
   shard::TileScheduler scheduler(session);
   const shard::TilePlan plan = scheduler.plan_for(layout, base, opts);
   const std::vector<api::JobSpec> specs =
       scheduler.tile_specs(layout, base, plan);
   const std::size_t lanes =
-      std::min(plan.tile_count(), session.pool().width());
+      std::min(plan.tile_count(), session.width());
 
   std::printf("full grid %zu px, %zu tiles of %zu px (%zu px halo), "
               "%zu workers, %zu lanes\n\n",
               full_dim, plan.tile_count(), plan.tile_dim(), plan.halo_px(),
-              session.pool().width(), lanes);
+              session.width(), lanes);
 
   BenchReport report("shard_scaling", args);
   TablePrinter table({"policy", "wall s", "tiles/s", "speedup vs seq"});

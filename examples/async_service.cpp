@@ -1,0 +1,82 @@
+// Async job service: the bismo::api facade as a serving surface.
+//
+//   1. submit a small mixed stream of jobs (returns JobHandles at once),
+//   2. watch the JobEvent feed (enqueued -> started -> steps -> finished)
+//      while the persistent lane scheduler load-balances the machine,
+//   3. cancel one job mid-stream -- its siblings are untouched,
+//   4. collect results through the handles (spec order, regardless of
+//      completion order) with per-job queue/run latency.
+//
+// Build & run:  ./examples/async_service
+#include <cstdio>
+
+#include "api/api.hpp"
+
+int main() {
+  using namespace bismo;
+
+  // Stream per-job lifecycle lines from the session-wide event feed (the
+  // session serializes observer calls across lanes).
+  api::Session::Options options;
+  options.on_event = [](const api::JobEvent& e) {
+    switch (e.kind) {
+      case api::JobEvent::Kind::kEnqueued:
+        std::printf("  [%s] queued\n", e.job_name.c_str());
+        break;
+      case api::JobEvent::Kind::kStarted:
+        std::printf("  [%s] started after %.1f ms in queue\n",
+                    e.job_name.c_str(), e.queued_ms);
+        break;
+      case api::JobEvent::Kind::kStep:
+        break;  // per-step records; see bismo_cli --watch --progress
+      case api::JobEvent::Kind::kFinished:
+        std::printf("  [%s] %s after %.1f ms\n", e.job_name.c_str(),
+                    api::to_string(e.status), e.run_ms);
+        break;
+    }
+  };
+  api::Session session(options);
+
+  // Four quick jobs over two shapes; nothing blocks on submission.
+  std::vector<api::JobSpec> stream;
+  for (int j = 0; j < 4; ++j) {
+    api::JobSpec job;
+    job.name = "clip" + std::to_string(j);
+    job.clip = api::ClipSource::generated(DatasetKind::kIccad13,
+                                          /*seed=*/10 + j);
+    job.method = Method::kAbbeMo;
+    job.config.initial_source.shape = SourceShape::kConventional;
+    job.config.activation.source_init = 1.5;
+    job.config_overrides = {
+        j % 2 == 0 ? "mask_dim=48" : "mask_dim=64", "pixel_nm=8",
+        "source_dim=9", "outer_steps=12"};
+    stream.push_back(std::move(job));
+  }
+
+  std::printf("submitting %zu jobs...\n", stream.size());
+  std::vector<api::JobHandle> handles = session.submit_batch(stream);
+
+  // Cancel the last job while the scheduler works: queued jobs finalize
+  // immediately, a running one stops at its next step boundary.  Either
+  // way its siblings never notice.
+  handles.back().cancel();
+
+  for (const api::JobHandle& handle : handles) {
+    const api::JobResult& result = handle.wait();
+    if (!result.ok()) {
+      std::printf("%s FAILED: %s\n", result.job_name.c_str(),
+                  result.error.c_str());
+      continue;
+    }
+    std::printf("%s: %s, %zu steps, queued %.1f ms, ran %.1f ms\n",
+                result.job_name.c_str(), api::status_label(result),
+                result.run.trace.size(), result.queued_ms, result.run_ms);
+  }
+
+  const api::Session::Stats stats = session.stats();
+  std::printf("session: %zu submitted, %zu run, %zu cancelled, "
+              "%zu warm-workspace hits\n",
+              stats.jobs_submitted, stats.jobs_run, stats.jobs_cancelled,
+              stats.workspace_reuses);
+  return 0;
+}

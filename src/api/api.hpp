@@ -1,11 +1,13 @@
 // Umbrella header for the bismo::api facade: declarative JobSpecs, the
-// Session execution context, and structured JobResults.  This is the
-// supported entry point for tools, examples and services; see the README
-// "Architecture" section for the JobSpec lifecycle and the config-key
+// asynchronous Session job service (submit/JobHandle/JobEvent plus the
+// synchronous run/run_batch wrappers), and structured JobResults.  This is
+// the supported entry point for tools, examples and services; see the
+// README "Architecture" section for the job lifecycle and the config-key
 // reference.
 #ifndef BISMO_API_API_HPP
 #define BISMO_API_API_HPP
 
+#include "api/job_handle.hpp"
 #include "api/job_result.hpp"
 #include "api/job_spec.hpp"
 #include "api/session.hpp"

@@ -1,0 +1,197 @@
+// Asynchronous job observation for the bismo::api facade.
+//
+// `Session::submit` enqueues work and returns immediately with a JobHandle:
+// a cheap, copyable, thread-safe view of one job's lifecycle.  The handle
+// exposes the job's status (queued -> running -> done/failed/cancelled),
+// blocking and non-blocking result access, and per-job cancellation that
+// never affects sibling jobs.  Alongside the handle, every job emits a
+// JobEvent stream (enqueued -> started -> step* -> finished) to the
+// session-wide `Session::Options::on_event` observer and the per-job
+// `SubmitOptions::on_event` observer; the legacy per-step ProgressObserver
+// is an adapter over the same feed.
+//
+// Lifetime: handles keep the job's state alive independently of the
+// session, and the session finalizes every outstanding job on destruction
+// (as cancelled), so `status`/`wait`/`try_result`/`cancel` on a handle
+// remain safe even after the session is gone.
+#ifndef BISMO_API_JOB_HANDLE_HPP
+#define BISMO_API_JOB_HANDLE_HPP
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "api/job_result.hpp"
+#include "api/job_spec.hpp"
+#include "core/run_control.hpp"
+#include "core/trace.hpp"
+
+namespace bismo::api {
+
+/// Lifecycle of one submitted job.
+enum class JobStatus {
+  kQueued,     ///< waiting in the scheduler queue
+  kRunning,    ///< executing on a scheduler lane
+  kDone,       ///< finished successfully
+  kFailed,     ///< finished with JobResult::error set
+  kCancelled,  ///< cancelled while queued, or stopped mid-run
+};
+
+/// True for the three terminal states.
+constexpr bool is_terminal(JobStatus status) noexcept {
+  return status == JobStatus::kDone || status == JobStatus::kFailed ||
+         status == JobStatus::kCancelled;
+}
+
+/// Short lower-case label ("queued", "running", "done", ...).
+const char* to_string(JobStatus status) noexcept;
+
+/// One entry of a job's event stream.
+struct JobEvent {
+  enum class Kind {
+    kEnqueued,  ///< accepted by the scheduler (submit returned a handle)
+    kStarted,   ///< a lane picked the job up
+    kStep,      ///< one optimizer step recorded
+    kFinished,  ///< reached a terminal status; the result is available
+  };
+
+  Kind kind = Kind::kEnqueued;
+  std::uint64_t job_id = 0;      ///< session-unique id (JobHandle::id())
+  std::string job_name;          ///< JobSpec::display_name()
+  std::string method;            ///< human-readable method name
+  JobStatus status = JobStatus::kQueued;  ///< status after this event
+  std::size_t batch_index = 0;   ///< position in the submitting batch
+  std::size_t batch_count = 1;   ///< size of the submitting batch
+  StepRecord step{};             ///< kStep: the step just recorded
+  int planned_steps = 0;         ///< kStep: expected trace length
+  double queued_ms = 0.0;        ///< kStarted/kFinished: time spent queued
+  double run_ms = 0.0;           ///< kFinished: time spent executing
+};
+
+/// Observer over a job event feed.  Calls are serialized by the session
+/// (events originate on lane threads); keep them cheap, never block on a
+/// handle of the same session from inside one.
+using JobEventObserver = std::function<void(const JobEvent&)>;
+
+/// Per-submission scheduling options.
+struct SubmitOptions {
+  /// Higher runs first; FIFO within one priority level.
+  int priority = 0;
+  /// Expected number of sibling jobs in flight, used to pre-shard the
+  /// session's parallel width before the siblings actually start (a batch
+  /// of k jobs submits with lanes_hint = k so the first job does not grab
+  /// the full machine).  0 = derive from the live in-flight count only.
+  std::size_t lanes_hint = 0;
+  /// Per-job event feed (in addition to the session-wide observer).
+  JobEventObserver on_event;
+  /// Labeling of this job within its batch (surfaced in events and the
+  /// legacy Progress records; submit_batch fills these in).
+  std::size_t batch_index = 0;
+  std::size_t batch_count = 1;
+};
+
+namespace detail {
+
+class JobService;
+
+/// Liveness gate between JobHandles and their scheduler: shared by the
+/// service and every job it created.  The service nulls `service` as the
+/// last act of its destructor (with all jobs already finalized), so a
+/// handle can safely route `cancel()` through the gate no matter which
+/// thread is tearing the session down.  Recursive: an observer invoked
+/// under the gate (a finished event from a gated cancel) may cancel
+/// another handle of the same session.
+struct ServiceGate {
+  std::recursive_mutex mutex;
+  JobService* service = nullptr;
+};
+
+/// Shared state of one submitted job.  Created by JobService::submit and
+/// referenced by the queue, the executing lane, and every JobHandle copy.
+struct JobState {
+  using Clock = std::chrono::steady_clock;
+
+  std::uint64_t id = 0;        ///< session-unique, also the FIFO sequence
+  JobSpec spec;
+  SubmitOptions options;
+  std::string name;            ///< spec.display_name(), precomputed
+  std::string method_name;     ///< to_string(spec.method)
+  std::string clip_desc;       ///< spec.clip.describe()
+
+  std::shared_ptr<ServiceGate> gate;  ///< scheduler liveness (see above)
+  CancelToken cancel;             ///< this job's private token
+  std::atomic<JobStatus> status{JobStatus::kQueued};
+  /// Set under the service registry lock by a session-wide cancel; the
+  /// session token re-arms when the last doomed job finalizes.
+  bool doomed = false;
+  /// Service cancel generation at submission: the session-wide drain
+  /// token is composed into this job's RunControl only when a cancel was
+  /// requested AFTER submission (jobs submitted during a still-settling
+  /// drain run normally).
+  std::uint64_t submit_generation = 0;
+
+  Clock::time_point submitted_at{};
+  Clock::time_point started_at{};
+
+  /// First-finalizer-wins guard (a per-job cancel can race the lane).
+  std::atomic<bool> finalized{false};
+
+  mutable std::mutex mutex;       ///< guards result/finished
+  mutable std::condition_variable cv;
+  JobResult result;
+  bool finished = false;
+};
+
+}  // namespace detail
+
+/// Copyable, thread-safe view of one submitted job.
+class JobHandle {
+ public:
+  /// Invalid handle (valid() == false); assign from Session::submit.
+  JobHandle() = default;
+
+  /// False for default-constructed handles.
+  bool valid() const noexcept { return state_ != nullptr; }
+
+  /// Session-unique job id (0 for invalid handles).
+  std::uint64_t id() const noexcept;
+
+  /// The job's display name ("" for invalid handles).
+  const std::string& name() const noexcept;
+
+  /// Current lifecycle status (kCancelled for invalid handles).
+  JobStatus status() const noexcept;
+
+  /// Block until the job reaches a terminal status and return its result.
+  /// The reference stays valid while any handle copy is alive.
+  const JobResult& wait() const;
+
+  /// Wait up to `seconds`; true when the job finished in time.
+  bool wait_for(double seconds) const;
+
+  /// The result when terminal, nullptr while queued/running.  Never blocks.
+  const JobResult* try_result() const;
+
+  /// Cancel this job only: a queued job finalizes immediately as
+  /// kCancelled (empty trace); a running job stops cooperatively at its
+  /// next step boundary and keeps the partial trace.  Sibling jobs are
+  /// untouched.  No-op on terminal jobs and invalid handles.
+  void cancel() const;
+
+ private:
+  friend class detail::JobService;
+  explicit JobHandle(std::shared_ptr<detail::JobState> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<detail::JobState> state_;
+};
+
+}  // namespace bismo::api
+
+#endif  // BISMO_API_JOB_HANDLE_HPP

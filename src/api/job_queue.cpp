@@ -1,0 +1,52 @@
+#include "api/job_queue.hpp"
+
+#include <utility>
+
+namespace bismo::api::detail {
+
+void JobQueue::push(std::shared_ptr<JobState> state) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Scan from the back: same-priority jobs keep submission order, so a
+    // steady FIFO stream inserts in O(1).
+    auto it = items_.end();
+    while (it != items_.begin()) {
+      auto prev = std::prev(it);
+      if ((*prev)->options.priority >= state->options.priority) break;
+      it = prev;
+    }
+    items_.insert(it, std::move(state));
+  }
+  ready_.notify_one();
+}
+
+std::shared_ptr<JobState> JobQueue::pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+  if (closed_) return nullptr;
+  std::shared_ptr<JobState> state = std::move(items_.front());
+  items_.pop_front();
+  return state;
+}
+
+std::vector<std::shared_ptr<JobState>> JobQueue::drain() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<JobState>> drained(items_.begin(), items_.end());
+  items_.clear();
+  return drained;
+}
+
+void JobQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+std::size_t JobQueue::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return items_.size();
+}
+
+}  // namespace bismo::api::detail

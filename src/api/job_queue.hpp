@@ -1,0 +1,48 @@
+// Priority/FIFO queue feeding the persistent lane scheduler.
+//
+// Ordering: higher SubmitOptions::priority first, submission order (the
+// job id) within one priority level.  Jobs cancelled while queued are NOT
+// erased -- they stay in line as terminal entries that lanes skip with a
+// failed status CAS -- so cancellation never races the pop path.
+#ifndef BISMO_API_JOB_QUEUE_HPP
+#define BISMO_API_JOB_QUEUE_HPP
+
+#include <condition_variable>
+#include <cstddef>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "api/job_handle.hpp"
+
+namespace bismo::api::detail {
+
+/// Thread-safe blocking job queue (multi-producer, multi-consumer).
+class JobQueue {
+ public:
+  /// Insert by (priority desc, id asc) and wake one waiting lane.
+  void push(std::shared_ptr<JobState> state);
+
+  /// Block until a job is available or the queue is closed.  Returns
+  /// nullptr once closed (remaining entries are reclaimed via drain()).
+  std::shared_ptr<JobState> pop();
+
+  /// Remove and return every queued entry (shutdown path).
+  std::vector<std::shared_ptr<JobState>> drain();
+
+  /// Wake all waiters; subsequent pop() calls return nullptr.
+  void close();
+
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::list<std::shared_ptr<JobState>> items_;
+  bool closed_ = false;
+};
+
+}  // namespace bismo::api::detail
+
+#endif  // BISMO_API_JOB_QUEUE_HPP

@@ -1,5 +1,8 @@
 #include "api/job_result.hpp"
 
+#include <limits>
+#include <sstream>
+
 #include "io/csv.hpp"
 #include "io/json.hpp"
 
@@ -23,10 +26,13 @@ void write_result_object(JsonWriter& w, const JobResult& r) {
   w.key("clip").value(r.clip);
   w.key("ok").value(r.ok());
   if (!r.ok()) w.key("error").value(r.error);
+  w.key("status").value(std::string(status_label(r)));
   w.key("cancelled").value(r.cancelled());
   w.key("setup_seconds").value(r.setup_seconds);
   w.key("run_seconds").value(r.run.wall_seconds);
   w.key("total_seconds").value(r.total_seconds);
+  w.key("queued_ms").value(r.queued_ms);
+  w.key("run_ms").value(r.run_ms);
   w.key("gradient_evaluations").value(r.run.gradient_evaluations);
   w.key("workspaces_reused").value(r.workspaces_reused);
   w.key("workspace_evictions").value(r.workspace_evictions);
@@ -48,7 +54,21 @@ void write_result_object(JsonWriter& w, const JobResult& r) {
   w.end_object();
 }
 
+std::string format_double(double value) {
+  // Match CsvWriter::row / the JSON writer: full round-trip precision.
+  std::ostringstream s;
+  s.precision(std::numeric_limits<double>::max_digits10);
+  s << value;
+  return s.str();
+}
+
 }  // namespace
+
+const char* status_label(const JobResult& result) noexcept {
+  if (!result.ok()) return "failed";
+  if (result.cancelled()) return "cancelled";
+  return "done";
+}
 
 void write_json(std::ostream& out, const JobResult& result) {
   JsonWriter w(out);
@@ -82,6 +102,24 @@ void write_trace_csv(std::ostream& out, const JobResult& result) {
   for (const StepRecord& rec : result.run.trace) {
     csv.row({static_cast<double>(rec.step), rec.loss, rec.l2, rec.pvb,
              rec.seconds});
+  }
+}
+
+void write_summary_csv(std::ostream& out,
+                       const std::vector<JobResult>& results) {
+  CsvWriter csv(out);
+  csv.header({"job", "method", "clip", "status", "queued_ms", "run_ms",
+              "setup_seconds", "run_seconds", "total_seconds", "l2_nm2",
+              "pvb_nm2", "epe_violations"});
+  for (const JobResult& r : results) {
+    csv.row_strings({r.job_name, r.method, r.clip, status_label(r),
+                     format_double(r.queued_ms), format_double(r.run_ms),
+                     format_double(r.setup_seconds),
+                     format_double(r.run.wall_seconds),
+                     format_double(r.total_seconds),
+                     format_double(r.after.l2_nm2),
+                     format_double(r.after.pvb_nm2),
+                     std::to_string(r.after.epe_violations)});
   }
 }
 

@@ -23,6 +23,8 @@ struct JobResult {
   SolutionMetrics after;    ///< final-solution metrics
   double setup_seconds = 0.0;  ///< problem construction (rasterize, engines)
   double total_seconds = 0.0;  ///< setup + optimization + evaluation
+  double queued_ms = 0.0;  ///< submit -> lane pickup (serving queue latency)
+  double run_ms = 0.0;     ///< lane pickup -> terminal status
   bool workspaces_reused = false;  ///< warm WorkspaceSet from a prior job
   std::size_t workspace_evictions = 0;  ///< idle sets evicted at release
   std::string error;        ///< non-empty when the job failed
@@ -30,6 +32,9 @@ struct JobResult {
   bool ok() const noexcept { return error.empty(); }
   bool cancelled() const noexcept { return run.cancelled; }
 };
+
+/// Terminal-status label for serialization: "done", "failed", "cancelled".
+const char* status_label(const JobResult& result) noexcept;
 
 /// Serialize one result as a JSON object (includes the per-step trace).
 void write_json(std::ostream& out, const JobResult& result);
@@ -39,6 +44,11 @@ void write_json(std::ostream& out, const std::vector<JobResult>& results);
 
 /// Per-step trace as CSV (step, loss, l2, pvb, seconds).
 void write_trace_csv(std::ostream& out, const JobResult& result);
+
+/// One-row-per-job batch summary as CSV, including the serving latency
+/// split (queued_ms, run_ms) so end-to-end latency is observable.
+void write_summary_csv(std::ostream& out,
+                       const std::vector<JobResult>& results);
 
 }  // namespace bismo::api
 

@@ -1,0 +1,305 @@
+#include "api/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <utility>
+
+namespace bismo::api::detail {
+namespace {
+
+using Clock = JobState::Clock;
+
+double ms_between(Clock::time_point from, Clock::time_point to) {
+  return std::chrono::duration<double, std::milli>(to - from).count();
+}
+
+JobEvent make_event(const JobState& state, JobEvent::Kind kind) {
+  JobEvent event;
+  event.kind = kind;
+  event.job_id = state.id;
+  event.job_name = state.name;
+  event.method = state.method_name;
+  event.status = state.status.load(std::memory_order_acquire);
+  event.batch_index = state.options.batch_index;
+  event.batch_count = state.options.batch_count;
+  return event;
+}
+
+}  // namespace
+
+JobService::JobService(Config config)
+    : width_(std::max<std::size_t>(1, config.width)),
+      lane_limit_(config.lanes > 0 ? config.lanes
+                                   : std::max<std::size_t>(1, config.width)),
+      execute_(std::move(config.execute)),
+      emit_(std::move(config.emit)),
+      gate_(std::make_shared<ServiceGate>()),
+      pool_cache_cap_(config.pool_cache_cap) {
+  gate_->service = this;
+}
+
+JobService::~JobService() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  // Stop running jobs at their next step boundary and finalize everything
+  // still queued, so outstanding JobHandles unblock with cancelled results
+  // instead of dangling.
+  cancel_all();
+  for (const std::shared_ptr<JobState>& state : queue_.drain()) {
+    JobStatus expected = JobStatus::kQueued;
+    if (state->status.compare_exchange_strong(expected, JobStatus::kCancelled,
+                                              std::memory_order_acq_rel)) {
+      finalize(state, drained_result(*state), JobStatus::kCancelled);
+    }
+  }
+  queue_.close();
+  for (std::thread& lane : lanes_) lane.join();
+  // Close the JobHandle::cancel gate last: a concurrent cancel either
+  // entered before this and finishes against the still-live service
+  // (this statement blocks on the gate), or enters after and sees null.
+  std::lock_guard<std::recursive_mutex> lock(gate_->mutex);
+  gate_->service = nullptr;
+}
+
+JobHandle JobService::submit(JobSpec spec, SubmitOptions options) {
+  auto state = std::make_shared<JobState>();
+  state->id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  state->name = spec.display_name();
+  state->method_name = to_string(spec.method);
+  state->clip_desc = spec.clip.describe();
+  state->spec = std::move(spec);
+  state->options = std::move(options);
+  state->gate = gate_;
+  state->submit_generation =
+      cancel_generation_.load(std::memory_order_acquire);
+  state->submitted_at = Clock::now();
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+
+  // Emit BEFORE registering: once the job is in active_ a concurrent
+  // cancel_all may finalize it, and the finished event must never precede
+  // the enqueued event.
+  if (emit_) emit_(make_event(*state, JobEvent::Kind::kEnqueued), *state);
+
+  bool rejected = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      rejected = true;
+    } else {
+      active_.push_back(state);
+      spawn_lanes_locked();
+    }
+  }
+  if (rejected) {
+    state->status.store(JobStatus::kCancelled, std::memory_order_release);
+    finalize(state, drained_result(*state), JobStatus::kCancelled);
+    return JobHandle(std::move(state));
+  }
+
+  queue_.push(state);
+  return JobHandle(std::move(state));
+}
+
+void JobService::spawn_lanes_locked() {
+  while (lanes_.size() < lane_limit_ && lanes_.size() < active_.size()) {
+    lanes_.emplace_back([this] { lane_main(); });
+  }
+}
+
+void JobService::lane_main() {
+  for (;;) {
+    std::shared_ptr<JobState> state = queue_.pop();
+    if (state == nullptr) return;  // closed: shutting down
+
+    JobStatus expected = JobStatus::kQueued;
+    if (!state->status.compare_exchange_strong(expected, JobStatus::kRunning,
+                                               std::memory_order_acq_rel)) {
+      continue;  // cancelled while queued; the cancelling thread finalized
+    }
+
+    state->started_at = Clock::now();
+    const double queued_ms = ms_between(state->submitted_at,
+                                        state->started_at);
+    const std::size_t in_flight =
+        running_.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+    if (emit_) {
+      JobEvent event = make_event(*state, JobEvent::Kind::kStarted);
+      event.queued_ms = queued_ms;
+      emit_(event, *state);
+    }
+
+    // Load-balanced width: share the session's parallel width over the
+    // jobs in flight, never below the caller's expected sibling count
+    // (lanes_hint) so the head of a batch does not monopolize the
+    // machine before its siblings start.  An in-flight count of one IS
+    // the re-absorbed full-width single-job run.
+    std::size_t divisor = in_flight;
+    if (state->options.lanes_hint > 0) {
+      divisor = std::max(divisor,
+                         std::min(state->options.lanes_hint, lane_limit_));
+    }
+    const std::size_t width = std::max<std::size_t>(1, width_ / divisor);
+
+    ThreadPool* pool = width > 1 ? acquire_pool(width) : nullptr;
+    JobResult result = execute_(*state, pool);
+    if (pool != nullptr) release_pool(pool);
+    running_.fetch_sub(1, std::memory_order_acq_rel);
+
+    result.queued_ms = queued_ms;
+    result.run_ms = ms_between(state->started_at, Clock::now());
+    const JobStatus status = !result.ok() ? JobStatus::kFailed
+                             : result.run.cancelled ? JobStatus::kCancelled
+                                                    : JobStatus::kDone;
+    finalize(state, std::move(result), status);
+  }
+}
+
+void JobService::cancel_job(const std::shared_ptr<JobState>& state) {
+  JobStatus expected = JobStatus::kQueued;
+  if (state->status.compare_exchange_strong(expected, JobStatus::kCancelled,
+                                            std::memory_order_acq_rel)) {
+    JobResult result = drained_result(*state);
+    result.queued_ms = ms_between(state->submitted_at, Clock::now());
+    finalize(state, std::move(result), JobStatus::kCancelled);
+    return;
+  }
+  // Running (or about to be): the private token stops it at the next step
+  // boundary.  Harmless on terminal jobs.
+  state->cancel.request();
+}
+
+void JobService::cancel_all() {
+  std::vector<std::shared_ptr<JobState>> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    snapshot = active_;
+    std::size_t doomed = 0;
+    for (const std::shared_ptr<JobState>& state : snapshot) {
+      // Skip jobs already doomed by an overlapping cancel: counting one
+      // job twice would leak drain_pending_ and leave the session token
+      // raised forever (the sticky poison this design removes).
+      if (state->doomed) continue;
+      if (state->status.load(std::memory_order_acquire) ==
+          JobStatus::kRunning) {
+        state->doomed = true;
+        ++doomed;
+      }
+    }
+    if (doomed > 0) {
+      drain_pending_ += doomed;
+      // Raised only for the drain window; finalize() re-arms it when the
+      // last doomed job retires, so cancellation is no longer sticky.
+      session_cancel_.request();
+    }
+    cancel_generation_.fetch_add(1, std::memory_order_acq_rel);
+  }
+  for (const std::shared_ptr<JobState>& state : snapshot) {
+    cancel_job(state);
+  }
+}
+
+bool JobService::cancel_draining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return drain_pending_ > 0;
+}
+
+void JobService::finalize(const std::shared_ptr<JobState>& state,
+                          JobResult result, JobStatus status) {
+  if (state->finalized.exchange(true, std::memory_order_acq_rel)) {
+    return;  // cancel/lane race: first finalizer wins
+  }
+  if (status == JobStatus::kCancelled) {
+    cancelled_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Retire from the registry BEFORE waking waiters: a caller observing the
+  // job as finished must also observe the session token re-armed when this
+  // was the last doomed job of a drain.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    active_.erase(std::remove(active_.begin(), active_.end(), state),
+                  active_.end());
+    if (state->doomed) {
+      state->doomed = false;
+      if (--drain_pending_ == 0) session_cancel_.reset();
+    }
+  }
+  state->status.store(status, std::memory_order_release);
+  const double queued_ms = result.queued_ms;
+  const double run_ms = result.run_ms;
+  {
+    std::lock_guard<std::mutex> lock(state->mutex);
+    state->result = std::move(result);
+    state->finished = true;
+  }
+  state->cv.notify_all();
+  if (emit_) {
+    JobEvent event = make_event(*state, JobEvent::Kind::kFinished);
+    event.queued_ms = queued_ms;
+    event.run_ms = run_ms;
+    emit_(event, *state);
+  }
+}
+
+JobResult JobService::drained_result(const JobState& state) {
+  JobResult result;
+  result.job_name = state.name;
+  result.method = state.method_name;
+  result.clip = state.clip_desc;
+  result.run.method = state.method_name;
+  result.run.cancelled = true;
+  return result;
+}
+
+ThreadPool* JobService::acquire_pool(std::size_t width) {
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    PoolEntry* best = nullptr;
+    for (PoolEntry& entry : pools_) {
+      if (entry.in_use || entry.width != width) continue;
+      if (best == nullptr || entry.last_used > best->last_used) best = &entry;
+    }
+    if (best != nullptr) {
+      best->in_use = true;
+      pool_reuses_.fetch_add(1, std::memory_order_relaxed);
+      return best->pool.get();
+    }
+  }
+  // Cold path outside the lock: pool construction spawns threads.
+  auto pool = std::make_unique<ThreadPool>(width);
+  ThreadPool* raw = pool.get();
+  std::lock_guard<std::mutex> lock(pool_mutex_);
+  pools_.push_back(PoolEntry{std::move(pool), width, true, ++pool_tick_});
+  return raw;
+}
+
+void JobService::release_pool(ThreadPool* pool) {
+  std::vector<std::unique_ptr<ThreadPool>> evicted;
+  {
+    std::lock_guard<std::mutex> lock(pool_mutex_);
+    std::size_t idle = 0;
+    for (PoolEntry& entry : pools_) {
+      if (entry.pool.get() == pool) {
+        entry.in_use = false;
+        entry.last_used = ++pool_tick_;
+      }
+      if (!entry.in_use && entry.pool.get() != nullptr) ++idle;
+    }
+    while (idle > pool_cache_cap_) {
+      auto lru = pools_.end();
+      for (auto it = pools_.begin(); it != pools_.end(); ++it) {
+        if (it->in_use) continue;
+        if (lru == pools_.end() || it->last_used < lru->last_used) lru = it;
+      }
+      if (lru == pools_.end()) break;
+      evicted.push_back(std::move(lru->pool));
+      pools_.erase(lru);
+      --idle;
+    }
+  }
+  // Destroy evicted pools (joins their workers) outside the lock.
+}
+
+}  // namespace bismo::api::detail

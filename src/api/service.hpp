@@ -1,0 +1,163 @@
+// JobService: the persistent, load-balanced lane scheduler behind
+// api::Session's asynchronous submission API.
+//
+// One service lives as long as its session.  Submitted jobs enter a
+// priority/FIFO JobQueue; long-lived lane threads (spawned lazily up to a
+// fixed limit) pop jobs and execute them through a callback into the
+// session.  Each dispatch picks its parallel width from the live load --
+// width = session width / max(in-flight jobs, lanes_hint) -- leasing a
+// warm ThreadPool of that width from an LRU pool cache, so an idle machine
+// re-absorbs into full-width single-job runs while a saturated one shards
+// into one-worker lanes, and no per-batch pool teardown ever happens.
+// Width never changes results: engine reductions are partitioned over the
+// fixed slots of parallel/reduction.hpp (bitwise identical for any width).
+//
+// Cancellation is per job: a queued job flips kQueued -> kCancelled with a
+// single CAS and finalizes immediately (the losing lane skips it); a
+// running job's private CancelToken stops it at the next step boundary.
+// A session-wide cancel (cancel_all) drains exactly the work in flight at
+// the request -- it cancels each active job individually and raises the
+// session token only until the last of those jobs finalizes, so the
+// session auto-rearms and later submissions run normally.
+#ifndef BISMO_API_SERVICE_HPP
+#define BISMO_API_SERVICE_HPP
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "api/job_handle.hpp"
+#include "api/job_queue.hpp"
+#include "core/run_control.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace bismo::api::detail {
+
+class JobService {
+ public:
+  struct Config {
+    /// Maximum jobs executing concurrently (lane threads); 0 = width.
+    std::size_t lanes = 0;
+    /// The session's parallel width (shared out across in-flight jobs).
+    std::size_t width = 1;
+    /// Idle leased ThreadPools kept warm past which LRU eviction kicks in.
+    std::size_t pool_cache_cap = 4;
+    /// Runs one job (never throws; failures land in JobResult::error).
+    /// `pool` is the leased execution pool -- nullptr means width 1, run
+    /// the engines serially on the lane thread.
+    std::function<JobResult(JobState&, ThreadPool*)> execute;
+    /// Serialized event sink (the session fans out to its observers).
+    std::function<void(const JobEvent&, const JobState&)> emit;
+  };
+
+  explicit JobService(Config config);
+
+  JobService(const JobService&) = delete;
+  JobService& operator=(const JobService&) = delete;
+
+  /// Cancels and finalizes every outstanding job, then joins the lanes.
+  ~JobService();
+
+  /// Enqueue one job; returns immediately.
+  JobHandle submit(JobSpec spec, SubmitOptions options);
+
+  /// Per-job cancel (JobHandle::cancel): CAS a queued job terminal, or
+  /// request a running job's token.
+  void cancel_job(const std::shared_ptr<JobState>& state);
+
+  /// Session-wide cancel: drain all currently queued/running jobs.  The
+  /// session token stays raised only while those jobs finalize
+  /// (auto-rearm); jobs submitted afterwards run normally.
+  void cancel_all();
+
+  /// True while a cancel_all drain is still in flight.
+  bool cancel_draining() const;
+
+  /// Bumped by every cancel_all; synchronous batch loops compare
+  /// generations to stop submitting once a drain hits their window.
+  std::uint64_t cancel_generation() const noexcept {
+    return cancel_generation_.load(std::memory_order_acquire);
+  }
+
+  /// The session-wide drain token, composed into every job's RunControl.
+  const CancelToken* session_token() const noexcept {
+    return &session_cancel_;
+  }
+
+  std::size_t lane_limit() const noexcept { return lane_limit_; }
+
+  std::size_t jobs_submitted() const noexcept {
+    return submitted_.load(std::memory_order_relaxed);
+  }
+  std::size_t jobs_cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  /// Dispatches served by a warm pool from the lane-pool cache.
+  std::size_t pool_reuses() const noexcept {
+    return pool_reuses_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct PoolEntry {
+    std::unique_ptr<ThreadPool> pool;
+    std::size_t width = 0;
+    bool in_use = false;
+    std::uint64_t last_used = 0;
+  };
+
+  void lane_main();
+
+  /// Spawn lanes up to min(lane_limit, outstanding jobs).  Registry lock
+  /// held by the caller.
+  void spawn_lanes_locked();
+
+  /// Lease a warm pool of exactly `width` workers (width >= 2).
+  ThreadPool* acquire_pool(std::size_t width);
+  void release_pool(ThreadPool* pool);
+
+  /// Build the terminal result of a job that never executed.
+  static JobResult drained_result(const JobState& state);
+
+  /// Store the result, flip to `status`, wake waiters, retire the job
+  /// from the registry (re-arming the session token when it was the last
+  /// doomed job of a drain), and emit the finished event.
+  void finalize(const std::shared_ptr<JobState>& state, JobResult result,
+                JobStatus status);
+
+  std::size_t width_;
+  std::size_t lane_limit_;
+  std::function<JobResult(JobState&, ThreadPool*)> execute_;
+  std::function<void(const JobEvent&, const JobState&)> emit_;
+  std::shared_ptr<ServiceGate> gate_;  ///< JobHandle::cancel liveness
+
+  JobQueue queue_;
+
+  mutable std::mutex mutex_;  ///< registry, lanes, drain bookkeeping
+  std::vector<std::shared_ptr<JobState>> active_;  ///< queued + running
+  std::vector<std::thread> lanes_;
+  std::size_t drain_pending_ = 0;  ///< doomed jobs still finalizing
+  bool shutdown_ = false;
+
+  CancelToken session_cancel_;
+  std::atomic<std::uint64_t> cancel_generation_{0};
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::size_t> running_{0};
+
+  std::mutex pool_mutex_;
+  std::vector<PoolEntry> pools_;
+  std::uint64_t pool_tick_ = 0;
+  std::size_t pool_cache_cap_;
+
+  std::atomic<std::size_t> submitted_{0};
+  std::atomic<std::size_t> cancelled_{0};
+  std::atomic<std::size_t> pool_reuses_{0};
+};
+
+}  // namespace bismo::api::detail
+
+#endif  // BISMO_API_SERVICE_HPP

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <optional>
 #include <stdexcept>
 #include <thread>
 #include <utility>
+
+#include "api/service.hpp"
 
 namespace bismo::api {
 namespace {
@@ -87,16 +90,48 @@ const Layout* layout_ptr(const std::optional<Layout>& layout) {
 }  // namespace
 
 Session::Session(Options options)
-    : pool_(options.threads),
+    : width_(options.threads > 0
+                 ? options.threads
+                 : std::max<std::size_t>(
+                       1, std::thread::hardware_concurrency())),
       observer_(std::move(options.on_progress)),
-      workspace_cache_cap_(options.workspace_cache_cap) {}
+      event_observer_(std::move(options.on_event)),
+      workspace_cache_cap_(options.workspace_cache_cap) {
+  detail::JobService::Config config;
+  config.lanes = options.scheduler_lanes;
+  config.width = width_;
+  config.pool_cache_cap = options.pool_cache_cap;
+  config.execute = [this](detail::JobState& state, ThreadPool* pool) {
+    return execute_job(state, pool);
+  };
+  config.emit = [this](const JobEvent& event, const detail::JobState& state) {
+    emit_event(event, state);
+  };
+  service_ = std::make_unique<detail::JobService>(std::move(config));
+}
+
+Session::~Session() = default;
+
+ThreadPool& Session::pool() {
+  std::call_once(pool_once_, [this] { pool_storage_.emplace(width_); });
+  return *pool_storage_;
+}
 
 Session::Stats Session::stats() const noexcept {
   Stats s;
+  s.jobs_submitted = service_->jobs_submitted();
   s.jobs_run = jobs_run_.load(std::memory_order_relaxed);
+  s.jobs_cancelled = service_->jobs_cancelled();
   s.workspace_reuses = workspace_reuses_.load(std::memory_order_relaxed);
   s.workspace_evictions = workspace_evictions_.load(std::memory_order_relaxed);
+  s.lane_pool_reuses = service_->pool_reuses();
   return s;
+}
+
+void Session::request_cancel() noexcept { service_->cancel_all(); }
+
+bool Session::cancel_requested() const noexcept {
+  return service_->cancel_draining();
 }
 
 SmoConfig Session::resolve_config(const JobSpec& spec) const {
@@ -157,22 +192,40 @@ std::size_t Session::release_workspaces(WorkspaceLease lease) {
   return evictions;
 }
 
-void Session::notify_progress(const Progress& progress) {
-  std::lock_guard<std::mutex> lock(observer_mutex_);
-  if (observer_) observer_(progress);
+void Session::emit_event(const JobEvent& event,
+                         const detail::JobState& state) {
+  std::lock_guard<std::recursive_mutex> lock(observer_mutex_);
+  if (observer_ && event.kind == JobEvent::Kind::kStep) {
+    // Legacy per-step adapter: Progress is a projection of the step event.
+    Progress progress;
+    progress.job_index = event.batch_index;
+    progress.job_count = event.batch_count;
+    progress.job_name = event.job_name;
+    progress.method = event.method;
+    progress.step = event.step;
+    progress.planned_steps = event.planned_steps;
+    observer_(progress);
+  }
+  if (event_observer_) event_observer_(event);
+  if (state.options.on_event) state.options.on_event(event);
 }
 
-std::unique_ptr<SmoProblem> Session::make_problem(const JobSpec& spec) {
+std::shared_ptr<SmoProblem> Session::make_problem(const JobSpec& spec) {
   const std::optional<Layout> layout = load_layout(spec.clip);
   const SmoConfig config = resolve_config_impl(spec, layout_ptr(layout));
   RealGrid target = resolve_target(spec.clip, config, layout_ptr(layout));
   WorkspaceLease lease = acquire_workspaces(config.optics.mask_dim);
-  auto workspaces = lease.set;
-  // Return the lease immediately: the problem keeps the shared set alive,
-  // and make_problem callers are sequential by contract (see header).
-  release_workspaces(std::move(lease));
-  return std::make_unique<SmoProblem>(config, std::move(target), &pool_,
-                                      std::move(workspaces));
+  auto problem = std::make_unique<SmoProblem>(config, std::move(target),
+                                              &pool(), lease.set);
+  // The lease stays checked out for the problem's whole lifetime, so the
+  // escape hatch can never alias a WorkspaceSet with a scheduler lane; the
+  // custom deleter returns it to the idle cache.
+  Session* session = this;
+  return std::shared_ptr<SmoProblem>(
+      problem.release(), [session, lease](SmoProblem* p) {
+        delete p;
+        session->release_workspaces(lease);
+      });
 }
 
 int Session::planned_steps(Method method, const SmoConfig& config) {
@@ -185,25 +238,34 @@ int Session::planned_steps(Method method, const SmoConfig& config) {
   }
 }
 
-JobResult Session::run_indexed(const JobSpec& spec, std::size_t index,
-                               std::size_t count, ThreadPool* pool) {
+JobResult Session::execute_job(detail::JobState& state, ThreadPool* pool) {
   const auto start = Clock::now();
   JobResult result;
-  result.job_name = spec.display_name();
-  result.method = to_string(spec.method);
-  result.clip = spec.clip.describe();
+  result.job_name = state.name;
+  result.method = state.method_name;
+  result.clip = state.clip_desc;
   jobs_run_.fetch_add(1, std::memory_order_relaxed);
 
+  RunControl control;
+  control.cancel = &state.cancel;
+  // Compose the session-wide drain token only into jobs that were already
+  // submitted when the cancel was requested; work submitted during a
+  // still-settling drain runs normally (auto-rearm contract).
+  if (state.submit_generation < service_->cancel_generation()) {
+    control.session_cancel = service_->session_token();
+  }
+
   // A pending cancel drains the job before any setup work (clip loading,
-  // engine construction, metric evaluation) so a cancelled batch exits
+  // engine construction, metric evaluation) so a cancelled queue exits
   // promptly instead of paying full setup per remaining job.
-  if (cancel_.requested()) {
+  if (control.stop_requested()) {
     result.run.method = result.method;
     result.run.cancelled = true;
     result.total_seconds = elapsed_seconds(start);
     return result;
   }
 
+  const JobSpec& spec = state.spec;
   WorkspaceLease lease;
   try {
     const std::optional<Layout> layout = load_layout(spec.clip);
@@ -218,18 +280,23 @@ JobResult Session::run_indexed(const JobSpec& spec, std::size_t index,
     const SmoProblem problem(config, std::move(target), pool, lease.set);
     result.setup_seconds = elapsed_seconds(start);
 
-    RunControl control;
-    control.cancel = &cancel_;
-    if (observer_) {
-      Progress progress;
-      progress.job_index = index;
-      progress.job_count = count;
-      progress.job_name = result.job_name;
-      progress.method = result.method;
-      progress.planned_steps = planned_steps(spec.method, config);
-      control.on_step = [this, progress](const StepRecord& record) mutable {
-        progress.step = record;
-        notify_progress(progress);
+    const int planned = planned_steps(spec.method, config);
+    const bool observed = observer_ != nullptr ||
+                          event_observer_ != nullptr ||
+                          state.options.on_event != nullptr;
+    if (observed) {
+      control.on_step = [this, &state, planned](const StepRecord& record) {
+        JobEvent event;
+        event.kind = JobEvent::Kind::kStep;
+        event.job_id = state.id;
+        event.job_name = state.name;
+        event.method = state.method_name;
+        event.status = JobStatus::kRunning;
+        event.batch_index = state.options.batch_index;
+        event.batch_count = state.options.batch_count;
+        event.step = record;
+        event.planned_steps = planned;
+        emit_event(event, state);
       };
     }
 
@@ -252,48 +319,110 @@ JobResult Session::run_indexed(const JobSpec& spec, std::size_t index,
   return result;
 }
 
+JobHandle Session::submit(JobSpec spec, SubmitOptions options) {
+  return service_->submit(std::move(spec), std::move(options));
+}
+
+std::vector<JobHandle> Session::submit_batch(
+    const std::vector<JobSpec>& specs, const SubmitOptions& base) {
+  std::vector<JobHandle> handles;
+  handles.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    SubmitOptions options = base;
+    options.batch_index = i;
+    options.batch_count = specs.size();
+    handles.push_back(submit(specs[i], std::move(options)));
+  }
+  return handles;
+}
+
 JobResult Session::run(const JobSpec& spec) {
-  return run_indexed(spec, 0, 1, &pool_);
+  SubmitOptions options;
+  options.lanes_hint = 1;
+  return submit(spec, std::move(options)).wait();
 }
 
 std::vector<JobResult> Session::run_batch(const std::vector<JobSpec>& specs,
                                           const BatchOptions& options) {
-  std::vector<JobResult> results(specs.size());
-  const std::size_t lanes = std::max<std::size_t>(
-      1, std::min(options.concurrency, specs.size()));
-  if (lanes <= 1) {
-    for (std::size_t i = 0; i < specs.size(); ++i) {
-      results[i] = run_indexed(specs[i], i, specs.size(), &pool_);
-    }
-    return results;
-  }
+  const std::size_t n = specs.size();
+  std::vector<JobResult> results(n);
+  if (n == 0) return results;
+  const std::size_t window =
+      std::max<std::size_t>(1, std::min(options.concurrency, n));
+  const std::uint64_t generation = service_->cancel_generation();
 
-  // Lane execution: each lane thread owns one transient pool (an equal
-  // share of the configured width; spawning them is microseconds against
-  // any real job) and pulls the next unstarted job.  Jobs never share
-  // engine state (workspace leases are exclusive), the observer is
-  // serialized, and results are bitwise independent of the lane count
-  // (slot-deterministic reductions), so concurrency is purely a
-  // scheduling choice.
-  const std::size_t width = std::max<std::size_t>(1, pool_.width() / lanes);
-  std::vector<std::unique_ptr<ThreadPool>> pools;
-  pools.reserve(lanes);
-  for (std::size_t i = 0; i < lanes; ++i) {
-    pools.push_back(std::make_unique<ThreadPool>(width));
-  }
-  std::atomic<std::size_t> next{0};
-  std::vector<std::thread> threads;
-  threads.reserve(lanes);
-  for (std::size_t lane = 0; lane < lanes; ++lane) {
-    threads.emplace_back([this, lane, &pools, &next, &specs, &results]() {
-      for (;;) {
-        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-        if (i >= specs.size()) return;
-        results[i] = run_indexed(specs[i], i, specs.size(), pools[lane].get());
+  // Sliding submission window: keep up to `window` jobs of this batch in
+  // flight, refilling as any of them completes (a straggler never blocks
+  // its successors).  A request_cancel during the batch stops the refill,
+  // so the unsubmitted remainder drains as cancelled results -- matching
+  // the historical batch-drain semantics without any sticky session state.
+  //
+  // The wake-up state is shared-owned by the event lambdas: results become
+  // visible (and this function may return) before the last finished event
+  // is emitted, so stack-captured sync state would dangle.
+  struct BatchSync {
+    std::mutex mutex;
+    std::condition_variable finished_cv;
+    std::size_t finished = 0;
+  };
+  auto sync = std::make_shared<BatchSync>();
+
+  std::vector<JobHandle> handles(n);
+  std::vector<bool> harvested(n, false);
+  std::size_t submitted = 0;
+  std::size_t collected = 0;
+  std::size_t in_flight = 0;
+
+  while (collected < n) {
+    while (submitted < n && in_flight < window &&
+           service_->cancel_generation() == generation) {
+      SubmitOptions submit_options;
+      submit_options.lanes_hint = window;
+      submit_options.batch_index = submitted;
+      submit_options.batch_count = n;
+      submit_options.on_event = [sync](const JobEvent& event) {
+        if (event.kind != JobEvent::Kind::kFinished) return;
+        {
+          std::lock_guard<std::mutex> lock(sync->mutex);
+          ++sync->finished;
+        }
+        sync->finished_cv.notify_all();
+      };
+      handles[submitted] = submit(specs[submitted],
+                                  std::move(submit_options));
+      ++submitted;
+      ++in_flight;
+    }
+
+    if (in_flight == 0) {
+      // The refill was stopped by a cancel: the remainder never ran.
+      for (std::size_t i = submitted; i < n; ++i) {
+        JobResult& r = results[i];
+        r.job_name = specs[i].display_name();
+        r.method = to_string(specs[i].method);
+        r.clip = specs[i].clip.describe();
+        r.run.method = r.method;
+        r.run.cancelled = true;
       }
-    });
+      break;
+    }
+
+    {
+      std::unique_lock<std::mutex> lock(sync->mutex);
+      sync->finished_cv.wait(lock, [&sync] { return sync->finished > 0; });
+      sync->finished = 0;
+    }
+    for (std::size_t i = 0; i < submitted; ++i) {
+      if (harvested[i]) continue;
+      if (const JobResult* r = handles[i].try_result()) {
+        results[i] = *r;
+        handles[i] = JobHandle();
+        harvested[i] = true;
+        ++collected;
+        --in_flight;
+      }
+    }
   }
-  for (std::thread& t : threads) t.join();
   return results;
 }
 

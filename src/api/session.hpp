@@ -1,26 +1,33 @@
 // api::Session -- the single supported way to execute SMO runs.
 //
-// A Session owns the execution substrate every job shares: the worker
-// ThreadPool, a cache of warm sim::WorkspaceSets keyed by mask dimension
-// (so successive same-shaped jobs skip buffer allocation and FFT
-// planning), a cooperative CancelToken, and an optional progress observer.
-// Jobs are described declaratively (api::JobSpec); `run_batch` drives
-// multi-clip workloads through the shared pool, either one job at a time
-// (each job's imaging engines parallelize across all workers) or -- with
-// BatchOptions::concurrency > 1 -- several jobs at once on partitioned
-// lane pools, which is how the tiled execution layer (src/shard/) keeps
-// small per-tile problems from underutilizing wide machines.
+// A Session is an asynchronous job service.  Work is described
+// declaratively (api::JobSpec) and enqueued with `submit`, which returns
+// immediately with a JobHandle (status / wait / try_result / per-job
+// cancel) while a persistent lane scheduler (api/service.hpp) executes
+// jobs from a priority/FIFO queue.  The scheduler load-balances the
+// session's parallel width across the jobs in flight -- a lone job runs
+// full-width, a saturated queue shards into narrow lanes -- leasing warm
+// ThreadPools and warm sim::WorkspaceSets from LRU caches so steady-state
+// serving never tears execution state down between jobs.  `run` and
+// `run_batch` are thin synchronous wrappers over submit+wait and preserve
+// their historical semantics (results in spec order, failures contained
+// per job, bitwise-identical results for any concurrency).
 //
-// Thread-safety: the workspace cache is a synchronized lease pool -- a job
-// checks a set out for its lifetime and returns it afterwards, so
-// concurrent lanes never share scratch buffers; idle sets beyond a small
-// cap are evicted least-recently-used.  The progress observer is invoked
-// under a lock (jobs may progress on scheduler lanes) and
-// `request_cancel` remains callable from any thread.
+// Observation: every job emits a JobEvent stream (enqueued -> started ->
+// step* -> finished) to the session-wide `Options::on_event` observer and
+// the per-job `SubmitOptions::on_event` observer.  The legacy per-step
+// ProgressObserver is an adapter over the same feed and remains supported.
+// All observer invocations are serialized by the session.
 //
-// Failure containment: `run` and `run_batch` never throw for per-job
-// problems (bad layout file, invalid configuration, ...); the error is
-// captured in JobResult::error and a batch continues with the next job.
+// Cancellation is per job and composable: `JobHandle::cancel()` stops one
+// job without touching its siblings; `Session::request_cancel()` drains
+// exactly the work in flight at the request and then re-arms
+// automatically, so new submissions run normally (no sticky poison; the
+// old `reset_cancel()` is a deprecated no-op).
+//
+// Failure containment: job-level problems (bad layout file, invalid
+// configuration, ...) never throw out of submit/run paths; the error is
+// captured in JobResult::error and sibling jobs continue.
 #ifndef BISMO_API_SESSION_HPP
 #define BISMO_API_SESSION_HPP
 
@@ -30,9 +37,11 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "api/job_handle.hpp"
 #include "api/job_result.hpp"
 #include "api/job_spec.hpp"
 #include "core/run_control.hpp"
@@ -41,7 +50,12 @@
 
 namespace bismo::api {
 
+namespace detail {
+class JobService;
+}
+
 /// One progress event: a freshly completed optimizer step of one job.
+/// Legacy adapter over the JobEvent feed (see JobEvent::Kind::kStep).
 struct Progress {
   std::size_t job_index = 0;  ///< position in the batch (0 for single runs)
   std::size_t job_count = 1;  ///< batch size (1 for single runs)
@@ -52,39 +66,47 @@ struct Progress {
 };
 
 /// Invoked after every recorded step of any job; keep cheap.  Calls are
-/// serialized by the session (concurrent batches progress on lane
-/// threads), and it is safe to call Session::request_cancel() from the
-/// observer.
+/// serialized by the session (jobs progress on scheduler lanes), and it is
+/// safe to call Session::request_cancel() from the observer.
 using ProgressObserver = std::function<void(const Progress&)>;
 
 /// Execution context shared by a sequence of jobs.
 class Session {
  public:
   struct Options {
-    std::size_t threads = 0;       ///< worker threads (0 = hardware)
-    ProgressObserver on_progress;  ///< optional step observer
+    std::size_t threads = 0;       ///< parallel width (0 = hardware)
+    /// Maximum jobs executing concurrently on scheduler lanes
+    /// (0 = parallel width).  Lanes are persistent: spawned lazily on
+    /// demand and kept for the session's lifetime.
+    std::size_t scheduler_lanes = 0;
+    ProgressObserver on_progress;  ///< legacy per-step observer
+    JobEventObserver on_event;     ///< session-wide job event feed
     /// Maximum idle warm WorkspaceSets kept for reuse.  Leases checked out
     /// by running jobs never count against the cap; returning a set past
     /// it evicts the least-recently-used idle set.
     std::size_t workspace_cache_cap = 4;
+    /// Maximum idle warm lane ThreadPools kept for reuse (LRU-evicted).
+    std::size_t pool_cache_cap = 4;
   };
 
-  /// Per-batch execution options.
+  /// Per-batch execution options for the synchronous `run_batch` wrapper.
   struct BatchOptions {
-    /// Jobs executed simultaneously.  1 = classic sequential batch on the
-    /// full-width session pool; k > 1 runs up to k jobs at once on k
-    /// transient lane pools, each with a 1/k share of the configured
-    /// width, while the shared pool idles for the duration (lane pools
-    /// are torn down when the batch returns).  Results are bitwise
-    /// identical either way -- reductions are slot-deterministic.
+    /// Jobs of this batch in flight simultaneously.  1 = classic
+    /// sequential batch (each job runs full-width); k > 1 keeps a sliding
+    /// window of k jobs submitted, each sharing ~1/k of the width.
+    /// Results are bitwise identical either way -- reductions are
+    /// slot-deterministic.
     std::size_t concurrency = 1;
   };
 
   /// Cross-job reuse counters.
   struct Stats {
-    std::size_t jobs_run = 0;
+    std::size_t jobs_submitted = 0;       ///< accepted by submit()
+    std::size_t jobs_run = 0;             ///< reached a scheduler lane
+    std::size_t jobs_cancelled = 0;       ///< finalized as cancelled
     std::size_t workspace_reuses = 0;     ///< jobs served by a warm set
     std::size_t workspace_evictions = 0;  ///< idle sets dropped by the cap
+    std::size_t lane_pool_reuses = 0;     ///< dispatches on a warm pool
   };
 
   Session() : Session(Options{}) {}
@@ -93,53 +115,82 @@ class Session {
   Session(const Session&) = delete;
   Session& operator=(const Session&) = delete;
 
-  /// The shared worker pool (parallel width for every engine).
-  ThreadPool& pool() noexcept { return pool_; }
+  /// Finalizes every outstanding job as cancelled and joins the scheduler;
+  /// outstanding JobHandles stay safe to query afterwards.
+  ~Session();
 
-  /// Ask the in-flight run (and any not-yet-started batch jobs) to stop at
-  /// the next step boundary.  Callable from any thread, including the
-  /// progress observer.
-  void request_cancel() noexcept { cancel_.request(); }
+  /// The shared worker pool (escape-hatch problems and image rendering;
+  /// its width is the session's parallel width).  Constructed lazily on
+  /// first use: scheduler lanes lease their own pools, so sessions that
+  /// only submit jobs never pay for an idle full-width pool.
+  ThreadPool& pool();
 
-  /// True once a cancel has been requested and not yet reset.
-  bool cancel_requested() const noexcept { return cancel_.requested(); }
+  /// The session's parallel width (what pool().width() will report).
+  std::size_t width() const noexcept { return width_; }
 
-  /// Re-arm the session after a cancelled run (cancellation is sticky so a
-  /// batch drains quickly; new work needs an explicit reset).
-  void reset_cancel() noexcept { cancel_.reset(); }
+  // -- Asynchronous service API ----------------------------------------
+
+  /// Enqueue one job and return immediately.  Job-level validation errors
+  /// surface in the eventual JobResult::error, never as exceptions.
+  JobHandle submit(JobSpec spec, SubmitOptions options = {});
+
+  /// Enqueue `specs` in order (batch_index/batch_count filled in from
+  /// `base`), all up front.  Handles are in spec order; completion order
+  /// is the scheduler's business.
+  std::vector<JobHandle> submit_batch(const std::vector<JobSpec>& specs,
+                                      const SubmitOptions& base = {});
+
+  /// Cancel every currently queued or running job (queued jobs finalize
+  /// immediately; running jobs stop at the next step boundary).  The
+  /// session re-arms automatically once the drain completes -- jobs
+  /// submitted after this call run normally.  Callable from any observer.
+  void request_cancel() noexcept;
+
+  /// True while a request_cancel drain is still in flight.
+  bool cancel_requested() const noexcept;
+
+  /// Deprecated no-op: cancellation auto-rearms (it is no longer sticky).
+  void reset_cancel() noexcept {}
 
   Stats stats() const noexcept;
 
-  /// Execute one job.  Never throws for job-level failures; see
-  /// JobResult::error.
+  // -- Synchronous wrappers --------------------------------------------
+
+  /// Execute one job: submit + wait.  Never throws for job-level
+  /// failures; see JobResult::error.
   JobResult run(const JobSpec& spec);
 
-  /// Execute jobs through the shared pool and warm workspaces --
-  /// sequentially by default, or `options.concurrency` at a time on lane
-  /// pools.  Continues past failed jobs; a cancel request drains the
-  /// remainder as cancelled results.  Results are in spec order.
+  /// Execute jobs through the scheduler, `options.concurrency` at a time,
+  /// returning results in spec order.  Continues past failed jobs; a
+  /// request_cancel drains the remainder as cancelled results.
   std::vector<JobResult> run_batch(const std::vector<JobSpec>& specs) {
     return run_batch(specs, BatchOptions{});
   }
   std::vector<JobResult> run_batch(const std::vector<JobSpec>& specs,
                                    const BatchOptions& options);
 
+  // -- Spec utilities ---------------------------------------------------
+
   /// The spec's effective configuration: base config + clip-derived pixel
   /// pitch + overrides, validated.  Throws std::invalid_argument on bad
-  /// overrides (this is what `run` captures into JobResult::error).
+  /// overrides (this is what job execution captures into
+  /// JobResult::error).
   SmoConfig resolve_config(const JobSpec& spec) const;
 
-  /// Build the problem a spec describes, on this session's pool and warm
-  /// workspaces -- the escape hatch for custom loops (examples that drive
-  /// the gradient engine directly).  The problem shares a cached
-  /// WorkspaceSet, so it must not be evaluated concurrently with other
-  /// work on this session.  Throws on invalid specs.
-  std::unique_ptr<SmoProblem> make_problem(const JobSpec& spec);
+  /// Build the problem a spec describes, on this session's shared pool --
+  /// the escape hatch for custom loops (examples that drive the gradient
+  /// engine directly).  The problem checks a WorkspaceSet out of the
+  /// lease cache for its whole lifetime, so it never aliases scheduler
+  /// lanes; the lease returns when the returned pointer is destroyed.
+  /// Throws on invalid specs.  Destroy before the session.
+  std::shared_ptr<SmoProblem> make_problem(const JobSpec& spec);
 
   /// Expected trace length of `method` under `config` (progress totals).
   static int planned_steps(Method method, const SmoConfig& config);
 
  private:
+  friend class detail::JobService;
+
   /// A checked-out warm workspace set.
   struct WorkspaceLease {
     std::shared_ptr<sim::WorkspaceSet> set;
@@ -154,8 +205,12 @@ class Session {
     std::uint64_t last_used = 0;  ///< LRU tick
   };
 
-  JobResult run_indexed(const JobSpec& spec, std::size_t index,
-                        std::size_t count, ThreadPool* pool);
+  /// Scheduler-lane job execution (detail::JobService::Config::execute).
+  JobResult execute_job(detail::JobState& state, ThreadPool* pool);
+
+  /// Serialized fan-out of one event to the session-wide and per-job
+  /// observers (detail::JobService::Config::emit).
+  void emit_event(const JobEvent& event, const detail::JobState& state);
 
   /// Check a warm set for `mask_dim` out of the cache (or create a cold
   /// one).  Thread-safe.
@@ -166,13 +221,16 @@ class Session {
   /// Thread-safe.
   std::size_t release_workspaces(WorkspaceLease lease);
 
-  /// Serialized observer invocation (lanes progress concurrently).
-  void notify_progress(const Progress& progress);
-
-  ThreadPool pool_;
+  std::size_t width_;
+  std::once_flag pool_once_;
+  std::optional<ThreadPool> pool_storage_;
   ProgressObserver observer_;
-  std::mutex observer_mutex_;
-  CancelToken cancel_;
+  JobEventObserver event_observer_;
+  /// Serializes observer invocations across lanes.  Recursive because an
+  /// observer may cancel jobs (request_cancel / JobHandle::cancel), which
+  /// finalizes queued jobs and emits their finished events re-entrantly
+  /// on the observing thread.
+  std::recursive_mutex observer_mutex_;
 
   std::mutex cache_mutex_;
   std::vector<CacheEntry> idle_workspaces_;
@@ -182,6 +240,10 @@ class Session {
   std::atomic<std::size_t> jobs_run_{0};
   std::atomic<std::size_t> workspace_reuses_{0};
   std::atomic<std::size_t> workspace_evictions_{0};
+
+  // Declared last so it is destroyed first: lanes may still be executing
+  // jobs that touch the members above.
+  std::unique_ptr<detail::JobService> service_;
 };
 
 }  // namespace bismo::api

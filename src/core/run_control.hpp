@@ -50,13 +50,21 @@ using StepObserver = std::function<void(const StepRecord&)>;
 /// Observation + cancellation bundle threaded through `run_method` and the
 /// individual drivers.  Default-constructed it is inert (no observer, no
 /// cancellation) so existing call sites are unaffected.
+///
+/// Cancellation composes two scopes: `cancel` is the run's own token (one
+/// job of an api::Session, one sweep of a bench), while `session_cancel`
+/// optionally points at an enclosing scope's token (a session-wide drain).
+/// The run stops when EITHER is requested, so cancelling one job never
+/// requires poisoning a shared global token.
 struct RunControl {
   StepObserver on_step;               ///< optional per-step callback
-  const CancelToken* cancel = nullptr;  ///< optional cancellation token
+  const CancelToken* cancel = nullptr;  ///< the run's own token
+  const CancelToken* session_cancel = nullptr;  ///< enclosing-scope token
 
   /// True when the driver should stop at the next step boundary.
   bool stop_requested() const noexcept {
-    return cancel != nullptr && cancel->requested();
+    return (cancel != nullptr && cancel->requested()) ||
+           (session_cancel != nullptr && session_cancel->requested());
   }
 
   /// Forward a freshly recorded step to the observer, if any.

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <utility>
+#include <vector>
 
 #include "math/grid_ops.hpp"
 #include "shard/stitch.hpp"
@@ -67,15 +71,60 @@ ShardResult TileScheduler::run(const Layout& layout, const api::JobSpec& base,
   const TilePlan& plan = result.plan;
 
   const std::vector<api::JobSpec> specs = tile_specs(layout, base, plan);
-  api::Session::BatchOptions batch;
-  batch.concurrency = options.concurrency > 0
-                          ? options.concurrency
-                          : std::min(plan.tile_count(),
-                                     session_.pool().width());
-  result.tiles = session_.run_batch(specs, batch);
-  result.run_seconds = elapsed_seconds(start);
+  const std::size_t n = specs.size();
+  result.tiles.resize(n);
+  const std::size_t lanes_hint =
+      options.concurrency > 0
+          ? options.concurrency
+          : std::min(plan.tile_count(), session_.width());
 
-  for (std::size_t t = 0; t < result.tiles.size(); ++t) {
+  // Submit every tile up front and harvest handles in completion order.
+  // Shared-owned so late finished events (emitted after results become
+  // visible) never touch a dead stack frame.
+  struct SweepSync {
+    std::mutex mutex;
+    std::condition_variable ready;
+    std::vector<std::size_t> finished;  ///< tile indices, completion order
+  };
+  auto sync = std::make_shared<SweepSync>();
+
+  std::vector<api::JobHandle> handles;
+  handles.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    api::SubmitOptions submit_options;
+    submit_options.lanes_hint = lanes_hint;
+    submit_options.batch_index = t;
+    submit_options.batch_count = n;
+    submit_options.on_event = [sync, t](const api::JobEvent& event) {
+      if (event.kind != api::JobEvent::Kind::kFinished) return;
+      {
+        std::lock_guard<std::mutex> lock(sync->mutex);
+        sync->finished.push_back(t);
+      }
+      sync->ready.notify_all();
+    };
+    handles.push_back(session_.submit(specs[t], std::move(submit_options)));
+  }
+
+  // Render each healthy tile's mask/aerial the moment it lands, while
+  // straggler tiles are still optimizing: the stitch inputs are complete
+  // as soon as the last tile finishes instead of one full render pass
+  // later.  Rendering runs on the session's shared pool and leases its
+  // own workspaces, so it never aliases scheduler lanes.
+  std::vector<RealGrid> masks(n);
+  std::vector<RealGrid> aerials(n);
+  SmoConfig config{};
+  bool have_config = false;
+  for (std::size_t harvested = 0; harvested < n; ++harvested) {
+    std::size_t t = 0;
+    {
+      std::unique_lock<std::mutex> lock(sync->mutex);
+      sync->ready.wait(lock, [&sync] { return !sync->finished.empty(); });
+      t = sync->finished.front();
+      sync->finished.erase(sync->finished.begin());
+    }
+    result.tiles[t] = handles[t].wait();  // finished: returns immediately
+
     const api::JobResult& tile = result.tiles[t];
     if (tile.cancelled()) result.cancelled = true;
     if (!tile.ok() && result.error.empty()) {
@@ -83,25 +132,26 @@ ShardResult TileScheduler::run(const Layout& layout, const api::JobSpec& base,
       result.error = "tile (" + std::to_string(w.row) + "," +
                      std::to_string(w.col) + "): " + tile.error;
     }
+    if (options.stitch_images && tile.ok() && !tile.cancelled() &&
+        result.ok() && !result.cancelled) {
+      try {
+        const auto problem = session_.make_problem(specs[t]);
+        const RunResult& run = tile.run;
+        masks[t] = problem->mask_image(run.theta_m, /*binary=*/true);
+        aerials[t] = problem->aerial_image(run.theta_m, run.theta_j,
+                                           /*binary_mask=*/true);
+        if (!have_config) {
+          config = problem->config();  // identical across tiles
+          have_config = true;
+        }
+      } catch (const std::exception& e) {
+        result.error = "tile render: " + std::string(e.what());
+      }
+    }
   }
+  result.run_seconds = elapsed_seconds(start);
 
   if (options.stitch_images && result.ok() && !result.cancelled) {
-    // Render every tile's optimized mask and aerial once (warm
-    // workspaces, sequential on the session pool), then cross-fade.
-    std::vector<RealGrid> masks;
-    std::vector<RealGrid> aerials;
-    masks.reserve(specs.size());
-    aerials.reserve(specs.size());
-    SmoConfig config{};
-    for (std::size_t t = 0; t < specs.size(); ++t) {
-      const auto problem = session_.make_problem(specs[t]);
-      const RunResult& run = result.tiles[t].run;
-      masks.push_back(problem->mask_image(run.theta_m, /*binary=*/true));
-      aerials.push_back(
-          problem->aerial_image(run.theta_m, run.theta_j,
-                                /*binary_mask=*/true));
-      config = problem->config();  // identical across tiles
-    }
     result.mask = binarize(stitch(plan, masks));
     result.aerial = stitch(plan, aerials);
     result.target = layout.rasterize(plan.full_dim());

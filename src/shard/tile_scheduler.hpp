@@ -2,11 +2,13 @@
 //
 // The scheduler turns a TilePlan into one api::JobSpec per tile (same
 // method, same configuration, per-tile window clip, shared mask
-// dimension), fans the jobs out through Session::run_batch -- concurrently
-// on lane pools when asked, with per-step progress forwarded through the
-// session's observer and one cooperative cancel draining the whole sweep
-// -- and stitches the optimized results back into full-layout images and
-// metrics.
+// dimension), submits every tile up front through Session::submit (the
+// persistent lane scheduler load-balances them), and harvests handles in
+// completion order -- rendering each finished tile's mask/aerial for
+// stitching while straggler tiles are still optimizing, so one slow tile
+// no longer serializes the whole sweep.  Per-step progress flows through
+// the session's observer/event feed, and one Session::request_cancel
+// drains the whole sweep.
 //
 // Per-tile jobs skip the isolated before/after metric evaluation
 // (JobSpec::evaluate_solution = false): a tile's L2 against its own halo
@@ -36,8 +38,9 @@ struct ShardOptions {
   std::size_t rows = 2;      ///< tile-grid rows
   std::size_t cols = 2;      ///< tile-grid columns
   double halo_nm = 128.0;    ///< overlap margin per window side
-  /// Tiles optimized simultaneously (Session lane pools); 0 picks
-  /// min(tile count, session worker count).
+  /// Expected tiles in flight (the scheduler's lanes_hint, which shards
+  /// the session width accordingly); 0 picks min(tile count, session
+  /// worker count).
   std::size_t concurrency = 0;
   /// Render, stitch, and evaluate full-layout images/metrics after the
   /// sweep (one extra engine pass per tile).  Off: only per-tile results.
@@ -58,7 +61,9 @@ struct ShardResult {
   SolutionMetrics stitched;  ///< Definitions 1-3 on the stitched grids
 
   double total_seconds = 0.0;  ///< whole sweep including stitching
-  double run_seconds = 0.0;    ///< tile execution only
+  /// Submit-to-last-harvest window: tile optimization plus the per-tile
+  /// renders interleaved with it (the final cross-fade is excluded).
+  double run_seconds = 0.0;
   bool cancelled = false;      ///< at least one tile drained by a cancel
   std::string error;           ///< first tile failure ("" when all ran)
 

@@ -240,9 +240,10 @@ TEST(SessionCancel, ObserverCanCancelMidRun) {
   api::Session::Options options;
   api::Session* session_ptr = nullptr;
   int seen = 0;
+  bool armed = true;
   options.on_progress = [&](const api::Progress& p) {
     ++seen;
-    if (p.step.step >= 1) session_ptr->request_cancel();
+    if (armed && p.step.step >= 1) session_ptr->request_cancel();
   };
   api::Session session(options);
   session_ptr = &session;
@@ -258,11 +259,15 @@ TEST(SessionCancel, ObserverCanCancelMidRun) {
   EXPECT_LE(result.run.trace.size(), 4u);
   EXPECT_GE(seen, 2);
 
-  // Cancellation is sticky: the next run drains immediately...
-  const api::JobResult drained = session.run(tiny_spec());
-  EXPECT_TRUE(drained.cancelled());
-  EXPECT_TRUE(drained.run.trace.empty());
-  // ...until the session is re-armed.
+  // Cancellation drains only the work that was in flight and re-arms
+  // automatically: the next run proceeds normally, no reset required.
+  armed = false;
+  EXPECT_FALSE(session.cancel_requested());
+  const api::JobResult next = session.run(tiny_spec());
+  ASSERT_TRUE(next.ok()) << next.error;
+  EXPECT_FALSE(next.cancelled());
+  EXPECT_FALSE(next.run.trace.empty());
+  // The deprecated re-arm shim is a harmless no-op.
   session.reset_cancel();
   EXPECT_FALSE(session.cancel_requested());
 }

@@ -1,0 +1,429 @@
+// Async job-service tests: submit/await handles, the persistent lane
+// scheduler (priority ordering, out-of-order completion with spec-order
+// results), per-job cancellation isolation, session-cancel drain +
+// auto-rearm, queue/run latency surfacing, lease-safe make_problem, and
+// shutdown with outstanding handles.  These suites gate the TSan CI job.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "api/api.hpp"
+#include "test_util.hpp"
+
+namespace bismo {
+namespace {
+
+/// A fast spec over the shared tiny 32 x 32 target.
+api::JobSpec tiny_spec(int outer_steps = 3) {
+  api::JobSpec spec;
+  spec.clip = api::ClipSource::from_grid(testing::tiny_target32());
+  spec.method = Method::kAbbeMo;
+  spec.config.optics.pixel_nm = 16.0;
+  spec.config_overrides = {"source_dim=7", "socs_kernels=6",
+                           "outer_steps=" + std::to_string(outer_steps)};
+  return spec;
+}
+
+/// Records one job's event stream and lets tests block on lifecycle edges.
+struct EventLog {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::vector<api::JobEvent> events;
+
+  api::JobEventObserver observer() {
+    return [this](const api::JobEvent& event) {
+      // Notify under the lock: a waiter may destroy this log as soon as
+      // it observes the predicate, so the cv must not be touched after
+      // the critical section.
+      std::lock_guard<std::mutex> lock(mutex);
+      events.push_back(event);
+      cv.notify_all();
+    };
+  }
+
+  /// Block until an event of `kind` has been recorded.
+  void await(api::JobEvent::Kind kind) {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] {
+      for (const api::JobEvent& e : events) {
+        if (e.kind == kind) return true;
+      }
+      return false;
+    });
+  }
+
+  std::vector<api::JobEvent::Kind> kinds() {
+    std::lock_guard<std::mutex> lock(mutex);
+    std::vector<api::JobEvent::Kind> out;
+    out.reserve(events.size());
+    for (const api::JobEvent& e : events) out.push_back(e.kind);
+    return out;
+  }
+};
+
+/// Session-wide record of job names in kStarted / kFinished order.
+struct OrderLog {
+  std::mutex mutex;
+  std::vector<std::string> started;
+  std::vector<std::string> finished;
+
+  api::JobEventObserver observer() {
+    return [this](const api::JobEvent& event) {
+      std::lock_guard<std::mutex> lock(mutex);
+      if (event.kind == api::JobEvent::Kind::kStarted) {
+        started.push_back(event.job_name);
+      } else if (event.kind == api::JobEvent::Kind::kFinished) {
+        finished.push_back(event.job_name);
+      }
+    };
+  }
+};
+
+TEST(ServiceSubmit, ReturnsImmediatelyAndStreamsOrderedEvents) {
+  api::Session session;
+  EventLog log;
+  api::SubmitOptions options;
+  options.on_event = log.observer();
+
+  api::JobSpec spec = tiny_spec(3);
+  spec.name = "streamed";
+  const api::JobHandle handle = session.submit(spec, std::move(options));
+  ASSERT_TRUE(handle.valid());
+  EXPECT_GT(handle.id(), 0u);
+  EXPECT_EQ(handle.name(), "streamed");
+
+  const api::JobResult& result = handle.wait();
+  ASSERT_TRUE(result.ok()) << result.error;
+  EXPECT_EQ(handle.status(), api::JobStatus::kDone);
+  ASSERT_NE(handle.try_result(), nullptr);
+  EXPECT_GE(result.queued_ms, 0.0);
+  EXPECT_GT(result.run_ms, 0.0);
+
+  log.await(api::JobEvent::Kind::kFinished);
+  const auto kinds = log.kinds();
+  // enqueued -> started -> one step per trace entry -> finished, in order.
+  ASSERT_EQ(kinds.size(), 3u + result.run.trace.size());
+  EXPECT_EQ(kinds.front(), api::JobEvent::Kind::kEnqueued);
+  EXPECT_EQ(kinds[1], api::JobEvent::Kind::kStarted);
+  for (std::size_t i = 2; i + 1 < kinds.size(); ++i) {
+    EXPECT_EQ(kinds[i], api::JobEvent::Kind::kStep);
+  }
+  EXPECT_EQ(kinds.back(), api::JobEvent::Kind::kFinished);
+  {
+    std::lock_guard<std::mutex> lock(log.mutex);
+    EXPECT_EQ(log.events.back().status, api::JobStatus::kDone);
+    EXPECT_GT(log.events.back().run_ms, 0.0);
+  }
+}
+
+TEST(ServicePriority, HigherPriorityRunsFirstOnOneLane) {
+  api::Session::Options options;
+  options.scheduler_lanes = 1;
+  OrderLog order;
+  options.on_event = order.observer();
+  EventLog blocker_log;  // outlives the session (events drain into it)
+  api::Session session(options);
+
+  api::SubmitOptions blocker_options;
+  blocker_options.on_event = blocker_log.observer();
+  api::JobSpec blocker = tiny_spec(300);
+  blocker.name = "blocker";
+  const api::JobHandle blocker_handle =
+      session.submit(blocker, std::move(blocker_options));
+  // The lane is provably busy before the contenders are queued.
+  blocker_log.await(api::JobEvent::Kind::kStep);
+
+  api::JobSpec low = tiny_spec(2);
+  low.name = "low";
+  api::SubmitOptions low_options;
+  low_options.priority = 0;
+  const api::JobHandle low_handle = session.submit(low, low_options);
+
+  api::JobSpec high = tiny_spec(2);
+  high.name = "high";
+  api::SubmitOptions high_options;
+  high_options.priority = 5;
+  const api::JobHandle high_handle = session.submit(high, high_options);
+
+  blocker_handle.cancel();  // free the lane
+  low_handle.wait();
+  high_handle.wait();
+
+  std::lock_guard<std::mutex> lock(order.mutex);
+  ASSERT_EQ(order.started.size(), 3u);
+  EXPECT_EQ(order.started[0], "blocker");
+  EXPECT_EQ(order.started[1], "high");  // jumped the FIFO line
+  EXPECT_EQ(order.started[2], "low");
+}
+
+TEST(ServiceSubmit, OutOfOrderCompletionKeepsResultsInSpecOrder) {
+  api::Session::Options options;
+  options.scheduler_lanes = 1;
+  OrderLog order;
+  options.on_event = order.observer();
+  EventLog blocker_log;  // outlives the session (events drain into it)
+  api::Session session(options);
+
+  api::SubmitOptions blocker_options;
+  blocker_options.on_event = blocker_log.observer();
+  api::JobSpec blocker = tiny_spec(300);
+  blocker.name = "blocker";
+  const api::JobHandle blocker_handle =
+      session.submit(blocker, std::move(blocker_options));
+  blocker_log.await(api::JobEvent::Kind::kStep);
+
+  // Spec order [first, second]; priorities force completion order
+  // [second, first] on the single lane.
+  std::vector<api::JobSpec> specs{tiny_spec(2), tiny_spec(2)};
+  specs[0].name = "first";
+  specs[1].name = "second";
+  std::vector<api::JobHandle> handles;
+  api::SubmitOptions low;
+  low.priority = 0;
+  handles.push_back(session.submit(specs[0], low));
+  api::SubmitOptions high;
+  high.priority = 9;
+  handles.push_back(session.submit(specs[1], high));
+
+  blocker_handle.cancel();
+  const api::JobResult r0 = handles[0].wait();
+  const api::JobResult r1 = handles[1].wait();
+
+  // Handles keep spec identity even though completion inverted.
+  ASSERT_TRUE(r0.ok()) << r0.error;
+  ASSERT_TRUE(r1.ok()) << r1.error;
+  EXPECT_EQ(r0.job_name, "first");
+  EXPECT_EQ(r1.job_name, "second");
+  std::lock_guard<std::mutex> lock(order.mutex);
+  const auto pos = [&](const std::string& name) {
+    for (std::size_t i = 0; i < order.finished.size(); ++i) {
+      if (order.finished[i] == name) return i;
+    }
+    return order.finished.size();
+  };
+  EXPECT_LT(pos("second"), pos("first"));
+}
+
+TEST(ServiceCancel, PerJobCancelLeavesSiblingsUntouched) {
+  api::Session::Options options;
+  options.scheduler_lanes = 1;
+  EventLog blocker_log;  // outlives the session (events drain into it)
+  api::Session session(options);
+
+  api::SubmitOptions blocker_options;
+  blocker_options.on_event = blocker_log.observer();
+  api::JobSpec blocker = tiny_spec(300);
+  blocker.name = "blocker";
+  const api::JobHandle blocker_handle =
+      session.submit(blocker, std::move(blocker_options));
+  blocker_log.await(api::JobEvent::Kind::kStep);
+
+  api::JobSpec doomed = tiny_spec(2);
+  doomed.name = "doomed";
+  api::JobSpec survivor = tiny_spec(2);
+  survivor.name = "survivor";
+  const api::JobHandle doomed_handle = session.submit(doomed);
+  const api::JobHandle survivor_handle = session.submit(survivor);
+
+  // Cancelling a queued job finalizes it immediately -- no lane needed.
+  doomed_handle.cancel();
+  EXPECT_EQ(doomed_handle.status(), api::JobStatus::kCancelled);
+  const api::JobResult& doomed_result = doomed_handle.wait();
+  EXPECT_TRUE(doomed_result.cancelled());
+  EXPECT_TRUE(doomed_result.run.trace.empty());
+
+  // Cancelling the running job keeps its partial trace.
+  blocker_handle.cancel();
+  const api::JobResult& blocker_result = blocker_handle.wait();
+  EXPECT_EQ(blocker_handle.status(), api::JobStatus::kCancelled);
+  EXPECT_TRUE(blocker_result.cancelled());
+  EXPECT_FALSE(blocker_result.run.trace.empty());
+
+  // The sibling is untouched by either cancel.
+  const api::JobResult& survivor_result = survivor_handle.wait();
+  ASSERT_TRUE(survivor_result.ok()) << survivor_result.error;
+  EXPECT_EQ(survivor_handle.status(), api::JobStatus::kDone);
+  EXPECT_FALSE(survivor_result.cancelled());
+  EXPECT_FALSE(survivor_result.run.trace.empty());
+
+  // Per-job cancels never raise the session-wide drain.
+  EXPECT_FALSE(session.cancel_requested());
+  const api::Session::Stats stats = session.stats();
+  EXPECT_EQ(stats.jobs_submitted, 3u);
+  EXPECT_EQ(stats.jobs_cancelled, 2u);
+}
+
+// Regression for the sticky session-global cancellation: request_cancel
+// drains exactly the in-flight work and re-arms automatically; it no
+// longer poisons future jobs until reset_cancel.
+TEST(ServiceCancel, SessionCancelDrainsInFlightAndAutoRearms) {
+  api::Session::Options options;
+  options.scheduler_lanes = 1;
+  EventLog blocker_log;  // outlives the session (events drain into it)
+  api::Session session(options);
+
+  api::SubmitOptions blocker_options;
+  blocker_options.on_event = blocker_log.observer();
+  const api::JobHandle running =
+      session.submit(tiny_spec(300), std::move(blocker_options));
+  blocker_log.await(api::JobEvent::Kind::kStep);
+  const api::JobHandle queued = session.submit(tiny_spec(2));
+
+  session.request_cancel();
+  const api::JobResult& running_result = running.wait();
+  const api::JobResult& queued_result = queued.wait();
+  EXPECT_TRUE(running_result.cancelled());
+  EXPECT_FALSE(running_result.run.trace.empty());  // drained, kept partial
+  EXPECT_TRUE(queued_result.cancelled());
+  EXPECT_TRUE(queued_result.run.trace.empty());
+
+  // The drain is over and the session re-armed itself.
+  EXPECT_FALSE(session.cancel_requested());
+  const api::JobResult next = session.run(tiny_spec(2));
+  ASSERT_TRUE(next.ok()) << next.error;
+  EXPECT_FALSE(next.cancelled());
+
+  // The deprecated shim stays callable and changes nothing.
+  session.reset_cancel();
+  EXPECT_FALSE(session.cancel_requested());
+}
+
+// Regression: overlapping session cancels (an observer calling
+// request_cancel on every step, a double Ctrl-C) must not double-count
+// the running job in the drain accounting -- a leaked count would leave
+// the session token raised forever, resurrecting the sticky poison.
+TEST(ServiceCancel, OverlappingSessionCancelsStillRearm) {
+  EventLog blocker_log;  // outlives the session (events drain into it)
+  api::Session::Options options;
+  options.scheduler_lanes = 1;
+  api::Session session(options);
+
+  api::SubmitOptions blocker_options;
+  blocker_options.on_event = blocker_log.observer();
+  const api::JobHandle running =
+      session.submit(tiny_spec(300), std::move(blocker_options));
+  blocker_log.await(api::JobEvent::Kind::kStep);
+
+  session.request_cancel();
+  session.request_cancel();
+  session.request_cancel();
+  EXPECT_TRUE(running.wait().cancelled());
+
+  EXPECT_FALSE(session.cancel_requested());
+  const api::JobResult next = session.run(tiny_spec(2));
+  ASSERT_TRUE(next.ok()) << next.error;
+  EXPECT_FALSE(next.cancelled());
+}
+
+// Regression for the make_problem escape hatch: the returned problem holds
+// a real WorkspaceLease for its whole lifetime, so its set can never be
+// handed to a scheduler lane concurrently.
+TEST(ServiceLease, MakeProblemHoldsItsWorkspaceLease) {
+  api::Session session;
+  const api::JobSpec spec = tiny_spec(2);
+
+  auto problem = session.make_problem(spec);
+  auto sibling = session.make_problem(spec);
+  // Two live problems never alias one set.
+  EXPECT_NE(problem->workspaces().get(), sibling->workspaces().get());
+  sibling.reset();
+
+  // A job scheduled while the problem is alive cannot reuse its set: the
+  // only idle set is the one `sibling` just returned.
+  const api::JobResult during = session.run(spec);
+  ASSERT_TRUE(during.ok()) << during.error;
+  EXPECT_TRUE(during.workspaces_reused);  // sibling's returned set
+  const api::JobResult second = session.run(spec);
+  EXPECT_TRUE(second.workspaces_reused);
+
+  // Only after destruction does the lease return for reuse.
+  const sim::WorkspaceSet* leased = problem->workspaces().get();
+  problem.reset();
+  auto reacquired = session.make_problem(spec);
+  EXPECT_EQ(reacquired->workspaces().get(), leased);
+}
+
+TEST(ServiceTiming, QueueAndRunLatencySurfaceInResultsAndJson) {
+  api::Session::Options options;
+  options.scheduler_lanes = 1;
+  EventLog blocker_log;  // outlives the session (events drain into it)
+  api::Session session(options);
+
+  api::SubmitOptions blocker_options;
+  blocker_options.on_event = blocker_log.observer();
+  const api::JobHandle blocker =
+      session.submit(tiny_spec(10), std::move(blocker_options));
+  blocker_log.await(api::JobEvent::Kind::kStep);
+  const api::JobHandle waiter = session.submit(tiny_spec(2));
+
+  const api::JobResult& blocked = waiter.wait();
+  ASSERT_TRUE(blocked.ok()) << blocked.error;
+  // The waiter sat behind the blocker's remaining steps.
+  EXPECT_GT(blocked.queued_ms, 0.0);
+  EXPECT_GT(blocked.run_ms, 0.0);
+  const api::JobResult& first = blocker.wait();
+  EXPECT_LE(first.queued_ms, blocked.queued_ms);
+
+  std::ostringstream json;
+  api::write_json(json, blocked);
+  EXPECT_NE(json.str().find("\"queued_ms\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"run_ms\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"status\": \"done\""), std::string::npos);
+
+  std::ostringstream csv;
+  api::write_summary_csv(csv, {blocked});
+  EXPECT_NE(csv.str().find("queued_ms"), std::string::npos);
+  EXPECT_NE(csv.str().find("run_ms"), std::string::npos);
+}
+
+TEST(ServiceShutdown, DestructionFinalizesOutstandingHandles) {
+  api::JobHandle running;
+  api::JobHandle queued;
+  {
+    // Declared before the session: the session's destructor still emits
+    // finished events into this log while draining.
+    EventLog blocker_log;
+    api::Session::Options options;
+    options.scheduler_lanes = 1;
+    api::Session session(options);
+    api::SubmitOptions blocker_options;
+    blocker_options.on_event = blocker_log.observer();
+    running = session.submit(tiny_spec(300), std::move(blocker_options));
+    blocker_log.await(api::JobEvent::Kind::kStep);
+    queued = session.submit(tiny_spec(2));
+  }
+  // The session drained both on destruction; handles outlive it safely.
+  EXPECT_EQ(running.status(), api::JobStatus::kCancelled);
+  EXPECT_EQ(queued.status(), api::JobStatus::kCancelled);
+  EXPECT_TRUE(running.wait().cancelled());
+  EXPECT_TRUE(queued.wait().run.trace.empty());
+  EXPECT_NE(queued.try_result(), nullptr);
+  queued.cancel();  // no-op on a terminal job without a live session
+}
+
+TEST(ServiceWrappers, RunBatchMatchesAsyncSubmissionBitwise) {
+  api::Session session;
+  std::vector<api::JobSpec> specs(3, tiny_spec(3));
+  const std::vector<api::JobResult> sync =
+      session.run_batch(specs, api::Session::BatchOptions{2});
+
+  std::vector<api::JobHandle> handles = session.submit_batch(specs);
+  ASSERT_EQ(handles.size(), 3u);
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    const api::JobResult& async = handles[i].wait();
+    ASSERT_TRUE(async.ok()) << async.error;
+    ASSERT_TRUE(sync[i].ok()) << sync[i].error;
+    // Scheduling path is invisible in the optimization results.
+    EXPECT_TRUE(async.run.theta_m == sync[i].run.theta_m);
+    EXPECT_TRUE(async.run.theta_j == sync[i].run.theta_j);
+  }
+}
+
+}  // namespace
+}  // namespace bismo

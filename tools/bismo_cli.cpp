@@ -8,9 +8,13 @@
 // One Session owns the worker pool and the warm per-shape workspaces, so a
 // --batch run amortizes setup across all clips.  Results are printed as a
 // summary and, with --json, written as one machine-readable document.
-// Ctrl-C cancels cooperatively: the in-flight job stops at the next step
-// and partial results are still reported.
+// Ctrl-C cancels cooperatively: in-flight jobs stop at the next step and
+// partial results are still reported.  --watch switches to the async
+// submission path and streams per-job status lines (enqueued / started /
+// step / done with queue latency) as the scheduler works; there the first
+// Ctrl-C cancels each outstanding job individually via its JobHandle.
 #include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -18,6 +22,7 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/api.hpp"
@@ -52,7 +57,12 @@ using namespace bismo;
       "  --lanes N          tiles optimized at once (default: auto)\n"
       "  --threads N        worker threads (default: hardware)\n"
       "  --json PATH        write results JSON ('-' for stdout)\n"
+      "  --csv PATH         write a per-job summary CSV (status, queue/run\n"
+      "                     latency, metrics)\n"
       "  --progress         print per-step progress to stderr\n"
+      "  --watch            submit asynchronously and stream per-job status\n"
+      "                     lines; Ctrl-C cancels the outstanding jobs\n"
+      "                     individually\n"
       "  --out DIR          image/checkpoint directory for single runs\n"
       "                     (default bismo_cli_out)\n"
       "  --list-config      print the config-key reference and exit\n",
@@ -67,14 +77,42 @@ void print_config_keys() {
   }
 }
 
-std::atomic<api::Session*> g_session{nullptr};
+// Session::request_cancel walks the scheduler registry under a mutex, so
+// it is no longer async-signal-safe; the handler only flips an atomic flag
+// (and restores the default disposition so a second Ctrl-C exits hard).  A
+// watcher thread / the --watch loop polls the flag and performs the cancel
+// from a normal thread.
+std::atomic<bool> g_interrupted{false};
 
 void handle_interrupt(int) {
-  // Lock-free atomic load + an atomic-flag store inside request_cancel:
-  // both async-signal-safe.
-  api::Session* session = g_session.load(std::memory_order_relaxed);
-  if (session != nullptr) session->request_cancel();
+  g_interrupted.store(true, std::memory_order_relaxed);
+  std::signal(SIGINT, SIG_DFL);
 }
+
+/// Polls g_interrupted and forwards the first interrupt to the session as
+/// a cooperative cancel (drains in-flight jobs; the session re-arms).
+class InterruptWatcher {
+ public:
+  explicit InterruptWatcher(api::Session& session)
+      : thread_([this, &session] {
+          while (!stop_.load(std::memory_order_relaxed)) {
+            if (g_interrupted.load(std::memory_order_relaxed)) {
+              session.request_cancel();
+              return;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+          }
+        }) {}
+
+  ~InterruptWatcher() {
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+  }
+
+ private:
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
 
 void write_images(api::Session& session, const api::JobSpec& spec,
                   const api::JobResult& result, const std::string& out_dir) {
@@ -93,6 +131,28 @@ void write_images(api::Session& session, const api::JobSpec& spec,
   save_grid(out_dir + "/theta_m.bsmg", result.run.theta_m);
   save_grid(out_dir + "/theta_j.bsmg", result.run.theta_j);
   std::printf("outputs in %s/\n", out_dir.c_str());
+}
+
+/// Async serving path: submit everything up front, stream status via the
+/// session event observer, cancel outstanding jobs individually on ^C.
+std::vector<api::JobResult> watch_run(api::Session& session,
+                                      const std::vector<api::JobSpec>& specs) {
+  std::vector<api::JobHandle> handles = session.submit_batch(specs);
+  std::vector<api::JobResult> results(specs.size());
+  bool cancelled = false;
+  for (std::size_t i = 0; i < handles.size(); ++i) {
+    while (!handles[i].wait_for(0.1)) {
+      if (!cancelled && g_interrupted.load(std::memory_order_relaxed)) {
+        std::fprintf(stderr, "^C: cancelling outstanding jobs\n");
+        // Per-job cancellation: queued jobs finalize immediately, running
+        // jobs stop at their next step; terminal handles are no-ops.
+        for (const api::JobHandle& handle : handles) handle.cancel();
+        cancelled = true;
+      }
+    }
+    results[i] = handles[i].wait();
+  }
+  return results;
 }
 
 void print_result(const api::JobResult& r) {
@@ -135,7 +195,7 @@ int run_tiled(api::Session& session, const api::JobSpec& base,
   std::printf("%zu tiles (%zux%zu, %zu px windows, %zu px halo), "
               "%zu worker threads\n",
               plan.tile_count(), rows, cols, plan.tile_dim(), plan.halo_px(),
-              session.pool().width());
+              session.width());
 
   const shard::ShardResult result = scheduler.run(layout, base, opts);
   (void)progress;  // tiled progress prints whole lines; nothing to flush
@@ -197,11 +257,13 @@ int main(int argc, char** argv) {
   std::string method_name = "bismo-nmn";
   std::string out_dir = "bismo_cli_out";
   std::string json_path;
+  std::string csv_path;
   std::vector<std::string> overrides;
   std::uint64_t seed = 1;
   std::size_t batch = 0;
   std::size_t threads = 0;
   bool progress = false;
+  bool watch = false;
   std::size_t tile_rows = 0;
   std::size_t tile_cols = 0;
   double halo_nm = 128.0;
@@ -241,7 +303,9 @@ int main(int argc, char** argv) {
     else if (flag == "--lanes") lanes = std::strtoul(next().c_str(), nullptr, 10);
     else if (flag == "--threads") threads = std::strtoul(next().c_str(), nullptr, 10);
     else if (flag == "--json") json_path = next();
+    else if (flag == "--csv") csv_path = next();
     else if (flag == "--progress") progress = true;
+    else if (flag == "--watch") watch = true;
     else if (flag == "--out") out_dir = next();
     else usage(argv[0]);
   }
@@ -255,6 +319,10 @@ int main(int argc, char** argv) {
   }
   if (tile_rows > 0 && batch > 0) {
     std::fprintf(stderr, "--tiles cannot be combined with --batch\n");
+    usage(argv[0]);
+  }
+  if (watch && tile_rows > 0) {
+    std::fprintf(stderr, "--watch cannot be combined with --tiles\n");
     usage(argv[0]);
   }
 
@@ -272,7 +340,42 @@ int main(int argc, char** argv) {
 
     api::Session::Options options;
     options.threads = threads;
-    if (progress && tile_rows > 0) {
+    if (watch) {
+      // Whole status lines per job-lifecycle event; step lines at coarse
+      // intervals when --progress is also given.
+      options.on_event = [progress](const api::JobEvent& e) {
+        switch (e.kind) {
+          case api::JobEvent::Kind::kEnqueued:
+            std::fprintf(stderr, "[%zu/%zu %s] queued\n", e.batch_index + 1,
+                         e.batch_count, e.job_name.c_str());
+            break;
+          case api::JobEvent::Kind::kStarted:
+            std::fprintf(stderr, "[%zu/%zu %s] started (queued %.0f ms)\n",
+                         e.batch_index + 1, e.batch_count,
+                         e.job_name.c_str(), e.queued_ms);
+            break;
+          case api::JobEvent::Kind::kStep: {
+            if (!progress) break;
+            const int quarter =
+                e.planned_steps > 4 ? e.planned_steps / 4 : 1;
+            if (e.step.step % quarter == 0 ||
+                e.step.step + 1 == e.planned_steps) {
+              std::fprintf(stderr, "[%zu/%zu %s] step %d/%d loss %.3f\n",
+                           e.batch_index + 1, e.batch_count,
+                           e.job_name.c_str(), e.step.step + 1,
+                           e.planned_steps, e.step.loss);
+            }
+            break;
+          }
+          case api::JobEvent::Kind::kFinished:
+            std::fprintf(stderr, "[%zu/%zu %s] %s (run %.0f ms)\n",
+                         e.batch_index + 1, e.batch_count,
+                         e.job_name.c_str(), api::to_string(e.status),
+                         e.run_ms);
+            break;
+        }
+      };
+    } else if (progress && tile_rows > 0) {
       // Tiles progress concurrently, so a single \r-rewritten line would
       // interleave different jobs; print whole lines at coarse intervals.
       options.on_progress = [](const api::Progress& p) {
@@ -292,15 +395,13 @@ int main(int argc, char** argv) {
       };
     }
     api::Session session(options);
-    g_session.store(&session);
     std::signal(SIGINT, handle_interrupt);
 
     if (tile_rows > 0) {
-      const int rc = run_tiled(session, base, layout_path, generate_kind,
-                               seed, tile_rows, tile_cols, halo_nm, lanes,
-                               progress, json_path, out_dir);
-      g_session.store(nullptr);
-      return rc;
+      InterruptWatcher watcher(session);
+      return run_tiled(session, base, layout_path, generate_kind, seed,
+                       tile_rows, tile_cols, halo_nm, lanes, progress,
+                       json_path, out_dir);
     }
 
     std::vector<api::JobSpec> specs;
@@ -319,13 +420,18 @@ int main(int argc, char** argv) {
     }
 
     std::printf("%zu job(s), method %s, %zu worker threads\n", specs.size(),
-                to_string(method).c_str(), session.pool().width());
+                to_string(method).c_str(), session.width());
 
-    const std::vector<api::JobResult> results = session.run_batch(specs);
-    g_session.store(nullptr);
+    std::vector<api::JobResult> results;
+    if (watch) {
+      results = watch_run(session, specs);
+    } else {
+      InterruptWatcher watcher(session);
+      results = session.run_batch(specs);
+    }
     // Terminate the live \r progress line (early-stopped or cancelled runs
     // never reach their planned final step).
-    if (progress) std::fputc('\n', stderr);
+    if (progress && !watch) std::fputc('\n', stderr);
 
     int failures = 0;
     for (const api::JobResult& r : results) {
@@ -350,6 +456,15 @@ int main(int argc, char** argv) {
         api::write_json(out, results);
         std::printf("results JSON: %s\n", json_path.c_str());
       }
+    }
+    if (!csv_path.empty()) {
+      std::ofstream out(csv_path);
+      if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", csv_path.c_str());
+        return 1;
+      }
+      api::write_summary_csv(out, results);
+      std::printf("summary CSV: %s\n", csv_path.c_str());
     }
 
     // Single successful runs keep the historical image/checkpoint dump.
