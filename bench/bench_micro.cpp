@@ -3,7 +3,10 @@
 // imaging, manual gradients, HVPs, and the TCC/SOCS build.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "fft/fft.hpp"
+#include "fft/kernels/kernel.hpp"
 #include "grad/abbe_grad.hpp"
 #include "grad/hvp.hpp"
 #include "litho/hopkins.hpp"
@@ -13,6 +16,33 @@
 namespace {
 
 using namespace bismo;
+
+/// Pin the FFT kernel backend for one benchmark run: range value 0 selects
+/// scalar, 1 the best SIMD backend (falls back to scalar when none is
+/// available, so the comparison degenerates gracefully).  Restores the
+/// previously active backend on destruction, so a BISMO_FFT_BACKEND pin
+/// keeps governing the non-Backend benchmarks.
+class BackendGuard {
+ public:
+  explicit BackendGuard(benchmark::State& state)
+      : previous_(fft::backend_name()) {
+    std::string name = "scalar";
+    if (state.range(0) != 0) {
+      for (const std::string& b : fft::available_backends()) {
+        if (b != "scalar") {
+          name = b;
+          break;
+        }
+      }
+    }
+    fft::set_backend(name);
+    state.SetLabel(fft::backend_name());
+  }
+  ~BackendGuard() { fft::set_backend(previous_); }
+
+ private:
+  std::string previous_;
+};
 
 OpticsConfig optics_for(std::size_t n) {
   OpticsConfig o;
@@ -109,6 +139,54 @@ void BM_AbbeAerialWorkspace(benchmark::State& state) {
 BENCHMARK(BM_AbbeAerialWorkspace)
     ->Arg(64)
     ->Arg(128)
+    ->Unit(benchmark::kMillisecond);
+
+/// 2-D plan transform by backend (arg2: 0 = scalar, 1 = SIMD): the kernel-
+/// layer speedup in isolation.
+void BM_Fft2PlanBackend(benchmark::State& state) {
+  BackendGuard backend(state);
+  const auto n = static_cast<std::size_t>(state.range(1));
+  Rng rng(4);
+  ComplexGrid g(n, n);
+  for (auto& v : g) v = {rng.uniform(-1, 1), rng.uniform(-1, 1)};
+  const Fft2dPlan plan(n, n);
+  std::vector<std::complex<double>> scratch(plan.scratch_size());
+  for (auto _ : state) {
+    plan.forward(g, scratch.data());
+    benchmark::DoNotOptimize(g.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<long>(n * n));
+}
+BENCHMARK(BM_Fft2PlanBackend)
+    ->Args({0, 128})
+    ->Args({1, 128})
+    ->Args({0, 256})
+    ->Args({1, 256})
+    ->Unit(benchmark::kMicrosecond);
+
+/// End-to-end dual gradient (forward + adjoint sweeps) by backend: the
+/// aggregate aerial/gradient win of the SIMD kernel layer.
+void BM_AbbeDualGradientBackend(benchmark::State& state) {
+  BackendGuard backend(state);
+  const auto n = static_cast<std::size_t>(state.range(1));
+  const OpticsConfig optics = optics_for(n);
+  const SourceGeometry geometry(9, optics);
+  const AbbeImaging abbe(optics, geometry);
+  const RealGrid target = bench_target(n);
+  const AbbeGradientEngine engine(abbe, target);
+  const RealGrid theta_m = init_mask_params(target, {});
+  SourceSpec spec;
+  const RealGrid theta_j = init_source_params(make_source(geometry, spec), {});
+  for (auto _ : state) {
+    const SmoGradient g = engine.evaluate(theta_m, theta_j, GradRequest{});
+    benchmark::DoNotOptimize(g.loss);
+  }
+}
+BENCHMARK(BM_AbbeDualGradientBackend)
+    ->Args({0, 64})
+    ->Args({1, 64})
+    ->Args({0, 128})
+    ->Args({1, 128})
     ->Unit(benchmark::kMillisecond);
 
 void BM_AbbeForward(benchmark::State& state) {

@@ -27,6 +27,9 @@ struct JobResult {
   double run_ms = 0.0;     ///< lane pickup -> terminal status
   bool workspaces_reused = false;  ///< warm WorkspaceSet from a prior job
   std::size_t workspace_evictions = 0;  ///< idle sets evicted at release
+  std::string fft_backend;  ///< FFT kernel backend the job ran on
+                            ///< ("scalar" | "avx2" | "neon"); benches and
+                            ///< perf tracking key results by it
   std::string error;        ///< non-empty when the job failed
 
   bool ok() const noexcept { return error.empty(); }

@@ -9,6 +9,7 @@
 #include <utility>
 
 #include "api/service.hpp"
+#include "fft/kernels/kernel.hpp"
 
 namespace bismo::api {
 namespace {
@@ -244,6 +245,7 @@ JobResult Session::execute_job(detail::JobState& state, ThreadPool* pool) {
   result.job_name = state.name;
   result.method = state.method_name;
   result.clip = state.clip_desc;
+  result.fft_backend = fft::backend_name();
   jobs_run_.fetch_add(1, std::memory_order_relaxed);
 
   RunControl control;

@@ -1,44 +1,23 @@
 #include "fft/fft.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <stdexcept>
 
+#include "fft/kernels/kernel.hpp"
+
 namespace bismo {
-
-namespace fft_detail {
-
-/// Precomputed data for a radix-2 transform of length n (power of two):
-/// forward twiddles tw[k] = exp(-2*pi*i*k/n) for k < n/2 and the bit-reversal
-/// permutation.
-struct Radix2Plan {
-  std::size_t n = 0;
-  std::vector<std::complex<double>> tw;
-  std::vector<std::uint32_t> bitrev;
-};
-
-/// Bluestein (chirp-z) data for arbitrary length n: chirp[j] =
-/// exp(-i*pi*j^2/n) (index squared reduced mod 2n to avoid precision loss)
-/// and the forward FFT of the zero-padded reciprocal chirp at length m.
-/// `sub` is the radix-2 plan for the padded length, resolved at build time
-/// so executing a Bluestein transform never touches the plan cache.
-struct BluesteinPlan {
-  std::size_t n = 0;
-  std::size_t m = 0;  // padded power-of-two length >= 2n-1
-  std::vector<std::complex<double>> chirp;      // length n
-  std::vector<std::complex<double>> b_spectrum; // length m
-  const Radix2Plan* sub = nullptr;
-};
-
-}  // namespace fft_detail
 
 namespace {
 
 using fft_detail::BluesteinPlan;
-using fft_detail::Radix2Plan;
+using fft_detail::Pow2Plan;
+using fft_detail::Pow2Stage;
 
 constexpr double kPi = 3.141592653589793238462643383279502884;
 
@@ -50,48 +29,9 @@ std::size_t next_power_of_two(std::size_t n) {
   return p;
 }
 
-void radix2_run(const Radix2Plan& plan, std::complex<double>* x,
-                bool inverse) {
-  const std::size_t n = plan.n;
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::size_t j = plan.bitrev[i];
-    if (i < j) std::swap(x[i], x[j]);
-  }
-  // Butterflies on raw re/im pairs: std::complex multiplication routes
-  // through overflow-safe helpers that the optimizer cannot always elide;
-  // the manual form is the classic 4-mul butterfly.  The layout cast is
-  // sanctioned by the standard's array-oriented access guarantee for
-  // std::complex.
-  auto* d = reinterpret_cast<double*>(x);
-  const auto* tw = reinterpret_cast<const double*>(plan.tw.data());
-  const double conj_sign = inverse ? -1.0 : 1.0;
-  for (std::size_t len = 2; len <= n; len <<= 1) {
-    const std::size_t half = len >> 1;
-    const std::size_t step = n / len;
-    for (std::size_t base = 0; base < n; base += len) {
-      for (std::size_t k = 0; k < half; ++k) {
-        const double wr = tw[2 * k * step];
-        const double wi = conj_sign * tw[2 * k * step + 1];
-        const std::size_t a = 2 * (base + k);
-        const std::size_t b = 2 * (base + k + half);
-        const double xr = d[b];
-        const double xi = d[b + 1];
-        const double vr = xr * wr - xi * wi;
-        const double vi = xr * wi + xi * wr;
-        const double ur = d[a];
-        const double ui = d[a + 1];
-        d[a] = ur + vr;
-        d[a + 1] = ui + vi;
-        d[b] = ur - vr;
-        d[b + 1] = ui - vi;
-      }
-    }
-  }
-}
-
-/// Plan-cache lookup shared by radix-2 and Bluestein caches: existing plans
-/// are served under a shared lock (the common case after warm-up); only a
-/// first-time build takes the exclusive lock.
+/// Plan-cache lookup shared by the power-of-two and Bluestein caches:
+/// existing plans are served under a shared lock (the common case after
+/// warm-up); only a first-time build takes the exclusive lock.
 template <typename Plan, typename Build>
 const Plan* cached_plan(std::shared_mutex& mu,
                         std::map<std::size_t, std::unique_ptr<Plan>>& cache,
@@ -107,17 +47,12 @@ const Plan* cached_plan(std::shared_mutex& mu,
   return slot.get();
 }
 
-const Radix2Plan* radix2_plan(std::size_t n) {
+const Pow2Plan* pow2_plan(std::size_t n) {
   static std::shared_mutex mu;
-  static std::map<std::size_t, std::unique_ptr<Radix2Plan>> cache;
+  static std::map<std::size_t, std::unique_ptr<Pow2Plan>> cache;
   return cached_plan(mu, cache, n, [n] {
-    auto plan = std::make_unique<Radix2Plan>();
+    auto plan = std::make_unique<Pow2Plan>();
     plan->n = n;
-    plan->tw.resize(n / 2);
-    for (std::size_t k = 0; k < n / 2; ++k) {
-      const double ang = -2.0 * kPi * static_cast<double>(k) / static_cast<double>(n);
-      plan->tw[k] = {std::cos(ang), std::sin(ang)};
-    }
     plan->bitrev.resize(n);
     std::size_t bits = 0;
     while ((std::size_t{1} << bits) < n) ++bits;
@@ -127,6 +62,29 @@ const Radix2Plan* radix2_plan(std::size_t n) {
         rev |= ((i >> b) & 1u) << (bits - 1 - b);
       }
       plan->bitrev[i] = static_cast<std::uint32_t>(rev);
+    }
+    // Factor n = [2 *] 4^k: a leading twiddle-free radix-2 stage when
+    // log2(n) is odd, then radix-4 stages with SoA twiddles
+    // w1[k] = W^k, w2[k] = W^2k, w3[k] = W^3k, W = exp(-2*pi*i/(4q)).
+    plan->leading_radix2 = (bits % 2 == 1);
+    std::size_t q = plan->leading_radix2 ? 2 : 1;
+    while (q < n) {
+      Pow2Stage stage;
+      stage.q = q;
+      stage.w1.resize(q);
+      stage.w2.resize(q);
+      stage.w3.resize(q);
+      const double base = -2.0 * kPi / static_cast<double>(4 * q);
+      for (std::size_t k = 0; k < q; ++k) {
+        const double a1 = base * static_cast<double>(k);
+        const double a2 = base * static_cast<double>(2 * k);
+        const double a3 = base * static_cast<double>(3 * k);
+        stage.w1[k] = {std::cos(a1), std::sin(a1)};
+        stage.w2[k] = {std::cos(a2), std::sin(a2)};
+        stage.w3[k] = {std::cos(a3), std::sin(a3)};
+      }
+      plan->stages.push_back(std::move(stage));
+      q *= 4;
     }
     return plan;
   });
@@ -139,7 +97,7 @@ const BluesteinPlan* bluestein_plan(std::size_t n) {
     auto plan = std::make_unique<BluesteinPlan>();
     plan->n = n;
     plan->m = next_power_of_two(2 * n - 1);
-    plan->sub = radix2_plan(plan->m);
+    plan->sub = pow2_plan(plan->m);
     plan->chirp.resize(n);
     for (std::size_t j = 0; j < n; ++j) {
       // j^2 mod 2n keeps the argument small; exp is 2n-periodic in j^2.
@@ -153,16 +111,22 @@ const BluesteinPlan* bluestein_plan(std::size_t n) {
       b[j] = std::conj(plan->chirp[j]);
       b[plan->m - j] = std::conj(plan->chirp[j]);
     }
-    radix2_run(*plan->sub, b.data(), /*inverse=*/false);
+    // The reciprocal-chirp spectrum is backend-independent reference data:
+    // build it with the scalar kernel so plans are identical no matter
+    // which backend happened to be active at first use.
+    fft::scalar_kernel().pow2_many(*plan->sub, b.data(), 1, plan->m,
+                                   /*inverse=*/false);
     plan->b_spectrum = std::move(b);
     return plan;
   });
 }
 
 /// Bluestein transform into caller scratch of length plan.m (no allocation,
-/// no plan-cache access).
+/// no plan-cache access).  Sub-FFTs and the length-m spectrum product run
+/// through the active kernel.
 void bluestein_run(const BluesteinPlan& plan, std::complex<double>* x,
                    bool inverse, std::complex<double>* scratch) {
+  const fft::FftKernel& kernel = fft::active_kernel();
   const std::size_t n = plan.n;
   std::complex<double>* a = scratch;
   for (std::size_t j = 0; j < n; ++j) {
@@ -171,15 +135,11 @@ void bluestein_run(const BluesteinPlan& plan, std::complex<double>* x,
     a[j] = x[j] * c;
   }
   for (std::size_t j = n; j < plan.m; ++j) a[j] = {0.0, 0.0};
-  radix2_run(*plan.sub, a, /*inverse=*/false);
-  if (inverse) {
-    // The inverse chirp spectrum is the conjugate-symmetric counterpart;
-    // conj(b_spectrum) transforms the convolution kernel accordingly.
-    for (std::size_t j = 0; j < plan.m; ++j) a[j] *= std::conj(plan.b_spectrum[j]);
-  } else {
-    for (std::size_t j = 0; j < plan.m; ++j) a[j] *= plan.b_spectrum[j];
-  }
-  radix2_run(*plan.sub, a, /*inverse=*/true);
+  kernel.pow2_many(*plan.sub, a, 1, plan.m, /*inverse=*/false);
+  // The inverse chirp spectrum is the conjugate-symmetric counterpart;
+  // conj(b_spectrum) transforms the convolution kernel accordingly.
+  kernel.cmul_inplace(a, plan.b_spectrum.data(), plan.m, /*conj_b=*/inverse);
+  kernel.pow2_many(*plan.sub, a, 1, plan.m, /*inverse=*/true);
   const double scale = 1.0 / static_cast<double>(plan.m);
   for (std::size_t k = 0; k < n; ++k) {
     const std::complex<double> c =
@@ -192,26 +152,11 @@ void transform_1d(std::complex<double>* x, std::size_t n, bool inverse) {
   if (n == 0) throw std::invalid_argument("fft: zero length");
   if (n == 1) return;
   if (is_power_of_two(n)) {
-    radix2_run(*radix2_plan(n), x, inverse);
+    fft::active_kernel().pow2_many(*pow2_plan(n), x, 1, n, inverse);
   } else {
     const BluesteinPlan* plan = bluestein_plan(n);
     std::vector<std::complex<double>> scratch(plan->m);
     bluestein_run(*plan, x, inverse, scratch.data());
-  }
-}
-
-void transform_2d(ComplexGrid& g, bool inverse) {
-  const std::size_t rows = g.rows();
-  const std::size_t cols = g.cols();
-  if (rows == 0 || cols == 0) return;
-  for (std::size_t r = 0; r < rows; ++r) {
-    transform_1d(g.data() + r * cols, cols, inverse);
-  }
-  std::vector<std::complex<double>> col(rows);
-  for (std::size_t c = 0; c < cols; ++c) {
-    for (std::size_t r = 0; r < rows; ++r) col[r] = g(r, c);
-    transform_1d(col.data(), rows, inverse);
-    for (std::size_t r = 0; r < rows; ++r) g(r, c) = col[r];
   }
 }
 
@@ -223,7 +168,7 @@ Fft1dPlan::Fft1dPlan(std::size_t n) : n_(n) {
   if (n == 0) throw std::invalid_argument("Fft1dPlan: zero length");
   if (n == 1) return;
   if (is_power_of_two(n)) {
-    radix2_ = radix2_plan(n);
+    pow2_ = pow2_plan(n);
   } else {
     bluestein_ = bluestein_plan(n);
   }
@@ -236,11 +181,35 @@ std::size_t Fft1dPlan::scratch_size() const noexcept {
 void Fft1dPlan::transform(std::complex<double>* data, bool inverse,
                           std::complex<double>* scratch) const {
   if (n_ <= 1) return;
-  if (radix2_ != nullptr) {
-    radix2_run(*radix2_, data, inverse);
+  if (pow2_ != nullptr) {
+    fft::active_kernel().pow2_many(*pow2_, data, 1, n_, inverse);
   } else {
     bluestein_run(*bluestein_, data, inverse, scratch);
   }
+}
+
+void Fft1dPlan::transform_many(std::complex<double>* data, std::size_t count,
+                               std::size_t stride, bool inverse,
+                               std::complex<double>* scratch) const {
+  if (n_ <= 1 || count == 0) return;
+  if (pow2_ != nullptr) {
+    fft::active_kernel().pow2_many(*pow2_, data, count, stride, inverse);
+  } else {
+    for (std::size_t r = 0; r < count; ++r) {
+      bluestein_run(*bluestein_, data + r * stride, inverse, scratch);
+    }
+  }
+}
+
+void Fft1dPlan::transform_columns(std::complex<double>* data,
+                                  std::size_t width, std::size_t stride,
+                                  bool inverse) const {
+  if (n_ <= 1 || width == 0) return;
+  if (pow2_ == nullptr) {
+    throw std::logic_error(
+        "Fft1dPlan::transform_columns: power-of-two lengths only");
+  }
+  fft::active_kernel().pow2_cols(*pow2_, data, width, stride, inverse);
 }
 
 Fft2dPlan::Fft2dPlan(std::size_t rows, std::size_t cols)
@@ -256,10 +225,25 @@ void Fft2dPlan::transform_row(std::complex<double>* row, bool inverse,
   row_plan_.transform(row, inverse, scratch + rows());
 }
 
+void Fft2dPlan::transform_rows(std::complex<double>* rows_ptr,
+                               std::size_t nrows, bool inverse,
+                               std::complex<double>* scratch) const {
+  row_plan_.transform_many(rows_ptr, nrows, cols(), inverse,
+                           scratch + rows());
+}
+
 void Fft2dPlan::transform_cols(ComplexGrid& g, bool inverse,
                                std::complex<double>* scratch) const {
   const std::size_t r_count = rows();
   const std::size_t c_count = cols();
+  if (col_plan_.is_pow2()) {
+    // All columns in lock-step over whole rows: unit-stride butterflies
+    // with broadcast twiddles, no gather/scatter.
+    col_plan_.transform_columns(g.data(), c_count, c_count, inverse);
+    return;
+  }
+  // Bluestein fallback (non-power-of-two row count): per-column
+  // gather/scatter through the leading `rows()` scratch elements.
   std::complex<double>* col = scratch;
   std::complex<double>* scratch_1d = scratch + r_count;
   for (std::size_t c = 0; c < c_count; ++c) {
@@ -269,26 +253,23 @@ void Fft2dPlan::transform_cols(ComplexGrid& g, bool inverse,
   }
 }
 
-void Fft2dPlan::forward(ComplexGrid& g, std::complex<double>* scratch) const {
+void Fft2dPlan::transform(ComplexGrid& g, bool inverse,
+                          std::complex<double>* scratch) const {
   if (g.rows() != rows() || g.cols() != cols()) {
     throw std::invalid_argument("Fft2dPlan: grid shape mismatch");
   }
-  for (std::size_t r = 0; r < rows(); ++r) {
-    transform_row(g.data() + r * cols(), /*inverse=*/false, scratch);
-  }
-  transform_cols(g, /*inverse=*/false, scratch);
+  transform_rows(g.data(), rows(), inverse, scratch);
+  transform_cols(g, inverse, scratch);
+}
+
+void Fft2dPlan::forward(ComplexGrid& g, std::complex<double>* scratch) const {
+  transform(g, /*inverse=*/false, scratch);
 }
 
 void Fft2dPlan::inverse(ComplexGrid& g, std::complex<double>* scratch) const {
-  if (g.rows() != rows() || g.cols() != cols()) {
-    throw std::invalid_argument("Fft2dPlan: grid shape mismatch");
-  }
-  for (std::size_t r = 0; r < rows(); ++r) {
-    transform_row(g.data() + r * cols(), /*inverse=*/true, scratch);
-  }
-  transform_cols(g, /*inverse=*/true, scratch);
-  const double scale = 1.0 / static_cast<double>(g.size());
-  for (auto& v : g) v *= scale;
+  transform(g, /*inverse=*/true, scratch);
+  fft::active_kernel().scale(g.data(), g.size(),
+                             1.0 / static_cast<double>(g.size()));
 }
 
 // ---- Free functions ---------------------------------------------------------
@@ -311,12 +292,26 @@ void ifft_1d(std::vector<std::complex<double>>& data) {
   ifft_1d(data.data(), data.size());
 }
 
+namespace {
+
+/// Shared implementation of the convenience 2-D entry points: plan handles
+/// (cache-locked at most twice) plus one scratch allocation.
+void transform_2d(ComplexGrid& g, bool inverse) {
+  if (g.rows() == 0 || g.cols() == 0) return;
+  const Fft2dPlan plan(g.rows(), g.cols());
+  std::vector<std::complex<double>> scratch(plan.scratch_size());
+  plan.transform(g, inverse, scratch.data());
+}
+
+}  // namespace
+
 void fft2(ComplexGrid& g) { transform_2d(g, /*inverse=*/false); }
 
 void ifft2(ComplexGrid& g) {
   transform_2d(g, /*inverse=*/true);
-  const double scale = 1.0 / static_cast<double>(g.size());
-  for (auto& v : g) v *= scale;
+  if (g.size() == 0) return;
+  fft::active_kernel().scale(g.data(), g.size(),
+                             1.0 / static_cast<double>(g.size()));
 }
 
 ComplexGrid fft2_copy(const ComplexGrid& g) {
@@ -342,8 +337,9 @@ ComplexGrid ifft2_adjoint(const ComplexGrid& g) {
   // adjoint(F^{-1}) = (1/N) * F
   ComplexGrid out = g;
   transform_2d(out, /*inverse=*/false);
-  const double scale = 1.0 / static_cast<double>(g.size());
-  for (auto& v : out) v *= scale;
+  if (out.size() == 0) return out;
+  fft::active_kernel().scale(out.data(), out.size(),
+                             1.0 / static_cast<double>(out.size()));
   return out;
 }
 

@@ -11,20 +11,30 @@
 //   adjoint(fft)  = N * ifft      adjoint(ifft) = (1/N) * fft
 // which `fft2_adjoint` / `ifft2_adjoint` implement directly.
 //
-// Power-of-two sizes use iterative radix-2 Cooley-Tukey with cached twiddle
-// plans; every other size falls back to Bluestein's chirp-z algorithm, so
-// any grid size is supported.  All entry points are thread-safe (the plan
-// cache is shared_mutex-guarded: lookups of existing plans take a shared
-// lock, first-time plan construction an exclusive one; transforms touch only
-// caller-owned data), which the per-source-point thread-pool parallelism
-// relies on.
+// Power-of-two sizes run an iterative radix-4 (plus one radix-2 stage for
+// odd log2) decimation-in-time transform; every other size falls back to
+// Bluestein's chirp-z algorithm, so any grid size is supported.  Butterfly
+// execution lives in the SIMD multi-backend kernel layer (fft/kernels/):
+// a scalar reference kernel plus AVX2 / NEON kernels selected once at
+// startup by runtime CPU detection, overridable via the BISMO_FFT_BACKEND
+// environment variable or fft::set_backend.  A fixed backend is bitwise
+// deterministic; different backends agree to <= 1e-12 relative error.
+//
+// All entry points are thread-safe (the plan cache is shared_mutex-guarded:
+// lookups of existing plans take a shared lock, first-time plan construction
+// an exclusive one; transforms touch only caller-owned data), which the
+// per-source-point thread-pool parallelism relies on.
 //
 // Hot paths should not pay even the shared lock per transform: `Fft1dPlan` /
 // `Fft2dPlan` resolve the cached plan data once at construction and then
 // execute transforms with zero lock acquisitions and zero heap allocations
-// (Bluestein scratch is caller-provided).  `sim::SimWorkspace` holds one
-// `Fft2dPlan` plus scratch per worker slot, which is how the imaging engines
-// keep their steady-state loops allocation- and lock-free.
+// (Bluestein scratch is caller-provided).  `Fft2dPlan` executes all row
+// transforms of a pass in one batched kernel call (`transform_rows`) and
+// runs the column pass with all columns in lock-step over whole rows
+// (any power-of-two row count; no per-column gather/scatter, no
+// transpose).  `sim::SimWorkspace` holds one `Fft2dPlan` plus scratch per
+// worker slot, which is how the imaging engines keep their steady-state
+// loops allocation- and lock-free.
 #ifndef BISMO_FFT_FFT_HPP
 #define BISMO_FFT_FFT_HPP
 
@@ -37,7 +47,7 @@
 namespace bismo {
 
 namespace fft_detail {
-struct Radix2Plan;
+struct Pow2Plan;
 struct BluesteinPlan;
 }  // namespace fft_detail
 
@@ -68,17 +78,38 @@ class Fft1dPlan {
   void transform(std::complex<double>* data, bool inverse,
                  std::complex<double>* scratch = nullptr) const;
 
+  /// In-place transforms of `count` rows of `length()` elements each,
+  /// consecutive rows `stride` elements apart.  Power-of-two lengths run
+  /// in one batched kernel call; Bluestein lengths loop per row.
+  void transform_many(std::complex<double>* data, std::size_t count,
+                      std::size_t stride, bool inverse,
+                      std::complex<double>* scratch = nullptr) const;
+
+  /// True when the planned length is a power of two (the lock-step column
+  /// transform below is available).
+  bool is_pow2() const noexcept { return n_ <= 1 || pow2_ != nullptr; }
+
+  /// In-place transforms of `width` interleaved sequences ("columns"):
+  /// element j of sequence c is `data[j * stride + c]`.  All columns run
+  /// in lock-step over whole rows (no gather/scatter, no transpose).
+  /// Power-of-two lengths only (`is_pow2()`).
+  void transform_columns(std::complex<double>* data, std::size_t width,
+                         std::size_t stride, bool inverse) const;
+
  private:
   std::size_t n_ = 0;
-  const fft_detail::Radix2Plan* radix2_ = nullptr;
+  const fft_detail::Pow2Plan* pow2_ = nullptr;
   const fft_detail::BluesteinPlan* bluestein_ = nullptr;
 };
 
 /// Preplanned 2-D DFT for a fixed (rows x cols) grid shape.
 ///
 /// The scratch buffer layout is: `rows()` elements for the column
-/// gather/scatter pass followed by the worst-case 1-D scratch.  A single
-/// buffer of `scratch_size()` elements serves every method.
+/// gather/scatter fallback (non-power-of-two row counts only) followed by
+/// the worst-case 1-D scratch.  A single buffer of `scratch_size()`
+/// elements serves every method.  Power-of-two row counts never touch the
+/// gather area: their column pass runs all columns in lock-step over whole
+/// rows through the batched kernel layer.
 class Fft2dPlan {
  public:
   Fft2dPlan() = default;
@@ -96,10 +127,22 @@ class Fft2dPlan {
   /// In-place 1/(rows*cols)-normalized inverse 2-D DFT.
   void inverse(ComplexGrid& g, std::complex<double>* scratch) const;
 
+  /// In-place unnormalized 2-D DFT (forward, or the conjugate transform
+  /// when `inverse`; no 1/N).  The adjoint building block.
+  void transform(ComplexGrid& g, bool inverse,
+                 std::complex<double>* scratch) const;
+
   /// In-place unnormalized 1-D transform of one row (length `cols()`).
   /// Building block for engines that skip all-zero rows.
   void transform_row(std::complex<double>* row, bool inverse,
                      std::complex<double>* scratch) const;
+
+  /// In-place unnormalized 1-D transforms of `nrows` *consecutive* grid
+  /// rows starting at `rows` (each `cols()` long, stride `cols()`), batched
+  /// into one kernel call for power-of-two widths.  Engines batch their
+  /// pass-band row runs through this instead of per-row calls.
+  void transform_rows(std::complex<double>* rows, std::size_t nrows,
+                      bool inverse, std::complex<double>* scratch) const;
 
   /// In-place unnormalized 1-D transforms of every column.
   void transform_cols(ComplexGrid& g, bool inverse,

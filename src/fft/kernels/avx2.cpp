@@ -1,0 +1,558 @@
+// AVX2+FMA kernel: the scalar algorithms executed 2 complex (4 doubles)
+// per vector, with FMA butterflies, SoA twiddle loads, and a vectorized
+// double-precision exp for the activation paths.
+//
+// This translation unit is the only one compiled with -mavx2 -mfma (see
+// CMakeLists.txt); everything else in the library stays at baseline flags,
+// and the registry only hands out this kernel when the CPU reports AVX2 at
+// runtime, so the binary remains runnable on non-AVX2 machines.
+#include "fft/kernels/kernel.hpp"
+
+#if defined(BISMO_FFT_AVX2)
+
+#include <immintrin.h>
+
+#include <cmath>
+#include <cstdint>
+#include <utility>
+
+namespace bismo::fft {
+namespace {
+
+using fft_detail::Pow2Plan;
+using fft_detail::Pow2Stage;
+
+// ---- complex helpers (2 complex doubles per __m256d, re/im interleaved) ----
+
+/// x * w elementwise over 2 complex lanes.
+inline __m256d cmul2(__m256d x, __m256d w) {
+  const __m256d xr = _mm256_movedup_pd(x);        // [ar ar ...]
+  const __m256d xi = _mm256_permute_pd(x, 0xF);   // [ai ai ...]
+  const __m256d ws = _mm256_permute_pd(w, 0x5);   // [wi wr ...]
+  return _mm256_fmaddsub_pd(xr, w, _mm256_mul_pd(xi, ws));
+}
+
+/// x * conj(w) elementwise over 2 complex lanes.
+inline __m256d cmul2_conj(__m256d x, __m256d w) {
+  const __m256d xr = _mm256_movedup_pd(x);
+  const __m256d xi = _mm256_permute_pd(x, 0xF);
+  const __m256d ws = _mm256_permute_pd(w, 0x5);
+  return _mm256_fmsubadd_pd(xi, ws, _mm256_mul_pd(xr, w));
+}
+
+/// Sign masks: negate the imaginary (odd) or real (even) slots.
+inline __m256d neg_odd_mask() {
+  return _mm256_castsi256_pd(_mm256_set_epi64x(
+      static_cast<long long>(0x8000000000000000ULL), 0,
+      static_cast<long long>(0x8000000000000000ULL), 0));
+}
+inline __m256d neg_even_mask() {
+  return _mm256_castsi256_pd(_mm256_set_epi64x(
+      0, static_cast<long long>(0x8000000000000000ULL), 0,
+      static_cast<long long>(0x8000000000000000ULL)));
+}
+
+// ---- power-of-two transform ------------------------------------------------
+
+void bit_reverse(const Pow2Plan& plan, std::complex<double>* x) {
+  const std::size_t n = plan.n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = plan.bitrev[i];
+    if (i < j) std::swap(x[i], x[j]);
+  }
+}
+
+/// Twiddle-free radix-2 stage over adjacent pairs: [a, b] -> [a+b, a-b].
+/// The difference is built as swap(v) - v so its high lane carries a - b
+/// (the low lane's b - a is discarded by the blend).
+void stage_radix2_leading(double* d, std::size_t n) {
+  for (std::size_t b = 0; b < 2 * n; b += 4) {
+    const __m256d v = _mm256_loadu_pd(d + b);
+    const __m256d sw = _mm256_permute2f128_pd(v, v, 0x01);
+    const __m256d s = _mm256_add_pd(v, sw);
+    const __m256d f = _mm256_sub_pd(sw, v);
+    _mm256_storeu_pd(d + b, _mm256_blend_pd(s, f, 0xC));
+  }
+}
+
+/// First radix-4 stage when q == 1 (all twiddles unity): one block of 4
+/// contiguous complex values per iteration.
+template <bool kInv>
+void stage_radix4_q1(double* d, std::size_t n) {
+  const __m256d mask = kInv ? neg_even_mask() : neg_odd_mask();
+  for (std::size_t b = 0; b < 2 * n; b += 8) {
+    const __m256d v01 = _mm256_loadu_pd(d + b);
+    const __m256d v23 = _mm256_loadu_pd(d + b + 4);
+    const __m256d s01 = _mm256_permute2f128_pd(v01, v01, 0x01);
+    const __m256d s23 = _mm256_permute2f128_pd(v23, v23, 0x01);
+    // ab = [x0+x1, x0-x1], cd = [x2+x3, x2-x3]; the differences are built
+    // as swap(v) - v so the blended high lane carries x0-x1 / x2-x3.
+    const __m256d ab = _mm256_blend_pd(_mm256_add_pd(v01, s01),
+                                       _mm256_sub_pd(s01, v01), 0xC);
+    const __m256d cd = _mm256_blend_pd(_mm256_add_pd(v23, s23),
+                                       _mm256_sub_pd(s23, v23), 0xC);
+    // Apply -i (forward) / +i (inverse) to the high lane (x2-x3 slot):
+    // keep lane 0, swap re/im in lane 1, then flip one sign.
+    const __m256d cd4 =
+        _mm256_xor_pd(_mm256_permute_pd(cd, 0x6),
+                      _mm256_blend_pd(_mm256_setzero_pd(), mask, 0xC));
+    _mm256_storeu_pd(d + b, _mm256_add_pd(ab, cd4));
+    _mm256_storeu_pd(d + b + 4, _mm256_sub_pd(ab, cd4));
+  }
+}
+
+/// General radix-4 stage (q >= 2, q even): two butterflies per iteration.
+template <bool kInv>
+void stage_radix4(const Pow2Stage& st, double* d, std::size_t n) {
+  const std::size_t q = st.q;
+  const auto* w1 = reinterpret_cast<const double*>(st.w1.data());
+  const auto* w2 = reinterpret_cast<const double*>(st.w2.data());
+  const auto* w3 = reinterpret_cast<const double*>(st.w3.data());
+  const __m256d mask = kInv ? neg_even_mask() : neg_odd_mask();
+  for (std::size_t base = 0; base < n; base += 4 * q) {
+    for (std::size_t k = 0; k < q; k += 2) {
+      const std::size_t i0 = 2 * (base + k);
+      const std::size_t i1 = i0 + 2 * q;
+      const std::size_t i2 = i1 + 2 * q;
+      const std::size_t i3 = i2 + 2 * q;
+      const __m256d x0 = _mm256_loadu_pd(d + i0);
+      const __m256d x1 = _mm256_loadu_pd(d + i1);
+      const __m256d x2 = _mm256_loadu_pd(d + i2);
+      const __m256d x3 = _mm256_loadu_pd(d + i3);
+      const __m256d W1 = _mm256_loadu_pd(w1 + 2 * k);
+      const __m256d W2 = _mm256_loadu_pd(w2 + 2 * k);
+      const __m256d W3 = _mm256_loadu_pd(w3 + 2 * k);
+      const __m256d t1 = kInv ? cmul2_conj(x1, W2) : cmul2(x1, W2);
+      const __m256d t2 = kInv ? cmul2_conj(x2, W1) : cmul2(x2, W1);
+      const __m256d t3 = kInv ? cmul2_conj(x3, W3) : cmul2(x3, W3);
+      const __m256d a = _mm256_add_pd(x0, t1);
+      const __m256d b = _mm256_sub_pd(x0, t1);
+      const __m256d c = _mm256_add_pd(t2, t3);
+      const __m256d dd = _mm256_sub_pd(t2, t3);
+      // -i*dd (forward) / +i*dd (inverse): swap re/im, flip one sign.
+      const __m256d d4 = _mm256_xor_pd(_mm256_permute_pd(dd, 0x5), mask);
+      _mm256_storeu_pd(d + i0, _mm256_add_pd(a, c));
+      _mm256_storeu_pd(d + i1, _mm256_add_pd(b, d4));
+      _mm256_storeu_pd(d + i2, _mm256_sub_pd(a, c));
+      _mm256_storeu_pd(d + i3, _mm256_sub_pd(b, d4));
+    }
+  }
+}
+
+template <bool kInv>
+void pow2_one(const Pow2Plan& plan, std::complex<double>* x) {
+  bit_reverse(plan, x);
+  auto* d = reinterpret_cast<double*>(x);
+  if (plan.leading_radix2) stage_radix2_leading(d, plan.n);
+  for (const Pow2Stage& st : plan.stages) {
+    if (st.q == 1) {
+      stage_radix4_q1<kInv>(d, plan.n);
+    } else {
+      stage_radix4<kInv>(st, d, plan.n);
+    }
+  }
+}
+
+void pow2_many(const Pow2Plan& plan, std::complex<double>* data,
+               std::size_t count, std::size_t stride, bool inverse) {
+  if (plan.n <= 1) return;
+  if (inverse) {
+    for (std::size_t r = 0; r < count; ++r) {
+      pow2_one<true>(plan, data + r * stride);
+    }
+  } else {
+    for (std::size_t r = 0; r < count; ++r) {
+      pow2_one<false>(plan, data + r * stride);
+    }
+  }
+}
+
+/// Lock-step column transform: butterflies sweep whole rows with broadcast
+/// twiddles, so every memory access is unit-stride and 2-complex wide.
+template <bool kInv>
+void pow2_cols_impl(const Pow2Plan& plan, std::complex<double>* data,
+                    std::size_t width, std::size_t stride) {
+  const std::size_t n = plan.n;
+  // Bit reversal as whole-row swaps.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = plan.bitrev[i];
+    if (i < j) {
+      std::swap_ranges(data + i * stride, data + i * stride + width,
+                       data + j * stride);
+    }
+  }
+  auto* base_d = reinterpret_cast<double*>(data);
+  const std::size_t dstride = 2 * stride;
+  const std::size_t dwidth = 2 * width;
+  if (plan.leading_radix2) {
+    for (std::size_t r = 0; r < n; r += 2) {
+      double* u = base_d + r * dstride;
+      double* v = u + dstride;
+      std::size_t c = 0;
+      for (; c + 4 <= dwidth; c += 4) {
+        const __m256d a = _mm256_loadu_pd(u + c);
+        const __m256d b = _mm256_loadu_pd(v + c);
+        _mm256_storeu_pd(u + c, _mm256_add_pd(a, b));
+        _mm256_storeu_pd(v + c, _mm256_sub_pd(a, b));
+      }
+      for (; c < dwidth; ++c) {
+        const double a = u[c];
+        const double b = v[c];
+        u[c] = a + b;
+        v[c] = a - b;
+      }
+    }
+  }
+  const double cs = kInv ? -1.0 : 1.0;
+  const __m256d mask = kInv ? neg_even_mask() : neg_odd_mask();
+  for (const Pow2Stage& st : plan.stages) {
+    const std::size_t q = st.q;
+    for (std::size_t base = 0; base < n; base += 4 * q) {
+      for (std::size_t k = 0; k < q; ++k) {
+        const __m256d W1 = _mm256_setr_pd(
+            st.w1[k].real(), cs * st.w1[k].imag(), st.w1[k].real(),
+            cs * st.w1[k].imag());
+        const __m256d W2 = _mm256_setr_pd(
+            st.w2[k].real(), cs * st.w2[k].imag(), st.w2[k].real(),
+            cs * st.w2[k].imag());
+        const __m256d W3 = _mm256_setr_pd(
+            st.w3[k].real(), cs * st.w3[k].imag(), st.w3[k].real(),
+            cs * st.w3[k].imag());
+        double* r0 = base_d + (base + k) * dstride;
+        double* r1 = r0 + q * dstride;
+        double* r2 = r1 + q * dstride;
+        double* r3 = r2 + q * dstride;
+        std::size_t c = 0;
+        for (; c + 4 <= dwidth; c += 4) {
+          const __m256d x0 = _mm256_loadu_pd(r0 + c);
+          const __m256d t1 = cmul2(_mm256_loadu_pd(r1 + c), W2);
+          const __m256d t2 = cmul2(_mm256_loadu_pd(r2 + c), W1);
+          const __m256d t3 = cmul2(_mm256_loadu_pd(r3 + c), W3);
+          const __m256d a = _mm256_add_pd(x0, t1);
+          const __m256d b = _mm256_sub_pd(x0, t1);
+          const __m256d cc = _mm256_add_pd(t2, t3);
+          const __m256d dd = _mm256_sub_pd(t2, t3);
+          const __m256d d4 = _mm256_xor_pd(_mm256_permute_pd(dd, 0x5), mask);
+          _mm256_storeu_pd(r0 + c, _mm256_add_pd(a, cc));
+          _mm256_storeu_pd(r1 + c, _mm256_add_pd(b, d4));
+          _mm256_storeu_pd(r2 + c, _mm256_sub_pd(a, cc));
+          _mm256_storeu_pd(r3 + c, _mm256_sub_pd(b, d4));
+        }
+        for (; c < dwidth; c += 2) {
+          const double w1r = st.w1[k].real();
+          const double w1i = cs * st.w1[k].imag();
+          const double w2r = st.w2[k].real();
+          const double w2i = cs * st.w2[k].imag();
+          const double w3r = st.w3[k].real();
+          const double w3i = cs * st.w3[k].imag();
+          const double t1r = r1[c] * w2r - r1[c + 1] * w2i;
+          const double t1i = r1[c] * w2i + r1[c + 1] * w2r;
+          const double t2r = r2[c] * w1r - r2[c + 1] * w1i;
+          const double t2i = r2[c] * w1i + r2[c + 1] * w1r;
+          const double t3r = r3[c] * w3r - r3[c + 1] * w3i;
+          const double t3i = r3[c] * w3i + r3[c + 1] * w3r;
+          const double ar = r0[c] + t1r;
+          const double ai = r0[c + 1] + t1i;
+          const double br = r0[c] - t1r;
+          const double bi = r0[c + 1] - t1i;
+          const double cr = t2r + t3r;
+          const double ci = t2i + t3i;
+          const double d4r = cs * (t2i - t3i);
+          const double d4i = -cs * (t2r - t3r);
+          r0[c] = ar + cr;
+          r0[c + 1] = ai + ci;
+          r1[c] = br + d4r;
+          r1[c + 1] = bi + d4i;
+          r2[c] = ar - cr;
+          r2[c + 1] = ai - ci;
+          r3[c] = br - d4r;
+          r3[c + 1] = bi - d4i;
+        }
+      }
+    }
+  }
+}
+
+void pow2_cols(const Pow2Plan& plan, std::complex<double>* data,
+               std::size_t width, std::size_t stride, bool inverse) {
+  if (plan.n <= 1 || width == 0) return;
+  if (inverse) {
+    pow2_cols_impl<true>(plan, data, width, stride);
+  } else {
+    pow2_cols_impl<false>(plan, data, width, stride);
+  }
+}
+
+// ---- elementwise hot loops -------------------------------------------------
+
+void scale(std::complex<double>* x, std::size_t n, double s) {
+  auto* d = reinterpret_cast<double*>(x);
+  const __m256d vs = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 4 <= 2 * n; i += 4) {
+    _mm256_storeu_pd(d + i, _mm256_mul_pd(_mm256_loadu_pd(d + i), vs));
+  }
+  for (; i < 2 * n; ++i) d[i] *= s;
+}
+
+void cmul(std::complex<double>* dst, const std::complex<double>* a,
+          const std::complex<double>* b, std::size_t n) {
+  auto* o = reinterpret_cast<double*>(dst);
+  const auto* p = reinterpret_cast<const double*>(a);
+  const auto* q = reinterpret_cast<const double*>(b);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm256_storeu_pd(o + 2 * i, cmul2(_mm256_loadu_pd(p + 2 * i),
+                                      _mm256_loadu_pd(q + 2 * i)));
+  }
+  for (; i < n; ++i) {
+    const double ar = p[2 * i];
+    const double ai = p[2 * i + 1];
+    const double br = q[2 * i];
+    const double bi = q[2 * i + 1];
+    o[2 * i] = ar * br - ai * bi;
+    o[2 * i + 1] = ar * bi + ai * br;
+  }
+}
+
+void cmul_inplace(std::complex<double>* dst, const std::complex<double>* b,
+                  std::size_t n, bool conj_b) {
+  auto* o = reinterpret_cast<double*>(dst);
+  const auto* q = reinterpret_cast<const double*>(b);
+  std::size_t i = 0;
+  if (conj_b) {
+    for (; i + 2 <= n; i += 2) {
+      _mm256_storeu_pd(o + 2 * i, cmul2_conj(_mm256_loadu_pd(o + 2 * i),
+                                             _mm256_loadu_pd(q + 2 * i)));
+    }
+  } else {
+    for (; i + 2 <= n; i += 2) {
+      _mm256_storeu_pd(o + 2 * i, cmul2(_mm256_loadu_pd(o + 2 * i),
+                                        _mm256_loadu_pd(q + 2 * i)));
+    }
+  }
+  const double cs = conj_b ? -1.0 : 1.0;
+  for (; i < n; ++i) {
+    const double ar = o[2 * i];
+    const double ai = o[2 * i + 1];
+    const double br = q[2 * i];
+    const double bi = cs * q[2 * i + 1];
+    o[2 * i] = ar * br - ai * bi;
+    o[2 * i + 1] = ar * bi + ai * br;
+  }
+}
+
+void caxpy(std::complex<double>* dst, const std::complex<double>* a,
+           std::size_t n, double s) {
+  auto* o = reinterpret_cast<double*>(dst);
+  const auto* p = reinterpret_cast<const double*>(a);
+  const __m256d vs = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 4 <= 2 * n; i += 4) {
+    _mm256_storeu_pd(
+        o + i, _mm256_fmadd_pd(vs, _mm256_loadu_pd(p + i),
+                               _mm256_loadu_pd(o + i)));
+  }
+  for (; i < 2 * n; ++i) o[i] += s * p[i];
+}
+
+void cmul_conj_axpy(std::complex<double>* dst, const std::complex<double>* a,
+                    const std::complex<double>* b, std::size_t n, double s) {
+  auto* o = reinterpret_cast<double*>(dst);
+  const auto* p = reinterpret_cast<const double*>(a);
+  const auto* q = reinterpret_cast<const double*>(b);
+  const __m256d vs = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m256d prod = cmul2_conj(_mm256_loadu_pd(p + 2 * i),
+                                    _mm256_loadu_pd(q + 2 * i));
+    _mm256_storeu_pd(
+        o + 2 * i,
+        _mm256_fmadd_pd(vs, prod, _mm256_loadu_pd(o + 2 * i)));
+  }
+  for (; i < n; ++i) {
+    const double ar = p[2 * i];
+    const double ai = p[2 * i + 1];
+    const double br = q[2 * i];
+    const double bi = -q[2 * i + 1];
+    o[2 * i] += s * (ar * br - ai * bi);
+    o[2 * i + 1] += s * (ar * bi + ai * br);
+  }
+}
+
+void accumulate_norm(double* acc, const std::complex<double>* a,
+                     std::size_t n, double w) {
+  const auto* p = reinterpret_cast<const double*>(a);
+  const __m256d vw = _mm256_set1_pd(w);
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d va = _mm256_loadu_pd(p + 2 * i);
+    const __m256d vb = _mm256_loadu_pd(p + 2 * i + 4);
+    // hadd pairs within lanes -> norms in order [0, 2, 1, 3]; restore.
+    const __m256d h = _mm256_hadd_pd(_mm256_mul_pd(va, va),
+                                     _mm256_mul_pd(vb, vb));
+    const __m256d norms = _mm256_permute4x64_pd(h, 0xD8);
+    _mm256_storeu_pd(acc + i,
+                     _mm256_fmadd_pd(vw, norms, _mm256_loadu_pd(acc + i)));
+  }
+  for (; i < n; ++i) {
+    acc[i] += w * (p[2 * i] * p[2 * i] + p[2 * i + 1] * p[2 * i + 1]);
+  }
+}
+
+double weighted_norm_sum(const double* w, const std::complex<double>* a,
+                         std::size_t n) {
+  const auto* p = reinterpret_cast<const double*>(a);
+  __m256d vacc = _mm256_setzero_pd();
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d va = _mm256_loadu_pd(p + 2 * i);
+    const __m256d vb = _mm256_loadu_pd(p + 2 * i + 4);
+    const __m256d h = _mm256_hadd_pd(_mm256_mul_pd(va, va),
+                                     _mm256_mul_pd(vb, vb));
+    const __m256d norms = _mm256_permute4x64_pd(h, 0xD8);
+    vacc = _mm256_fmadd_pd(_mm256_loadu_pd(w + i), norms, vacc);
+  }
+  alignas(32) double lanes[4];
+  _mm256_store_pd(lanes, vacc);
+  double acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+  for (; i < n; ++i) {
+    acc += w[i] * (p[2 * i] * p[2 * i] + p[2 * i + 1] * p[2 * i + 1]);
+  }
+  return acc;
+}
+
+void seed_cotangent(std::complex<double>* ga, const double* dldi,
+                    const std::complex<double>* a, std::size_t n, double s) {
+  auto* o = reinterpret_cast<double*>(ga);
+  const auto* p = reinterpret_cast<const double*>(a);
+  const __m256d vs = _mm256_set1_pd(s);
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    // Broadcast each dldi value across its complex lane: [d0 d0 d1 d1].
+    const __m128d dl = _mm_loadu_pd(dldi + i);
+    const __m256d f = _mm256_mul_pd(
+        vs, _mm256_permute4x64_pd(_mm256_castpd128_pd256(dl), 0x50));
+    _mm256_storeu_pd(o + 2 * i,
+                     _mm256_mul_pd(f, _mm256_loadu_pd(p + 2 * i)));
+  }
+  for (; i < n; ++i) {
+    const double f = s * dldi[i];
+    o[2 * i] = f * p[2 * i];
+    o[2 * i + 1] = f * p[2 * i + 1];
+  }
+}
+
+void add_real(double* acc, const double* x, std::size_t n) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(acc + i, _mm256_add_pd(_mm256_loadu_pd(acc + i),
+                                            _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) acc[i] += x[i];
+}
+
+void add_complex(std::complex<double>* acc, const std::complex<double>* x,
+                 std::size_t n) {
+  add_real(reinterpret_cast<double*>(acc),
+           reinterpret_cast<const double*>(x), 2 * n);
+}
+
+// ---- vectorized exp / sigmoid ----------------------------------------------
+
+/// Cephes-style double-precision exp over 4 lanes, ~1 ulp on the clamp
+/// range.  Used only with non-positive inputs by the sigmoid below, so
+/// overflow never occurs and deep underflow saturates harmlessly.
+inline __m256d exp256(__m256d x) {
+  const __m256d log2e = _mm256_set1_pd(1.4426950408889634074);
+  const __m256d ln2_hi = _mm256_set1_pd(6.93145751953125e-1);
+  const __m256d ln2_lo = _mm256_set1_pd(1.42860682030941723212e-6);
+  x = _mm256_min_pd(x, _mm256_set1_pd(709.0));
+  x = _mm256_max_pd(x, _mm256_set1_pd(-708.0));
+  const __m256d fx = _mm256_round_pd(
+      _mm256_mul_pd(x, log2e), _MM_FROUND_TO_NEAREST_INT | _MM_FROUND_NO_EXC);
+  x = _mm256_fnmadd_pd(fx, ln2_hi, x);
+  x = _mm256_fnmadd_pd(fx, ln2_lo, x);
+  const __m256d xx = _mm256_mul_pd(x, x);
+  // exp(r) = 1 + 2 r P(r^2) / (Q(r^2) - r P(r^2)) (Cephes rational).
+  __m256d px = _mm256_fmadd_pd(_mm256_set1_pd(1.26177193074810590878e-4), xx,
+                               _mm256_set1_pd(3.02994407707441961300e-2));
+  px = _mm256_fmadd_pd(px, xx, _mm256_set1_pd(9.99999999999999999910e-1));
+  px = _mm256_mul_pd(px, x);
+  __m256d qx = _mm256_fmadd_pd(_mm256_set1_pd(3.00198505138664455042e-6), xx,
+                               _mm256_set1_pd(2.52448340349684104192e-3));
+  qx = _mm256_fmadd_pd(qx, xx, _mm256_set1_pd(2.27265548208155028766e-1));
+  qx = _mm256_fmadd_pd(qx, xx, _mm256_set1_pd(2.00000000000000000005e0));
+  const __m256d e = _mm256_div_pd(px, _mm256_sub_pd(qx, px));
+  __m256d result =
+      _mm256_fmadd_pd(_mm256_set1_pd(2.0), e, _mm256_set1_pd(1.0));
+  // Scale by 2^fx via direct exponent-field addition.
+  const __m128i n32 = _mm256_cvtpd_epi32(fx);
+  const __m256i n64 = _mm256_slli_epi64(_mm256_cvtepi32_epi64(n32), 52);
+  result = _mm256_castsi256_pd(
+      _mm256_add_epi64(_mm256_castpd_si256(result), n64));
+  return result;
+}
+
+void sigmoid(double* out, const double* x, std::size_t n, double alpha,
+             double shift) {
+  const __m256d va = _mm256_set1_pd(alpha);
+  const __m256d vshift = _mm256_set1_pd(shift);
+  const __m256d zero = _mm256_setzero_pd();
+  const __m256d one = _mm256_set1_pd(1.0);
+  const __m256d abs_mask = _mm256_castsi256_pd(
+      _mm256_set1_epi64x(0x7FFFFFFFFFFFFFFFLL));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d z =
+        _mm256_mul_pd(va, _mm256_sub_pd(_mm256_loadu_pd(x + i), vshift));
+    // e = exp(-|z|) in (0, 1]; r = e/(1+e) = sigmoid(-|z|).
+    const __m256d e = exp256(
+        _mm256_sub_pd(zero, _mm256_and_pd(z, abs_mask)));
+    const __m256d r = _mm256_div_pd(e, _mm256_add_pd(one, e));
+    // z >= 0: 1 - r;  z < 0: r.
+    const __m256d neg = _mm256_cmp_pd(z, zero, _CMP_LT_OQ);
+    _mm256_storeu_pd(out + i,
+                     _mm256_blendv_pd(_mm256_sub_pd(one, r), r, neg));
+  }
+  for (; i < n; ++i) {
+    const double z = alpha * (x[i] - shift);
+    const double e = std::exp(-std::abs(z));
+    const double r = e / (1.0 + e);
+    out[i] = z < 0.0 ? r : 1.0 - r;
+  }
+}
+
+}  // namespace
+
+const FftKernel* avx2_kernel() {
+  static const FftKernel kernel = [] {
+    FftKernel k;
+    k.name = "avx2";
+    k.pow2_many = pow2_many;
+    k.pow2_cols = pow2_cols;
+    k.scale = scale;
+    k.cmul = cmul;
+    k.cmul_inplace = cmul_inplace;
+    k.caxpy = caxpy;
+    k.cmul_conj_axpy = cmul_conj_axpy;
+    k.accumulate_norm = accumulate_norm;
+    k.weighted_norm_sum = weighted_norm_sum;
+    k.seed_cotangent = seed_cotangent;
+    k.add_real = add_real;
+    k.add_complex = add_complex;
+    k.sigmoid = sigmoid;
+    return k;
+  }();
+  return &kernel;
+}
+
+}  // namespace bismo::fft
+
+#else  // !BISMO_FFT_AVX2
+
+namespace bismo::fft {
+const FftKernel* avx2_kernel() { return nullptr; }
+}  // namespace bismo::fft
+
+#endif

@@ -1,0 +1,143 @@
+// The SIMD multi-backend FFT kernel layer.
+//
+// Everything below the `Fft1dPlan`/`Fft2dPlan` planning API -- butterfly
+// execution, twiddle multiplication, and the per-pixel elementwise loops
+// that sit next to the transforms in the imaging engines -- runs through an
+// `FftKernel`: a table of function pointers with one implementation per
+// instruction set.  The scalar kernel is the portable reference; the AVX2
+// kernel (x86-64, selected when the CPU reports AVX2+FMA) and the NEON
+// kernel (aarch64) execute the same algorithms with wide arithmetic.
+//
+// Backend selection happens once at startup by runtime CPU detection and
+// can be overridden with the `BISMO_FFT_BACKEND` environment variable
+// (`scalar` | `avx2` | `neon` | `auto`) or programmatically via
+// `set_backend` (tests and benches switch backends this way).  Every
+// kernel is deterministic: a fixed backend produces bitwise-identical
+// results run to run and across thread counts, because the kernel is pure
+// straight-line arithmetic over caller-owned data.  Different backends
+// agree to tight tolerance (<= 1e-12 relative; see tests/
+// test_fft_kernels.cpp) but not bitwise -- FMA contraction reorders
+// roundoff -- which is why the backend name is surfaced in JobResult JSON
+// and bench reports.
+//
+// Switching backends while transforms are in flight is not supported; the
+// active-kernel pointer itself is an atomic, so a switch between jobs or
+// between test cases is safe.
+#ifndef BISMO_FFT_KERNELS_KERNEL_HPP
+#define BISMO_FFT_KERNELS_KERNEL_HPP
+
+#include <complex>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "fft/kernels/plan.hpp"
+
+namespace bismo::fft {
+
+/// One FFT/elementwise execution backend.  All pointers are non-null in a
+/// registered kernel; all routines are allocation-free and thread-safe
+/// (they touch only the arguments).
+struct FftKernel {
+  const char* name = nullptr;
+
+  /// In-place unnormalized DFTs of `count` rows of length `plan.n`, with
+  /// consecutive rows `stride` complex elements apart (`stride >= plan.n`).
+  /// The batched entry point lets 2-D transforms run every row pass in one
+  /// call, keeping the per-stage twiddle arrays hot across rows.
+  void (*pow2_many)(const fft_detail::Pow2Plan& plan,
+                    std::complex<double>* data, std::size_t count,
+                    std::size_t stride, bool inverse) = nullptr;
+
+  /// In-place unnormalized DFTs of `width` interleaved sequences
+  /// ("columns"): element j of sequence c is `data[j * stride + c]`.  The
+  /// column pass of a 2-D transform runs all columns in lock-step over
+  /// whole rows -- bit reversal becomes row swaps and every butterfly is a
+  /// unit-stride pass with broadcast twiddles, so no per-column
+  /// gather/scatter and no transpose.
+  void (*pow2_cols)(const fft_detail::Pow2Plan& plan,
+                    std::complex<double>* data, std::size_t width,
+                    std::size_t stride, bool inverse) = nullptr;
+
+  /// x[i] *= s.
+  void (*scale)(std::complex<double>* x, std::size_t n, double s) = nullptr;
+
+  /// dst[i] = a[i] * b[i].
+  void (*cmul)(std::complex<double>* dst, const std::complex<double>* a,
+               const std::complex<double>* b, std::size_t n) = nullptr;
+
+  /// dst[i] *= b[i], or dst[i] *= conj(b[i]) when `conj_b`.
+  void (*cmul_inplace)(std::complex<double>* dst,
+                       const std::complex<double>* b, std::size_t n,
+                       bool conj_b) = nullptr;
+
+  /// dst[i] += s * a[i].
+  void (*caxpy)(std::complex<double>* dst, const std::complex<double>* a,
+                std::size_t n, double s) = nullptr;
+
+  /// dst[i] += s * a[i] * conj(b[i]) -- the band-restricted adjoint
+  /// accumulation fused over one contiguous pass-band run.
+  void (*cmul_conj_axpy)(std::complex<double>* dst,
+                         const std::complex<double>* a,
+                         const std::complex<double>* b, std::size_t n,
+                         double s) = nullptr;
+
+  /// acc[i] += w * |a[i]|^2 -- the weighted intensity accumulation.
+  void (*accumulate_norm)(double* acc, const std::complex<double>* a,
+                          std::size_t n, double w) = nullptr;
+
+  /// sum_i w[i] * |a[i]|^2 -- the source-gradient reduction.
+  double (*weighted_norm_sum)(const double* w, const std::complex<double>* a,
+                              std::size_t n) = nullptr;
+
+  /// ga[i] = s * dldi[i] * a[i] (real grid times complex field) -- the
+  /// cotangent seed of the adjoint pass.
+  void (*seed_cotangent)(std::complex<double>* ga, const double* dldi,
+                         const std::complex<double>* a, std::size_t n,
+                         double s) = nullptr;
+
+  /// acc[i] += x[i] (slot-order reduction combine).
+  void (*add_real)(double* acc, const double* x, std::size_t n) = nullptr;
+  void (*add_complex)(std::complex<double>* acc,
+                      const std::complex<double>* x,
+                      std::size_t n) = nullptr;
+
+  /// out[i] = 1 / (1 + exp(-alpha * (x[i] - shift))) -- the Table 1 mask/
+  /// source activation (shift = 0) and the Eq. 6 resist threshold
+  /// (alpha = beta, shift = I_tr).  SIMD backends use a vectorized
+  /// double-precision exp accurate to ~1 ulp, so cross-backend agreement
+  /// holds to <= 1e-12 relative like the transforms.
+  void (*sigmoid)(double* out, const double* x, std::size_t n, double alpha,
+                  double shift) = nullptr;
+};
+
+/// Portable reference kernel (always available).
+const FftKernel& scalar_kernel();
+
+/// AVX2+FMA kernel, or null when not compiled in or the CPU lacks AVX2.
+const FftKernel* avx2_kernel();
+
+/// NEON kernel, or null when not built for aarch64.
+const FftKernel* neon_kernel();
+
+/// The active kernel: resolved once at first use from the CPU and the
+/// `BISMO_FFT_BACKEND` environment variable, then read via one atomic
+/// load per call site.
+const FftKernel& active_kernel();
+
+/// Name of the active backend ("scalar", "avx2", "neon").
+const char* backend_name();
+
+/// Backends usable on this machine (compiled in and CPU-supported),
+/// best-first; "scalar" is always present.
+std::vector<std::string> available_backends();
+
+/// Select a backend by name ("auto" re-runs detection).  Returns false --
+/// and leaves the active kernel unchanged -- when the name is unknown or
+/// the backend is unavailable on this machine.  Must not race with
+/// in-flight transforms.
+bool set_backend(const std::string& name);
+
+}  // namespace bismo::fft
+
+#endif  // BISMO_FFT_KERNELS_KERNEL_HPP

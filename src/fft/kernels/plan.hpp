@@ -1,0 +1,64 @@
+// Precomputed transform plans shared by every FFT execution kernel.
+//
+// A power-of-two transform is factored as an optional twiddle-free radix-2
+// stage (when log2(n) is odd) followed by radix-4 stages -- the classic
+// fused form of two radix-2 levels with 3 complex multiplies per 4-point
+// butterfly instead of 4.  Because a radix-4 stage is algebraically two
+// consecutive radix-2 stages, the input permutation stays the plain base-2
+// bit reversal.
+//
+// Twiddles are stored per stage in structure-of-arrays layout (w1/w2/w3,
+// indexed by the butterfly offset k) so vector kernels load them with
+// contiguous unit-stride reads instead of the strided `tw[k * step]` walk
+// of the old single-table radix-2 code.
+//
+// Plans are immutable after construction and cached for the process
+// lifetime (see fft.cpp); kernels only ever read them, which is what makes
+// backend switching safe while no transform is in flight.
+#ifndef BISMO_FFT_KERNELS_PLAN_HPP
+#define BISMO_FFT_KERNELS_PLAN_HPP
+
+#include <complex>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace bismo::fft_detail {
+
+/// One radix-4 stage: combines four length-`q` sub-DFTs into length `4q`.
+/// For butterfly offset k in [0, q), with W = exp(-2*pi*i / (4q)):
+///   w1[k] = W^k, w2[k] = W^2k, w3[k] = W^3k  (forward; kernels conjugate
+/// on the fly for inverse transforms).
+struct Pow2Stage {
+  std::size_t q = 0;
+  std::vector<std::complex<double>> w1;
+  std::vector<std::complex<double>> w2;
+  std::vector<std::complex<double>> w3;
+};
+
+/// Full plan for a power-of-two length n: base-2 bit-reversal permutation,
+/// an optional leading radix-2 stage (log2(n) odd), then radix-4 stages in
+/// increasing-q order.
+struct Pow2Plan {
+  std::size_t n = 0;
+  bool leading_radix2 = false;
+  std::vector<std::uint32_t> bitrev;
+  std::vector<Pow2Stage> stages;
+};
+
+/// Bluestein (chirp-z) data for arbitrary length n: chirp[j] =
+/// exp(-i*pi*j^2/n) (index squared reduced mod 2n to avoid precision loss)
+/// and the forward FFT of the zero-padded reciprocal chirp at length m.
+/// `sub` is the power-of-two plan for the padded length, resolved at build
+/// time so executing a Bluestein transform never touches the plan cache.
+struct BluesteinPlan {
+  std::size_t n = 0;
+  std::size_t m = 0;  // padded power-of-two length >= 2n-1
+  std::vector<std::complex<double>> chirp;       // length n
+  std::vector<std::complex<double>> b_spectrum;  // length m
+  const Pow2Plan* sub = nullptr;
+};
+
+}  // namespace bismo::fft_detail
+
+#endif  // BISMO_FFT_KERNELS_PLAN_HPP

@@ -1,0 +1,299 @@
+// Portable reference kernel: the exact algorithms of the SIMD backends in
+// plain double arithmetic.  This backend defines the baseline every other
+// backend is validated against (<= 1e-12 relative agreement) and is the
+// fallback on CPUs without AVX2.
+//
+// Butterflies operate on raw re/im pairs: std::complex multiplication
+// routes through overflow-safe helpers the optimizer cannot always elide;
+// the manual form is the classic butterfly.  The layout cast is sanctioned
+// by the standard's array-oriented access guarantee for std::complex.
+#include "fft/kernels/kernel.hpp"
+
+#include <cmath>
+#include <utility>
+
+namespace bismo::fft {
+namespace {
+
+using fft_detail::Pow2Plan;
+using fft_detail::Pow2Stage;
+
+void pow2_one(const Pow2Plan& plan, std::complex<double>* x, bool inverse) {
+  const std::size_t n = plan.n;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = plan.bitrev[i];
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  auto* d = reinterpret_cast<double*>(x);
+  if (plan.leading_radix2) {
+    // Twiddle-free radix-2 stage over adjacent pairs.
+    for (std::size_t b = 0; b < 2 * n; b += 4) {
+      const double ur = d[b];
+      const double ui = d[b + 1];
+      const double vr = d[b + 2];
+      const double vi = d[b + 3];
+      d[b] = ur + vr;
+      d[b + 1] = ui + vi;
+      d[b + 2] = ur - vr;
+      d[b + 3] = ui - vi;
+    }
+  }
+  // Conjugating the twiddles (and flipping -i to +i in the radix-4
+  // butterfly) turns the forward transform into the unnormalized inverse.
+  const double cs = inverse ? -1.0 : 1.0;
+  for (const Pow2Stage& st : plan.stages) {
+    const std::size_t q = st.q;
+    const auto* w1 = reinterpret_cast<const double*>(st.w1.data());
+    const auto* w2 = reinterpret_cast<const double*>(st.w2.data());
+    const auto* w3 = reinterpret_cast<const double*>(st.w3.data());
+    for (std::size_t base = 0; base < n; base += 4 * q) {
+      for (std::size_t k = 0; k < q; ++k) {
+        const std::size_t i0 = 2 * (base + k);
+        const std::size_t i1 = i0 + 2 * q;
+        const std::size_t i2 = i1 + 2 * q;
+        const std::size_t i3 = i2 + 2 * q;
+        // 3-multiply radix-4 butterfly: t1 = x1*W^2, t2 = x2*W^1,
+        // t3 = x3*W^3 (sub-DFTs are bit-reverse ordered, hence W^2 on x1).
+        const double t1r = d[i1] * w2[2 * k] - d[i1 + 1] * (cs * w2[2 * k + 1]);
+        const double t1i = d[i1] * (cs * w2[2 * k + 1]) + d[i1 + 1] * w2[2 * k];
+        const double t2r = d[i2] * w1[2 * k] - d[i2 + 1] * (cs * w1[2 * k + 1]);
+        const double t2i = d[i2] * (cs * w1[2 * k + 1]) + d[i2 + 1] * w1[2 * k];
+        const double t3r = d[i3] * w3[2 * k] - d[i3 + 1] * (cs * w3[2 * k + 1]);
+        const double t3i = d[i3] * (cs * w3[2 * k + 1]) + d[i3 + 1] * w3[2 * k];
+        const double ar = d[i0] + t1r;
+        const double ai = d[i0 + 1] + t1i;
+        const double br = d[i0] - t1r;
+        const double bi = d[i0 + 1] - t1i;
+        const double cr = t2r + t3r;
+        const double ci = t2i + t3i;
+        // dd = t2 - t3; d4 = -i*dd forward, +i*dd inverse.
+        const double d4r = cs * (t2i - t3i);
+        const double d4i = -cs * (t2r - t3r);
+        d[i0] = ar + cr;
+        d[i0 + 1] = ai + ci;
+        d[i1] = br + d4r;
+        d[i1 + 1] = bi + d4i;
+        d[i2] = ar - cr;
+        d[i2 + 1] = ai - ci;
+        d[i3] = br - d4r;
+        d[i3 + 1] = bi - d4i;
+      }
+    }
+  }
+}
+
+void pow2_many(const Pow2Plan& plan, std::complex<double>* data,
+               std::size_t count, std::size_t stride, bool inverse) {
+  if (plan.n <= 1) return;
+  for (std::size_t r = 0; r < count; ++r) {
+    pow2_one(plan, data + r * stride, inverse);
+  }
+}
+
+void pow2_cols(const Pow2Plan& plan, std::complex<double>* data,
+               std::size_t width, std::size_t stride, bool inverse) {
+  const std::size_t n = plan.n;
+  if (n <= 1 || width == 0) return;
+  // Bit reversal as whole-row swaps.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = plan.bitrev[i];
+    if (i < j) {
+      std::swap_ranges(data + i * stride, data + i * stride + width,
+                       data + j * stride);
+    }
+  }
+  auto* base_d = reinterpret_cast<double*>(data);
+  const std::size_t dstride = 2 * stride;
+  if (plan.leading_radix2) {
+    for (std::size_t r = 0; r < n; r += 2) {
+      double* u = base_d + r * dstride;
+      double* v = u + dstride;
+      for (std::size_t c = 0; c < 2 * width; ++c) {
+        const double a = u[c];
+        const double b = v[c];
+        u[c] = a + b;
+        v[c] = a - b;
+      }
+    }
+  }
+  const double cs = inverse ? -1.0 : 1.0;
+  for (const Pow2Stage& st : plan.stages) {
+    const std::size_t q = st.q;
+    for (std::size_t base = 0; base < n; base += 4 * q) {
+      for (std::size_t k = 0; k < q; ++k) {
+        const double w1r = st.w1[k].real();
+        const double w1i = cs * st.w1[k].imag();
+        const double w2r = st.w2[k].real();
+        const double w2i = cs * st.w2[k].imag();
+        const double w3r = st.w3[k].real();
+        const double w3i = cs * st.w3[k].imag();
+        double* r0 = base_d + (base + k) * dstride;
+        double* r1 = r0 + q * dstride;
+        double* r2 = r1 + q * dstride;
+        double* r3 = r2 + q * dstride;
+        for (std::size_t c = 0; c < 2 * width; c += 2) {
+          const double t1r = r1[c] * w2r - r1[c + 1] * w2i;
+          const double t1i = r1[c] * w2i + r1[c + 1] * w2r;
+          const double t2r = r2[c] * w1r - r2[c + 1] * w1i;
+          const double t2i = r2[c] * w1i + r2[c + 1] * w1r;
+          const double t3r = r3[c] * w3r - r3[c + 1] * w3i;
+          const double t3i = r3[c] * w3i + r3[c + 1] * w3r;
+          const double ar = r0[c] + t1r;
+          const double ai = r0[c + 1] + t1i;
+          const double br = r0[c] - t1r;
+          const double bi = r0[c + 1] - t1i;
+          const double cr = t2r + t3r;
+          const double ci = t2i + t3i;
+          const double d4r = cs * (t2i - t3i);
+          const double d4i = -cs * (t2r - t3r);
+          r0[c] = ar + cr;
+          r0[c + 1] = ai + ci;
+          r1[c] = br + d4r;
+          r1[c + 1] = bi + d4i;
+          r2[c] = ar - cr;
+          r2[c + 1] = ai - ci;
+          r3[c] = br - d4r;
+          r3[c + 1] = bi - d4i;
+        }
+      }
+    }
+  }
+}
+
+void scale(std::complex<double>* x, std::size_t n, double s) {
+  auto* d = reinterpret_cast<double*>(x);
+  for (std::size_t i = 0; i < 2 * n; ++i) d[i] *= s;
+}
+
+void cmul(std::complex<double>* dst, const std::complex<double>* a,
+          const std::complex<double>* b, std::size_t n) {
+  auto* o = reinterpret_cast<double*>(dst);
+  const auto* p = reinterpret_cast<const double*>(a);
+  const auto* q = reinterpret_cast<const double*>(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ar = p[2 * i];
+    const double ai = p[2 * i + 1];
+    const double br = q[2 * i];
+    const double bi = q[2 * i + 1];
+    o[2 * i] = ar * br - ai * bi;
+    o[2 * i + 1] = ar * bi + ai * br;
+  }
+}
+
+void cmul_inplace(std::complex<double>* dst, const std::complex<double>* b,
+                  std::size_t n, bool conj_b) {
+  auto* o = reinterpret_cast<double*>(dst);
+  const auto* q = reinterpret_cast<const double*>(b);
+  const double cs = conj_b ? -1.0 : 1.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ar = o[2 * i];
+    const double ai = o[2 * i + 1];
+    const double br = q[2 * i];
+    const double bi = cs * q[2 * i + 1];
+    o[2 * i] = ar * br - ai * bi;
+    o[2 * i + 1] = ar * bi + ai * br;
+  }
+}
+
+void caxpy(std::complex<double>* dst, const std::complex<double>* a,
+           std::size_t n, double s) {
+  auto* o = reinterpret_cast<double*>(dst);
+  const auto* p = reinterpret_cast<const double*>(a);
+  for (std::size_t i = 0; i < 2 * n; ++i) o[i] += s * p[i];
+}
+
+void cmul_conj_axpy(std::complex<double>* dst, const std::complex<double>* a,
+                    const std::complex<double>* b, std::size_t n, double s) {
+  auto* o = reinterpret_cast<double*>(dst);
+  const auto* p = reinterpret_cast<const double*>(a);
+  const auto* q = reinterpret_cast<const double*>(b);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ar = p[2 * i];
+    const double ai = p[2 * i + 1];
+    const double br = q[2 * i];
+    const double bi = -q[2 * i + 1];
+    o[2 * i] += s * (ar * br - ai * bi);
+    o[2 * i + 1] += s * (ar * bi + ai * br);
+  }
+}
+
+void accumulate_norm(double* acc, const std::complex<double>* a,
+                     std::size_t n, double w) {
+  const auto* p = reinterpret_cast<const double*>(a);
+  for (std::size_t i = 0; i < n; ++i) {
+    acc[i] += w * (p[2 * i] * p[2 * i] + p[2 * i + 1] * p[2 * i + 1]);
+  }
+}
+
+double weighted_norm_sum(const double* w, const std::complex<double>* a,
+                         std::size_t n) {
+  const auto* p = reinterpret_cast<const double*>(a);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    acc += w[i] * (p[2 * i] * p[2 * i] + p[2 * i + 1] * p[2 * i + 1]);
+  }
+  return acc;
+}
+
+void seed_cotangent(std::complex<double>* ga, const double* dldi,
+                    const std::complex<double>* a, std::size_t n, double s) {
+  auto* o = reinterpret_cast<double*>(ga);
+  const auto* p = reinterpret_cast<const double*>(a);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = s * dldi[i];
+    o[2 * i] = f * p[2 * i];
+    o[2 * i + 1] = f * p[2 * i + 1];
+  }
+}
+
+void add_real(double* acc, const double* x, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) acc[i] += x[i];
+}
+
+void add_complex(std::complex<double>* acc, const std::complex<double>* x,
+                 std::size_t n) {
+  auto* o = reinterpret_cast<double*>(acc);
+  const auto* p = reinterpret_cast<const double*>(x);
+  for (std::size_t i = 0; i < 2 * n; ++i) o[i] += p[i];
+}
+
+void sigmoid(double* out, const double* x, std::size_t n, double alpha,
+             double shift) {
+  // Numerically safe logistic, branch-matched to bismo::sigmoid so the
+  // scalar backend reproduces the seed bitwise.
+  for (std::size_t i = 0; i < n; ++i) {
+    const double z = alpha * (x[i] - shift);
+    if (z >= 0.0) {
+      out[i] = 1.0 / (1.0 + std::exp(-z));
+    } else {
+      const double e = std::exp(z);
+      out[i] = e / (1.0 + e);
+    }
+  }
+}
+
+}  // namespace
+
+const FftKernel& scalar_kernel() {
+  static const FftKernel kernel = [] {
+    FftKernel k;
+    k.name = "scalar";
+    k.pow2_many = pow2_many;
+    k.pow2_cols = pow2_cols;
+    k.scale = scale;
+    k.cmul = cmul;
+    k.cmul_inplace = cmul_inplace;
+    k.caxpy = caxpy;
+    k.cmul_conj_axpy = cmul_conj_axpy;
+    k.accumulate_norm = accumulate_norm;
+    k.weighted_norm_sum = weighted_norm_sum;
+    k.seed_cotangent = seed_cotangent;
+    k.add_real = add_real;
+    k.add_complex = add_complex;
+    k.sigmoid = sigmoid;
+    return k;
+  }();
+  return kernel;
+}
+
+}  // namespace bismo::fft

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "fft/fft.hpp"
+#include "fft/kernels/kernel.hpp"
 #include "math/grid_ops.hpp"
 #include "sim/imaging_model.hpp"
 
@@ -104,11 +105,9 @@ SmoGradient AbbeGradientEngine::evaluate(const RealGrid& theta_m,
   if (request.source) {
     field_hook = [&](std::size_t item, sim::SimWorkspace& ws) {
       const ComplexGrid& a = ws.field();
-      double acc = 0.0;
-      for (std::size_t i = 0; i < a.size(); ++i) {
-        acc += dldi[i] * std::norm(a[i]);
-      }
-      gj_raw[items[item].component] = acc;
+      gj_raw[items[item].component] =
+          fft::active_kernel().weighted_norm_sum(dldi.data(), a.data(),
+                                                 a.size());
     };
   }
 

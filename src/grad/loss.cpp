@@ -1,7 +1,9 @@
 #include "grad/loss.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
+#include "fft/kernels/kernel.hpp"
 #include "math/grid_ops.hpp"
 
 namespace bismo {
@@ -21,33 +23,56 @@ SmoLoss evaluate_smo_loss(const RealGrid& intensity, const RealGrid& target,
   const double d_min_sq = pw.dose_min * pw.dose_min;
   const double d_max_sq = pw.dose_max * pw.dose_max;
 
+  // Resist activations as vectorized sigmoid passes (the exp-heavy part of
+  // the loss), processed in fixed-size blocks: the dose-corner activations
+  // live in small stack buffers consumed immediately by the fused
+  // loss/gradient arithmetic, so the pass allocates nothing and retains
+  // nothing while the kernel calls stay long enough to amortize.  The
+  // dose-scaled intensity is staged first so the sigmoid argument
+  // beta * (d^2*I - I_tr) is formed exactly as the old fused scalar loop
+  // did; block order matches flat element order, so sums are bitwise
+  // independent of the block size.
+  const fft::FftKernel& kernel = fft::active_kernel();
+  kernel.sigmoid(out.z_nominal.data(), intensity.data(), n, resist.beta,
+                 resist.threshold);
+
+  constexpr std::size_t kBlock = 2048;
+  double z_min[kBlock];
+  double z_max[kBlock];
+  double scaled[kBlock];
+
   const double inv_n = 1.0 / static_cast<double>(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const double base = intensity[i];
-    const double t = target[i];
+  for (std::size_t start = 0; start < n; start += kBlock) {
+    const std::size_t len = std::min(kBlock, n - start);
+    for (std::size_t i = 0; i < len; ++i) {
+      scaled[i] = d_min_sq * intensity[start + i];
+    }
+    kernel.sigmoid(z_min, scaled, len, resist.beta, resist.threshold);
+    for (std::size_t i = 0; i < len; ++i) {
+      scaled[i] = d_max_sq * intensity[start + i];
+    }
+    kernel.sigmoid(z_max, scaled, len, resist.beta, resist.threshold);
 
-    const double z_nom = sigmoid(resist.beta * (base - resist.threshold));
-    const double z_min =
-        sigmoid(resist.beta * (d_min_sq * base - resist.threshold));
-    const double z_max =
-        sigmoid(resist.beta * (d_max_sq * base - resist.threshold));
-    out.z_nominal[i] = z_nom;
+    for (std::size_t i = 0; i < len; ++i) {
+      const double t = target[start + i];
+      const double z_nom = out.z_nominal[start + i];
 
-    const double diff_nom = z_nom - t;
-    const double diff_min = z_min - t;
-    const double diff_max = z_max - t;
-    out.l2 += diff_nom * diff_nom;
-    out.pvb += diff_min * diff_min + diff_max * diff_max;
+      const double diff_nom = z_nom - t;
+      const double diff_min = z_min[i] - t;
+      const double diff_max = z_max[i] - t;
+      out.l2 += diff_nom * diff_nom;
+      out.pvb += diff_min * diff_min + diff_max * diff_max;
 
-    if (want_backprop) {
-      // dL/dI = (1/Npx) sum_c w_c * 2 * diff_c * beta * Z_c(1-Z_c) * d_c^2.
-      double g = weights.gamma * 2.0 * diff_nom * resist.beta * z_nom *
-                 (1.0 - z_nom);
-      g += weights.eta * 2.0 * diff_min * resist.beta * z_min *
-           (1.0 - z_min) * d_min_sq;
-      g += weights.eta * 2.0 * diff_max * resist.beta * z_max *
-           (1.0 - z_max) * d_max_sq;
-      out.dl_di[i] = g * inv_n;
+      if (want_backprop) {
+        // dL/dI = (1/Npx) sum_c w_c * 2 * diff_c * beta * Z_c(1-Z_c) * d_c^2.
+        double g = weights.gamma * 2.0 * diff_nom * resist.beta * z_nom *
+                   (1.0 - z_nom);
+        g += weights.eta * 2.0 * diff_min * resist.beta * z_min[i] *
+             (1.0 - z_min[i]) * d_min_sq;
+        g += weights.eta * 2.0 * diff_max * resist.beta * z_max[i] *
+             (1.0 - z_max[i]) * d_max_sq;
+        out.dl_di[start + i] = g * inv_n;
+      }
     }
   }
   out.l2 *= inv_n;

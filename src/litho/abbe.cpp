@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "fft/fft.hpp"
+#include "fft/kernels/kernel.hpp"
 #include "parallel/reduction.hpp"
 
 namespace bismo {
@@ -33,27 +34,50 @@ AbbeImaging::AbbeImaging(const OpticsConfig& optics,
   }
 }
 
+void AbbeImaging::apply_passband(const ComplexGrid& o,
+                                 std::size_t point_index,
+                                 ComplexGrid& out) const {
+  const PassBand& band = passbands_[point_index];
+  if (!out.same_shape(o)) out.resize(o.rows(), o.cols());
+  out.fill(std::complex<double>{});
+  const fft::FftKernel& kernel = fft::active_kernel();
+  if (band.values.empty()) {
+    sim::for_each_index_run(
+        band.indices.data(), band.indices.size(),
+        [&](std::size_t, std::uint32_t start, std::size_t len) {
+          std::copy(o.data() + start, o.data() + start + len,
+                    out.data() + start);
+        });
+  } else {
+    sim::for_each_index_run(
+        band.indices.data(), band.indices.size(),
+        [&](std::size_t k, std::uint32_t start, std::size_t len) {
+          kernel.cmul(out.data() + start, o.data() + start,
+                      band.values.data() + k, len);
+        });
+  }
+}
+
 ComplexGrid AbbeImaging::apply_passband(const ComplexGrid& o,
                                         std::size_t point_index) const {
-  const PassBand& band = passbands_[point_index];
-  ComplexGrid masked(o.rows(), o.cols());
-  if (band.values.empty()) {
-    for (std::uint32_t idx : band.indices) masked[idx] = o[idx];
-  } else {
-    for (std::size_t k = 0; k < band.indices.size(); ++k) {
-      masked[band.indices[k]] = o[band.indices[k]] * band.values[k];
-    }
-  }
+  ComplexGrid masked;
+  apply_passband(o, point_index, masked);
   return masked;
+}
+
+void AbbeImaging::field(const ComplexGrid& o, std::size_t point_index,
+                        ComplexGrid& out) const {
+  if (o.rows() != optics_.mask_dim || o.cols() != optics_.mask_dim) {
+    throw std::invalid_argument("AbbeImaging::field: spectrum shape mismatch");
+  }
+  apply_passband(o, point_index, out);
+  ifft2(out);
 }
 
 ComplexGrid AbbeImaging::field(const ComplexGrid& o,
                                std::size_t point_index) const {
-  if (o.rows() != optics_.mask_dim || o.cols() != optics_.mask_dim) {
-    throw std::invalid_argument("AbbeImaging::field: spectrum shape mismatch");
-  }
-  ComplexGrid a = apply_passband(o, point_index);
-  ifft2(a);
+  ComplexGrid a;
+  field(o, point_index, a);
   return a;
 }
 
@@ -86,8 +110,12 @@ AbbeAerial AbbeImaging::aerial(const ComplexGrid& o, const RealGrid& j,
   }
 
   // Collect the contributing points first so the pooled pass is dense.
-  std::vector<std::uint32_t> active;
-  std::vector<double> weights;
+  // The index/weight lists live in the workspace set, so steady-state
+  // evaluations reuse their capacity instead of reallocating per call.
+  std::vector<std::uint32_t>& active = workspaces_->component_scratch();
+  std::vector<double>& weights = workspaces_->weight_scratch();
+  active.clear();
+  weights.clear();
   active.reserve(pts.size());
   weights.reserve(pts.size());
   double total_weight = 0.0;

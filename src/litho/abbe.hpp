@@ -68,6 +68,14 @@ class AbbeImaging : public sim::ImagingModel {
   /// Allocating reference path; hot loops use `field_into`.
   ComplexGrid field(const ComplexGrid& o, std::size_t point_index) const;
 
+  /// Out-param variant: writes the field into `out` (resized on first
+  /// use, reused afterwards), so the per-call grid allocation is gone.
+  /// The transform itself still runs through the convenience `ifft2`
+  /// (one internal scratch allocation per call); hot loops use
+  /// `field_into`, which is fully allocation-free via the workspace.
+  void field(const ComplexGrid& o, std::size_t point_index,
+             ComplexGrid& out) const;
+
   /// Sparse pass-band of one source point.
   const PassBand& passband(std::size_t point_index) const {
     return passbands_[point_index];
@@ -80,6 +88,12 @@ class AbbeImaging : public sim::ImagingModel {
   /// Apply a pass-band mask to a spectrum: out = H_sigma .* o (dense out).
   ComplexGrid apply_passband(const ComplexGrid& o,
                              std::size_t point_index) const;
+
+  /// Scratch-reusing variant of `apply_passband`: `out` is resized to the
+  /// spectrum shape on first use and reused afterwards; the band product
+  /// runs through the vectorized kernel layer over contiguous bin runs.
+  void apply_passband(const ComplexGrid& o, std::size_t point_index,
+                      ComplexGrid& out) const;
 
   // ---- sim::ImagingModel ----
   std::size_t grid_dim() const noexcept override { return optics_.mask_dim; }

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "fft/fft.hpp"
+#include "fft/kernels/kernel.hpp"
 #include "linalg/cmatrix.hpp"
 #include "linalg/hermitian_eig.hpp"
 #include "parallel/reduction.hpp"
@@ -168,17 +169,28 @@ HopkinsImaging::HopkinsImaging(const OpticsConfig& optics,
   }
 }
 
-ComplexGrid HopkinsImaging::field(const ComplexGrid& o, std::size_t q) const {
+void HopkinsImaging::field(const ComplexGrid& o, std::size_t q,
+                           ComplexGrid& out) const {
   if (o.rows() != optics_.mask_dim || o.cols() != optics_.mask_dim) {
     throw std::invalid_argument("HopkinsImaging::field: spectrum shape");
   }
   const auto& band = socs_.band();
-  const auto& kernel = socs_.kernels().at(q);
-  ComplexGrid masked(o.rows(), o.cols());
-  for (std::size_t b = 0; b < band.size(); ++b) {
-    masked[band[b]] = o[band[b]] * kernel.values[b];
-  }
-  ifft2(masked);
+  const auto& socs_kernel = socs_.kernels().at(q);
+  if (!out.same_shape(o)) out.resize(o.rows(), o.cols());
+  out.fill(std::complex<double>{});
+  const fft::FftKernel& kernel = fft::active_kernel();
+  sim::for_each_index_run(
+      band.data(), band.size(),
+      [&](std::size_t k, std::uint32_t start, std::size_t len) {
+        kernel.cmul(out.data() + start, o.data() + start,
+                    socs_kernel.values.data() + k, len);
+      });
+  ifft2(out);
+}
+
+ComplexGrid HopkinsImaging::field(const ComplexGrid& o, std::size_t q) const {
+  ComplexGrid masked;
+  field(o, q, masked);
   return masked;
 }
 
@@ -204,8 +216,12 @@ RealGrid HopkinsImaging::aerial(const ComplexGrid& o) const {
   const auto& kernels = socs_.kernels();
   if (kernels.empty()) return RealGrid(o.rows(), o.cols(), 0.0);
 
-  std::vector<std::uint32_t> comps(kernels.size());
-  std::vector<double> weights(kernels.size());
+  // Component/weight lists live in the workspace set so steady-state
+  // evaluations reuse their capacity instead of reallocating per call.
+  std::vector<std::uint32_t>& comps = workspaces_->component_scratch();
+  std::vector<double>& weights = workspaces_->weight_scratch();
+  comps.resize(kernels.size());
+  weights.resize(kernels.size());
   for (std::size_t q = 0; q < kernels.size(); ++q) {
     comps[q] = static_cast<std::uint32_t>(q);
     weights[q] = kernels[q].weight;

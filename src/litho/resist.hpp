@@ -4,6 +4,7 @@
 #ifndef BISMO_LITHO_RESIST_HPP
 #define BISMO_LITHO_RESIST_HPP
 
+#include "fft/kernels/kernel.hpp"
 #include "math/grid2d.hpp"
 #include "math/grid_ops.hpp"
 
@@ -15,11 +16,13 @@ struct ResistModel {
   double threshold = 0.225;  ///< I_tr, the standard ILT print threshold
                              ///< (clear-field intensity normalized to 1.0)
 
-  /// Continuous resist image Z from aerial intensity I.
+  /// Continuous resist image Z from aerial intensity I, as one vectorized
+  /// sigmoid pass through the active SIMD kernel.
   RealGrid apply(const RealGrid& intensity) const {
-    return map(intensity, [this](double i) {
-      return sigmoid(beta * (i - threshold));
-    });
+    RealGrid z(intensity.rows(), intensity.cols());
+    fft::active_kernel().sigmoid(z.data(), intensity.data(), intensity.size(),
+                                 beta, threshold);
+    return z;
   }
 
   /// dZ/dI evaluated from the already-computed resist image.

@@ -12,6 +12,7 @@
 #include <limits>
 #include <stdexcept>
 
+#include "fft/kernels/kernel.hpp"
 #include "math/grid2d.hpp"
 
 namespace bismo {
@@ -111,8 +112,13 @@ inline double sigmoid_derivative_from_output(double s) { return s * (1.0 - s); }
 
 /// Elementwise sigmoid with steepness `alpha`: out = sigmoid(alpha * x).
 /// This is the activation of Table 1 for both mask and source parameters.
+/// Runs through the active SIMD kernel backend (fft/kernels/), like every
+/// other dense sigmoid pass in the system.
 inline RealGrid sigmoid_activation(const RealGrid& theta, double alpha) {
-  return map(theta, [alpha](double x) { return sigmoid(alpha * x); });
+  RealGrid out(theta.rows(), theta.cols());
+  fft::active_kernel().sigmoid(out.data(), theta.data(), theta.size(), alpha,
+                               /*shift=*/0.0);
+  return out;
 }
 
 /// Elementwise cosine activation out = 0.5 * (1 + cos(pi * (1 - x))) mapped

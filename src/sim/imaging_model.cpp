@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "fft/kernels/kernel.hpp"
 #include "parallel/reduction.hpp"
 
 namespace bismo::sim {
@@ -43,19 +44,17 @@ RealGrid accumulate_intensity(const ImagingModel& model, const ComplexGrid& o,
     ws.ensure(n);
     RealGrid& acc = ws.intensity_accum();
     acc.fill(0.0);
+    const fft::FftKernel& kernel = fft::active_kernel();
     for (std::size_t k = range.begin; k < range.end; ++k) {
       model.field_into(o, comps[k], ws);
-      const ComplexGrid& a = ws.field();
-      const double w = weights[k];
-      for (std::size_t i = 0; i < acc.size(); ++i) {
-        acc[i] += w * std::norm(a[i]);
-      }
+      kernel.accumulate_norm(acc.data(), ws.field().data(), acc.size(),
+                             weights[k]);
     }
   };
   run_slots(model, slots, task);
-  for (std::size_t s = 0; s < slots; ++s) {
-    out += model.workspaces().at(s).intensity_accum();
-  }
+  combine_slot_partials(out, slots, [&](std::size_t s) -> const RealGrid& {
+    return model.workspaces().at(s).intensity_accum();
+  });
   return out;
 }
 
@@ -74,16 +73,15 @@ ComplexGrid adjoint_pass(
     SimWorkspace& ws = model.workspaces().at(s);
     ws.ensure(n);
     if (any_mask) ws.adjoint_accum().fill(std::complex<double>{});
+    const fft::FftKernel& kernel = fft::active_kernel();
     for (std::size_t k = range.begin; k < range.end; ++k) {
       const AdjointItem& item = items[k];
       model.field_into(o, item.component, ws);
       if (field_hook) field_hook(k, ws);
       if (item.mask) {
-        const ComplexGrid& a = ws.field();
         ComplexGrid& ga = ws.cotangent();
-        for (std::size_t i = 0; i < ga.size(); ++i) {
-          ga[i] = item.scale * dldi[i] * a[i];
-        }
+        kernel.seed_cotangent(ga.data(), dldi.data(), ws.field().data(),
+                              ga.size(), item.scale);
         model.adjoint_accumulate(item.component, ws, ws.adjoint_accum());
       }
     }
@@ -92,9 +90,9 @@ ComplexGrid adjoint_pass(
 
   if (!any_mask) return ComplexGrid{};
   ComplexGrid go = model.workspaces().at(0).adjoint_accum();
-  for (std::size_t s = 1; s < slots; ++s) {
-    go += model.workspaces().at(s).adjoint_accum();
-  }
+  combine_slot_partials(go, slots - 1, [&](std::size_t s) -> const ComplexGrid& {
+    return model.workspaces().at(s + 1).adjoint_accum();
+  });
   return go;
 }
 

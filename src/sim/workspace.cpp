@@ -2,13 +2,14 @@
 
 #include <algorithm>
 
+#include "fft/kernels/kernel.hpp"
+
 namespace bismo::sim {
 
 void SimWorkspace::ensure(std::size_t dim) {
   if (dim_ == dim) return;
   dim_ = dim;
   plan_ = Fft2dPlan(dim, dim);
-  spectrum_.resize(dim, dim);  // resize zero-fills: invariant established
   field_.resize(dim, dim);
   cotangent_.resize(dim, dim);
   adjoint_accum_.resize(dim, dim);
@@ -22,39 +23,38 @@ void SimWorkspace::sparse_inverse_field(const ComplexGrid& o,
                                         std::size_t nbins,
                                         const std::uint32_t* band_rows,
                                         std::size_t nrows) {
+  const fft::FftKernel& kernel = fft::active_kernel();
   const std::size_t n = dim_;
+
+  // Assemble the band-masked spectrum directly in the field buffer: zero
+  // everything, then write each contiguous bin run as one vectorized
+  // product (pass-band rows are contiguous intervals, so runs are long).
+  field_.fill(std::complex<double>{});
   if (vals != nullptr) {
-    for (std::size_t k = 0; k < nbins; ++k) {
-      spectrum_[bins[k]] = o[bins[k]] * vals[k];
-    }
+    for_each_index_run(bins, nbins,
+                 [&](std::size_t k, std::uint32_t start, std::size_t len) {
+                   kernel.cmul(field_.data() + start, o.data() + start,
+                               vals + k, len);
+                 });
   } else {
-    for (std::size_t k = 0; k < nbins; ++k) spectrum_[bins[k]] = o[bins[k]];
+    for_each_index_run(bins, nbins,
+                 [&](std::size_t, std::uint32_t start, std::size_t len) {
+                   std::copy(o.data() + start, o.data() + start + len,
+                             field_.data() + start);
+                 });
   }
 
-  // Row pass: occupied rows are copied out of the sparse assembly buffer and
-  // transformed in the field buffer; all other rows are exactly zero.
+  // Row pass: every run of adjacent occupied rows is one batched kernel
+  // call; all other rows are exactly zero and are skipped.
   std::complex<double>* scratch = fft_scratch_.data();
-  std::size_t next = 0;
-  for (std::size_t r = 0; r < n; ++r) {
-    std::complex<double>* row = field_.data() + r * n;
-    if (next < nrows && band_rows[next] == r) {
-      const std::complex<double>* src = spectrum_.data() + r * n;
-      std::copy(src, src + n, row);
-      plan_.transform_row(row, /*inverse=*/true, scratch);
-      ++next;
-    } else {
-      std::fill(row, row + n, std::complex<double>{});
-    }
-  }
+  for_each_index_run(band_rows, nrows,
+               [&](std::size_t, std::uint32_t row, std::size_t count) {
+                 plan_.transform_rows(field_.data() + std::size_t{row} * n,
+                                      count, /*inverse=*/true, scratch);
+               });
   plan_.transform_cols(field_, /*inverse=*/true, scratch);
-  const double scale = 1.0 / static_cast<double>(field_.size());
-  for (auto& v : field_) v *= scale;
-
-  // Restore the all-zero invariant of the assembly buffer (O(band), not
-  // O(grid)).
-  for (std::size_t k = 0; k < nbins; ++k) {
-    spectrum_[bins[k]] = std::complex<double>{};
-  }
+  kernel.scale(field_.data(), field_.size(),
+               1.0 / static_cast<double>(field_.size()));
 }
 
 void SimWorkspace::adjoint_band_accumulate(const std::uint32_t* bins,
@@ -63,24 +63,32 @@ void SimWorkspace::adjoint_band_accumulate(const std::uint32_t* bins,
                                            const std::uint32_t* band_rows,
                                            std::size_t nrows,
                                            ComplexGrid& go) {
+  const fft::FftKernel& kernel = fft::active_kernel();
   const std::size_t n = dim_;
   std::complex<double>* scratch = fft_scratch_.data();
   // adjoint(IFFT2) = (1/N) FFT2, evaluated columns-then-rows so the row pass
-  // can be restricted to the rows whose output bins are actually read.
+  // can be restricted to the rows whose output bins are actually read --
+  // batched over runs of adjacent occupied rows.
   plan_.transform_cols(cotangent_, /*inverse=*/false, scratch);
-  for (std::size_t k = 0; k < nrows; ++k) {
-    plan_.transform_row(cotangent_.data() + band_rows[k] * n,
-                        /*inverse=*/false, scratch);
-  }
+  for_each_index_run(band_rows, nrows,
+               [&](std::size_t, std::uint32_t row, std::size_t count) {
+                 plan_.transform_rows(cotangent_.data() + std::size_t{row} * n,
+                                      count, /*inverse=*/false, scratch);
+               });
   const double inv_n = 1.0 / static_cast<double>(cotangent_.size());
   if (vals != nullptr) {
-    for (std::size_t k = 0; k < nbins; ++k) {
-      go[bins[k]] += std::conj(vals[k]) * (cotangent_[bins[k]] * inv_n);
-    }
+    for_each_index_run(bins, nbins,
+                 [&](std::size_t k, std::uint32_t start, std::size_t len) {
+                   kernel.cmul_conj_axpy(go.data() + start,
+                                         cotangent_.data() + start, vals + k,
+                                         len, inv_n);
+                 });
   } else {
-    for (std::size_t k = 0; k < nbins; ++k) {
-      go[bins[k]] += cotangent_[bins[k]] * inv_n;
-    }
+    for_each_index_run(bins, nbins,
+                 [&](std::size_t, std::uint32_t start, std::size_t len) {
+                   kernel.caxpy(go.data() + start, cotangent_.data() + start,
+                                len, inv_n);
+                 });
   }
 }
 

@@ -19,6 +19,12 @@
 //     for rows whose output bins are never read.
 // Both skips are exact (transforms of/into all-zero rows), so results are
 // bitwise identical for any thread count and independent of the skip.
+//
+// The skip-row logic feeds the *batched* kernel layer: sorted pass-band
+// bins and occupied rows decompose into contiguous runs, so the band
+// product and adjoint accumulation run as unit-stride vectorized kernel
+// ops and every run of adjacent occupied rows becomes one batched
+// `Fft2dPlan::transform_rows` call.
 #ifndef BISMO_SIM_WORKSPACE_HPP
 #define BISMO_SIM_WORKSPACE_HPP
 
@@ -32,6 +38,23 @@
 #include "parallel/reduction.hpp"
 
 namespace bismo::sim {
+
+/// Invoke `fn(list_pos, start_value, length)` for every maximal run of
+/// consecutive values in a sorted index list.  Pass-band bin lists and
+/// occupied-row lists are sorted, so their runs are exactly the
+/// unit-stride segments the vectorized kernels and batched row transforms
+/// consume.
+template <typename Fn>
+inline void for_each_index_run(const std::uint32_t* idx, std::size_t n,
+                               const Fn& fn) {
+  std::size_t k = 0;
+  while (k < n) {
+    std::size_t j = k + 1;
+    while (j < n && idx[j] == idx[j - 1] + 1) ++j;
+    fn(k, idx[k], j - k);
+    k = j;
+  }
+}
 
 /// Scratch state for one worker slot of an imaging-engine loop.
 ///
@@ -90,7 +113,6 @@ class SimWorkspace {
  private:
   std::size_t dim_ = 0;
   Fft2dPlan plan_;
-  ComplexGrid spectrum_;  ///< sparse assembly buffer, all-zero between calls
   ComplexGrid field_;
   ComplexGrid cotangent_;
   ComplexGrid adjoint_accum_;
@@ -99,8 +121,11 @@ class SimWorkspace {
 };
 
 /// One workspace per deterministic-reduction slot, shared by every engine
-/// that evaluates a given problem.  The set itself is stateless glue; the
-/// engines guarantee one task per slot, so no locking is needed.
+/// that evaluates a given problem, plus the per-evaluation scratch lists
+/// the engines' top-level passes reuse across calls.  The set itself is
+/// stateless glue; the engines guarantee one task per slot and one
+/// top-level evaluation at a time (the thread pool's one-dispatch-at-a-time
+/// contract), so no locking is needed.
 class WorkspaceSet {
  public:
   WorkspaceSet() : slots_(kReductionSlots) {}
@@ -110,8 +135,21 @@ class WorkspaceSet {
 
   std::size_t size() const noexcept { return slots_.size(); }
 
+  /// Reusable active-component index list for `aerial`-style passes
+  /// (capacity persists across evaluations, so steady state is
+  /// allocation-free).  Contents are owned by the running evaluation.
+  std::vector<std::uint32_t>& component_scratch() noexcept {
+    return component_scratch_;
+  }
+
+  /// Reusable component-weight list running in lockstep with
+  /// `component_scratch`.
+  std::vector<double>& weight_scratch() noexcept { return weight_scratch_; }
+
  private:
   std::vector<SimWorkspace> slots_;
+  std::vector<std::uint32_t> component_scratch_;
+  std::vector<double> weight_scratch_;
 };
 
 /// Sorted distinct grid rows (index / cols) covered by sorted flat bin

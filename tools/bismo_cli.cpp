@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "api/api.hpp"
+#include "fft/kernels/kernel.hpp"
 #include "io/grid_io.hpp"
 #include "io/image_io.hpp"
 #include "math/grid_ops.hpp"
@@ -56,6 +57,8 @@ using namespace bismo;
       "  --halo-nm H        tile overlap margin in nm (default 128)\n"
       "  --lanes N          tiles optimized at once (default: auto)\n"
       "  --threads N        worker threads (default: hardware)\n"
+      "  --fft-backend B    FFT kernel backend: scalar | avx2 | neon | auto\n"
+      "                     (default: auto; also via BISMO_FFT_BACKEND)\n"
       "  --json PATH        write results JSON ('-' for stdout)\n"
       "  --csv PATH         write a per-job summary CSV (status, queue/run\n"
       "                     latency, metrics)\n"
@@ -302,6 +305,19 @@ int main(int argc, char** argv) {
     else if (flag == "--halo-nm") halo_nm = std::strtod(next().c_str(), nullptr);
     else if (flag == "--lanes") lanes = std::strtoul(next().c_str(), nullptr, 10);
     else if (flag == "--threads") threads = std::strtoul(next().c_str(), nullptr, 10);
+    else if (flag == "--fft-backend") {
+      const std::string backend = next();
+      if (!bismo::fft::set_backend(backend)) {
+        std::fprintf(stderr,
+                     "unknown or unavailable FFT backend \"%s\" (available:",
+                     backend.c_str());
+        for (const std::string& name : bismo::fft::available_backends()) {
+          std::fprintf(stderr, " %s", name.c_str());
+        }
+        std::fprintf(stderr, ")\n");
+        return 2;
+      }
+    }
     else if (flag == "--json") json_path = next();
     else if (flag == "--csv") csv_path = next();
     else if (flag == "--progress") progress = true;
