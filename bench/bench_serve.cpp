@@ -1,6 +1,7 @@
-// Serving-throughput bench (src/api/ async job service): a mixed stream of
-// heterogeneous jobs (two mask shapes, alternating) is pushed through the
-// session under two scheduling regimes:
+// Serving-throughput bench (src/api/ async job service).
+//
+// Part 1 -- classic stream of heterogeneous medium jobs (two mask shapes,
+// alternating) under two scheduling regimes:
 //
 //   transient   -- the pre-service pattern: a FRESH Session per wave of
 //                  jobs, so every wave pays lane/pool spin-up, cold FFT
@@ -12,17 +13,37 @@
 //                  leasing warm pools and warm per-shape WorkspaceSets
 //                  across jobs.
 //
-// The job mix alternates shapes so the workspace cache is genuinely
-// contended (a warm set only helps the same shape).  Reported per regime:
-// jobs/sec over the whole stream; for the persistent service additionally
-// p50/p95 queue latency (JobResult::queued_ms) -- the serving-observability
-// counters this API exposes end to end.  Expect persistent >= transient
-// everywhere; the gap widens with wave count and shape reuse.
+// Part 2 -- sustained load: two producer threads push a stream of tiny
+// sub-millisecond jobs (32 x 32 clip, one outer step) through the sharded
+// lock-free dispatch queue, the regime this PR's serving core targets:
 //
-// Results land in BENCH_serve.json.
+//   sustained_legacy        -- the pre-sharding shape of the persistent
+//                              scheduler: one exact-FIFO queue shard, no
+//                              stealing, no coalescing, no warm pools,
+//   sustained               -- the full serving core: sharded rings, work
+//                              stealing, same-key job coalescing,
+//   sustained_overload_shed -- offered load far above a small queue
+//                              capacity under the shed-oldest admission
+//                              policy (bounded queue latency, some jobs
+//                              sacrificed),
+//   sustained_overload_rej  -- same overload under the reject policy
+//                              (fail-fast admission).
+//
+// Reported per regime: jobs/sec at saturation, p50/p95/p99 queue latency
+// (JobResult::queued_ms), steal/coalesce/shed/reject counters.  The bench
+// FAILS (non-zero exit) when the sustained serving core is not at least
+// 5x the classic persistent regime's jobs/sec -- the cheap-job dispatch
+// overhead is exactly what the sharded queue exists to kill -- or when
+// warm lane pools are never reused.
+//
+// Results land in BENCH_serve.json.  `--quick` shrinks the sustained
+// streams for CI smoke runs.
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include "api/api.hpp"
@@ -47,12 +68,83 @@ double percentile(std::vector<double> values, double p) {
   return values[lo] * (1.0 - frac) + values[hi] * frac;
 }
 
+/// Outcome of one sustained-load run.
+struct SustainedResult {
+  double seconds = 0.0;
+  std::size_t ok = 0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  bismo::api::Session::Stats stats;
+
+  double jobs_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(ok) / seconds : 0.0;
+  }
+};
+
+/// Two producer threads race `stream` into one session; every handle is
+/// then harvested.  Queue-latency percentiles cover completed jobs only
+/// (shed/rejected jobs never ran).
+SustainedResult run_sustained(const bismo::api::Session::Options& options,
+                              const std::vector<bismo::api::JobSpec>& stream,
+                              const bismo::api::SubmitOptions& submit) {
+  using namespace bismo;
+  api::Session session(options);
+  const std::size_t n = stream.size();
+  std::vector<api::JobHandle> handles(n);
+
+  const auto t0 = Clock::now();
+  constexpr std::size_t kProducers = 2;
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t j = p; j < n; j += kProducers) {
+        handles[j] = session.submit(stream[j], submit);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+
+  SustainedResult out;
+  std::vector<double> queued_ms;
+  queued_ms.reserve(n);
+  for (const api::JobHandle& handle : handles) {
+    const api::JobResult& r = handle.wait();
+    // Shed victims finalize cancelled with an empty error; only jobs that
+    // actually completed count as served.
+    if (r.ok() && !r.cancelled()) {
+      ++out.ok;
+      queued_ms.push_back(r.queued_ms);
+    }
+  }
+  out.seconds = seconds_since(t0);
+  out.p50_ms = percentile(queued_ms, 0.50);
+  out.p95_ms = percentile(queued_ms, 0.95);
+  out.p99_ms = percentile(queued_ms, 0.99);
+  out.stats = session.stats();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace bismo;
   using namespace bismo::bench;
-  BenchArgs args = BenchArgs::parse(argc, argv);
+
+  // --quick is this bench's own flag; strip it before the shared parser
+  // (which exits on flags it does not know).
+  bool quick = false;
+  std::vector<char*> filtered;
+  filtered.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+      continue;
+    }
+    filtered.push_back(argv[i]);
+  }
+  BenchArgs args =
+      BenchArgs::parse(static_cast<int>(filtered.size()), filtered.data());
   args.print_banner("serve: persistent lane scheduler vs transient pools");
 
   // A 16-job stream in 4 waves of 4, alternating between two shapes so
@@ -144,6 +236,92 @@ int main(int argc, char** argv) {
               persistent_jps / transient_jps, stats.workspace_reuses,
               stats.lane_pool_reuses);
 
+  // -- Part 2: sustained tiny-job load through the sharded queue. --------
+  const std::size_t sustained_jobs = quick ? 96 : 384;
+  std::vector<api::JobSpec> tiny;
+  tiny.reserve(sustained_jobs);
+  for (std::size_t j = 0; j < sustained_jobs; ++j) {
+    api::JobSpec spec;
+    spec.name = "tiny" + std::to_string(j);
+    spec.method = Method::kAbbeMo;
+    spec.config = args.config();
+    spec.clip = api::ClipSource::generated(DatasetKind::kIccad13, args.seed);
+    spec.config_overrides = {"mask_dim=32", "source_dim=5", "socs_kernels=4",
+                             "outer_steps=1"};
+    spec.evaluate_solution = false;
+    tiny.push_back(std::move(spec));
+  }
+  // Identical shape across the stream: one fingerprint keys them all.
+  const std::uint64_t tiny_key = tiny.front().coalesce_fingerprint();
+  {
+    api::Session::Options warm;
+    warm.threads = args.threads;
+    api::Session warmup(warm);
+    (void)warmup.run(tiny[0]);
+  }
+
+  // The pre-sharding scheduler shape: one FIFO shard behind one mutex
+  // path, no stealing, no coalescing, no warm pool cache.
+  api::Session::Options legacy;
+  legacy.threads = args.threads;
+  legacy.work_stealing = false;
+  legacy.coalesce_limit = 1;
+  legacy.pool_cache_cap = 0;
+  const SustainedResult legacy_run =
+      run_sustained(legacy, tiny, api::SubmitOptions{});
+
+  // The full serving core (defaults) + the shared coalesce key.
+  api::Session::Options serving;
+  serving.threads = args.threads;
+  api::SubmitOptions coalesced_submit;
+  coalesced_submit.coalesce_key = tiny_key;
+  const SustainedResult serving_run =
+      run_sustained(serving, tiny, coalesced_submit);
+
+  // Overload: offered load far above a small queue capacity.
+  api::Session::Options overload = serving;
+  overload.queue_shards = 1;
+  overload.queue_capacity = quick ? 16 : 32;
+  api::SubmitOptions shed_submit = coalesced_submit;
+  shed_submit.queue_policy = api::QueuePolicy::kShedOldest;
+  const SustainedResult shed_run = run_sustained(overload, tiny, shed_submit);
+  api::SubmitOptions reject_submit = coalesced_submit;
+  reject_submit.queue_policy = api::QueuePolicy::kReject;
+  const SustainedResult reject_run =
+      run_sustained(overload, tiny, reject_submit);
+
+  std::printf(
+      "sustained_legacy        : %7.1f jobs/sec (%zu/%zu ok, %.2f s), "
+      "p50 %.2f p95 %.2f p99 %.2f ms\n",
+      legacy_run.jobs_per_sec(), legacy_run.ok, sustained_jobs,
+      legacy_run.seconds, legacy_run.p50_ms, legacy_run.p95_ms,
+      legacy_run.p99_ms);
+  std::printf(
+      "sustained               : %7.1f jobs/sec (%zu/%zu ok, %.2f s), "
+      "p50 %.2f p95 %.2f p99 %.2f ms, steals %zu coalesced %zu pools %zu\n",
+      serving_run.jobs_per_sec(), serving_run.ok, sustained_jobs,
+      serving_run.seconds, serving_run.p50_ms, serving_run.p95_ms,
+      serving_run.p99_ms, serving_run.stats.steals,
+      serving_run.stats.coalesced_jobs, serving_run.stats.lane_pool_reuses);
+  std::printf(
+      "sustained_overload_shed : %7.1f jobs/sec (%zu/%zu ok, shed %zu), "
+      "p50 %.2f p95 %.2f p99 %.2f ms\n",
+      shed_run.jobs_per_sec(), shed_run.ok, sustained_jobs,
+      shed_run.stats.jobs_shed, shed_run.p50_ms, shed_run.p95_ms,
+      shed_run.p99_ms);
+  std::printf(
+      "sustained_overload_rej  : %7.1f jobs/sec (%zu/%zu ok, rejected %zu), "
+      "p50 %.2f p95 %.2f p99 %.2f ms\n",
+      reject_run.jobs_per_sec(), reject_run.ok, sustained_jobs,
+      reject_run.stats.jobs_rejected, reject_run.p50_ms, reject_run.p95_ms,
+      reject_run.p99_ms);
+  std::printf("sustained vs legacy     : %5.2fx | vs classic persistent: "
+              "%5.1fx (gate >= 5x)\n",
+              serving_run.jobs_per_sec() /
+                  std::max(legacy_run.jobs_per_sec(), 1e-9),
+              serving_run.jobs_per_sec() /
+                  std::max(persistent_jps, 1e-9));
+
   BenchReport report("serve", args);
   report.add("transient", {{"jobs_per_sec", transient_jps},
                            {"seconds", transient_seconds},
@@ -158,8 +336,68 @@ int main(int argc, char** argv) {
                static_cast<double>(stats.workspace_reuses)},
               {"lane_pool_reuses",
                static_cast<double>(stats.lane_pool_reuses)}});
+  const auto sustained_row = [](const SustainedResult& r) {
+    return std::vector<std::pair<std::string, double>>{
+        {"jobs_per_sec", r.jobs_per_sec()},
+        {"seconds", r.seconds},
+        {"ok", static_cast<double>(r.ok)},
+        {"queue_p50_ms", r.p50_ms},
+        {"queue_p95_ms", r.p95_ms},
+        {"queue_p99_ms", r.p99_ms},
+        {"steals", static_cast<double>(r.stats.steals)},
+        {"coalesced_jobs", static_cast<double>(r.stats.coalesced_jobs)},
+        {"jobs_shed", static_cast<double>(r.stats.jobs_shed)},
+        {"jobs_rejected", static_cast<double>(r.stats.jobs_rejected)},
+        {"lane_pool_reuses", static_cast<double>(r.stats.lane_pool_reuses)}};
+  };
+  report.add("sustained_legacy", sustained_row(legacy_run));
+  report.add("sustained", sustained_row(serving_run));
+  report.add("sustained_overload_shed", sustained_row(shed_run));
+  report.add("sustained_overload_reject", sustained_row(reject_run));
   report.add("speedup",
-             {{"persistent_over_transient", persistent_jps / transient_jps}});
+             {{"persistent_over_transient", persistent_jps / transient_jps},
+              {"sustained_over_legacy",
+               serving_run.jobs_per_sec() /
+                   std::max(legacy_run.jobs_per_sec(), 1e-9)},
+              {"sustained_over_persistent",
+               serving_run.jobs_per_sec() /
+                   std::max(persistent_jps, 1e-9)}});
+  // Warm lane-pool probe: concurrent same-shape batches at a FIXED width
+  // (independent of this machine's core count -- width-1 sessions never
+  // lease pools at all) must hit the pool cache on the second batch.  This
+  // is the lane_pool_reuses == 0 regression this PR fixes.
+  std::size_t probe_reuses = 0;
+  {
+    api::Session::Options probe;
+    probe.threads = 4;
+    probe.scheduler_lanes = 2;
+    api::Session pool_session(probe);
+    const std::vector<api::JobSpec> four(4, tiny[0]);
+    (void)pool_session.run_batch(four, api::Session::BatchOptions{2});
+    (void)pool_session.run_batch(four, api::Session::BatchOptions{2});
+    probe_reuses = pool_session.stats().lane_pool_reuses;
+  }
+  std::printf("pool probe              : %zu warm lane-pool reuses\n",
+              probe_reuses);
+  report.add("pool_probe",
+             {{"lane_pool_reuses", static_cast<double>(probe_reuses)}});
   report.write();
-  return 0;
+
+  // Throughput gates: the serving core must dispatch cheap jobs at least
+  // 5x faster than the classic persistent stream of medium jobs, and the
+  // warm lane-pool cache must actually be hit.
+  bool gate_ok = true;
+  if (serving_run.jobs_per_sec() < 5.0 * persistent_jps) {
+    std::printf("GATE FAILED: sustained %.1f jobs/sec < 5x persistent "
+                "%.1f jobs/sec\n",
+                serving_run.jobs_per_sec(), persistent_jps);
+    gate_ok = false;
+  }
+  if (probe_reuses == 0) {
+    std::printf(
+        "GATE FAILED: concurrent same-shape batches never reused a "
+        "warm lane pool\n");
+    gate_ok = false;
+  }
+  return gate_ok ? 0 : 1;
 }

@@ -79,10 +79,33 @@ struct JobEvent {
 /// handle of the same session from inside one.
 using JobEventObserver = std::function<void(const JobEvent&)>;
 
+/// Admission policy applied by `Session::submit` when the dispatch queue
+/// is at capacity (see Session::Options::queue_capacity).
+enum class QueuePolicy {
+  /// Block the submitting thread until the queue has room (default --
+  /// with the default effectively-unbounded capacity this never blocks).
+  kBlock,
+  /// Fail fast: the handle finalizes immediately as kFailed with
+  /// JobResult::error naming the full queue.
+  kReject,
+  /// Make room by cancelling the oldest queued job whose priority does
+  /// not exceed the incoming job's (it finalizes as kCancelled with
+  /// JobResult::shed set); falls back to accepting once room exists.
+  kShedOldest,
+};
+
 /// Per-submission scheduling options.
 struct SubmitOptions {
   /// Higher runs first; FIFO within one priority level.
   int priority = 0;
+  /// What submit does when the dispatch queue is full.
+  QueuePolicy queue_policy = QueuePolicy::kBlock;
+  /// Non-zero opts this job into small-job coalescing: when a lane pops
+  /// it under load, queued neighbours carrying the SAME key are batched
+  /// into the one dispatch, sharing its leased workspace.  Use
+  /// JobSpec::coalesce_fingerprint() so only same-shape jobs share a key.
+  /// Per-job events, results, cancellation and ordering are unaffected.
+  std::uint64_t coalesce_key = 0;
   /// Expected number of sibling jobs in flight, used to pre-shard the
   /// session's parallel width before the siblings actually start (a batch
   /// of k jobs submits with lanes_hint = k so the first job does not grab
@@ -138,6 +161,14 @@ struct JobState {
 
   Clock::time_point submitted_at{};
   Clock::time_point started_at{};
+
+  /// Queue depth observed at submission (surfaced in JobResult JSON so
+  /// overload shows up next to the latency it caused).
+  std::size_t queue_depth_at_submit = 0;
+  /// Set by the executing lane when this job shares a coalesced dispatch:
+  /// the session then parks its workspace lease for the next member
+  /// instead of a cache round-trip.  Only the owning lane touches it.
+  bool coalesced_dispatch = false;
 
   /// First-finalizer-wins guard (a per-job cancel can race the lane).
   std::atomic<bool> finalized{false};

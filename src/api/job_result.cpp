@@ -36,6 +36,8 @@ void write_result_object(JsonWriter& w, const JobResult& r) {
   w.key("gradient_evaluations").value(r.run.gradient_evaluations);
   w.key("workspaces_reused").value(r.workspaces_reused);
   w.key("workspace_evictions").value(r.workspace_evictions);
+  w.key("queue_depth").value(r.queue_depth);
+  w.key("shed").value(r.shed);
   w.key("fft_backend").value(r.fft_backend);
   w.key("before");
   write_metrics(w, r.before);

@@ -27,6 +27,8 @@ struct JobResult {
   double run_ms = 0.0;     ///< lane pickup -> terminal status
   bool workspaces_reused = false;  ///< warm WorkspaceSet from a prior job
   std::size_t workspace_evictions = 0;  ///< idle sets evicted at release
+  std::size_t queue_depth = 0;  ///< dispatch-queue depth at submission
+  bool shed = false;  ///< cancelled by the shed-oldest admission policy
   std::string fft_backend;  ///< FFT kernel backend the job ran on
                             ///< ("scalar" | "avx2" | "neon"); benches and
                             ///< perf tracking key results by it

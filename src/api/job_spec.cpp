@@ -240,6 +240,41 @@ std::string JobSpec::display_name() const {
   return clip.describe() + "/" + to_string(method);
 }
 
+std::uint64_t JobSpec::coalesce_fingerprint() const {
+  // FNV-1a over the structural shape: method, discretization, overrides.
+  std::uint64_t hash = 1469598103934665603ull;
+  const auto mix_byte = [&hash](unsigned char byte) {
+    hash ^= byte;
+    hash *= 1099511628211ull;
+  };
+  const auto mix_str = [&mix_byte](const std::string& text) {
+    for (const char c : text) mix_byte(static_cast<unsigned char>(c));
+    mix_byte(0);  // delimiter: {"a","b"} != {"ab"}
+  };
+  const auto mix_u64 = [&mix_byte](std::uint64_t value) {
+    for (int i = 0; i < 8; ++i) mix_byte((value >> (8 * i)) & 0xffu);
+  };
+  mix_str(to_string(method));
+  mix_u64(static_cast<std::uint64_t>(clip.kind));
+  switch (clip.kind) {
+    case ClipSource::Kind::kRawGrid:
+      // A raw grid pins mask_dim to its own dimensions.
+      mix_u64(clip.grid.rows());
+      mix_u64(clip.grid.cols());
+      break;
+    case ClipSource::Kind::kGenerator:
+      mix_u64(static_cast<std::uint64_t>(clip.dataset));
+      break;
+    default:
+      break;  // layout clips: shape is mask_dim + overrides below
+  }
+  mix_u64(config.optics.mask_dim);
+  mix_u64(config.source_dim);
+  mix_u64(evaluate_solution ? 1 : 0);
+  for (const std::string& pair : config_overrides) mix_str(pair);
+  return hash | 1;  // never zero: zero disables coalescing
+}
+
 const std::vector<ConfigKeyInfo>& config_keys() {
   static const std::vector<ConfigKeyInfo> keys = [] {
     std::vector<ConfigKeyInfo> out;

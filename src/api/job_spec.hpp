@@ -63,6 +63,14 @@ struct JobSpec {
 
   /// The label used in results: `name` when set, else clip description.
   std::string display_name() const;
+
+  /// Structural-shape hash for small-job coalescing
+  /// (SubmitOptions::coalesce_key): two specs share a fingerprint exactly
+  /// when they resolve to the same method, grid dimensions and config
+  /// overrides, so batching them onto one lane dispatch can share a leased
+  /// workspace.  Clip *content* (seed, geometry, file) is deliberately
+  /// excluded -- distinct clips of the same shape coalesce.  Never zero.
+  std::uint64_t coalesce_fingerprint() const;
 };
 
 /// One entry of the scriptable-configuration reference.

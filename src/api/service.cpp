@@ -25,16 +25,39 @@ JobEvent make_event(const JobState& state, JobEvent::Kind kind) {
   return event;
 }
 
+std::size_t floor_pow2(std::size_t value) {
+  std::size_t pow2 = 1;
+  while (pow2 * 2 <= value) pow2 *= 2;
+  return pow2;
+}
+
 }  // namespace
 
 JobService::JobService(Config config)
     : width_(std::max<std::size_t>(1, config.width)),
       lane_limit_(config.lanes > 0 ? config.lanes
                                    : std::max<std::size_t>(1, config.width)),
+      queue_capacity_(config.queue_capacity),
+      coalesce_limit_(std::max<std::size_t>(1, config.coalesce_limit)),
       execute_(std::move(config.execute)),
       emit_(std::move(config.emit)),
+      dispatch_end_(std::move(config.dispatch_end)),
       gate_(std::make_shared<ServiceGate>()),
+      queue_([&] {
+        JobQueue::Config qc;
+        // Stealing is what drains a shard with no lane of its own, so a
+        // no-steal service collapses to the single exact-FIFO shard.
+        qc.shards = config.steal ? (config.queue_shards > 0
+                                        ? config.queue_shards
+                                        : lane_limit_)
+                                 : 1;
+        qc.shard_capacity = config.shard_capacity;
+        return qc;
+      }()),
       pool_cache_cap_(config.pool_cache_cap) {
+  if (queue_capacity_ == 0) {
+    queue_capacity_ = queue_.shard_count() * queue_.shard_capacity();
+  }
   gate_->service = this;
 }
 
@@ -75,6 +98,7 @@ JobHandle JobService::submit(JobSpec spec, SubmitOptions options) {
   state->submit_generation =
       cancel_generation_.load(std::memory_order_acquire);
   state->submitted_at = Clock::now();
+  state->queue_depth_at_submit = queue_.size();
   submitted_.fetch_add(1, std::memory_order_relaxed);
 
   // Emit BEFORE registering: once the job is in active_ a concurrent
@@ -98,21 +122,120 @@ JobHandle JobService::submit(JobSpec spec, SubmitOptions options) {
     return JobHandle(std::move(state));
   }
 
-  queue_.push(state);
+  admit(state);  // finalizes the job itself when admission fails
   return JobHandle(std::move(state));
+}
+
+bool JobService::admit(const std::shared_ptr<JobState>& state) {
+  for (;;) {
+    if (state->status.load(std::memory_order_acquire) != JobStatus::kQueued) {
+      return false;  // a concurrent drain/shutdown finalized it meanwhile
+    }
+    if (queue_.size() < queue_capacity_ && queue_.try_push(state)) {
+      return true;
+    }
+    switch (state->options.queue_policy) {
+      case QueuePolicy::kReject: {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        JobStatus expected = JobStatus::kQueued;
+        if (state->status.compare_exchange_strong(
+                expected, JobStatus::kFailed, std::memory_order_acq_rel)) {
+          JobResult result = drained_result(*state);
+          result.run.cancelled = false;
+          result.error = "rejected: dispatch queue full (" +
+                         std::to_string(queue_capacity_) + " jobs)";
+          result.queue_depth = state->queue_depth_at_submit;
+          finalize(state, std::move(result), JobStatus::kFailed);
+        }
+        return false;
+      }
+      case QueuePolicy::kShedOldest: {
+        if (auto victim = queue_.shed_victim(state->options.priority)) {
+          JobStatus expected = JobStatus::kQueued;
+          if (victim->status.compare_exchange_strong(
+                  expected, JobStatus::kCancelled,
+                  std::memory_order_acq_rel)) {
+            shed_.fetch_add(1, std::memory_order_relaxed);
+            JobResult result = drained_result(*victim);
+            result.shed = true;
+            result.queued_ms = ms_between(victim->submitted_at, Clock::now());
+            result.queue_depth = victim->queue_depth_at_submit;
+            finalize(victim, std::move(result), JobStatus::kCancelled);
+          }
+        }
+        continue;  // room was made (or racing pops already made some)
+      }
+      case QueuePolicy::kBlock:
+        queue_.wait_space(queue_capacity_);
+        continue;
+    }
+  }
 }
 
 void JobService::spawn_lanes_locked() {
   while (lanes_.size() < lane_limit_ && lanes_.size() < active_.size()) {
-    lanes_.emplace_back([this] { lane_main(); });
+    const std::size_t lane = lanes_.size();
+    lanes_.emplace_back([this, lane] { lane_main(lane); });
   }
 }
 
-void JobService::lane_main() {
+void JobService::lane_main(std::size_t lane) {
+  std::vector<std::shared_ptr<JobState>> batch;
   for (;;) {
-    std::shared_ptr<JobState> state = queue_.pop();
-    if (state == nullptr) return;  // closed: shutting down
+    std::size_t shard = 0;
+    bool stolen = false;
+    std::shared_ptr<JobState> head = queue_.pop(lane, &shard, &stolen);
+    if (head == nullptr) return;  // closed: shutting down
+    if (stolen) steals_.fetch_add(1, std::memory_order_relaxed);
 
+    batch.clear();
+    const std::uint64_t key = head->options.coalesce_key;
+    batch.push_back(std::move(head));
+    if (key != 0 && coalesce_limit_ > 1 && shard < queue_.shard_count()) {
+      // Depth-scaled budget: batch only once the queue is deeper than the
+      // lane set can drain one job at a time, so a shallow stream still
+      // fans out across lanes at full width instead of serializing on one.
+      const std::size_t budget =
+          std::min(coalesce_limit_, 1 + queue_.size() / lane_limit_);
+      while (batch.size() < budget) {
+        std::shared_ptr<JobState> more = queue_.try_pop_matching(shard, key);
+        if (more == nullptr) break;
+        batch.push_back(std::move(more));
+      }
+    }
+
+    run_dispatch(batch);
+    if (dispatch_end_) dispatch_end_();
+  }
+}
+
+void JobService::run_dispatch(
+    const std::vector<std::shared_ptr<JobState>>& batch) {
+  const std::size_t in_flight =
+      running_.fetch_add(1, std::memory_order_acq_rel) + 1;
+
+  // Load-balanced width: share the session's parallel width over the
+  // dispatches in flight, never below the caller's expected sibling count
+  // (lanes_hint, scaled down by the members now sharing this dispatch) so
+  // the head of a batch does not monopolize the machine before its
+  // siblings start.  An in-flight count of one IS the re-absorbed
+  // full-width single-job run.
+  std::size_t divisor = in_flight;
+  const std::size_t hint = batch.front()->options.lanes_hint;
+  if (hint > 0) {
+    const std::size_t scaled = (hint + batch.size() - 1) / batch.size();
+    divisor = std::max(divisor, std::min(scaled, lane_limit_));
+  }
+  std::size_t width = width_;
+  if (divisor > 1) {
+    // Quantized so a fluctuating in-flight count re-requests the same few
+    // widths and keeps hitting warm pools instead of minting new ones.
+    width = floor_pow2(std::max<std::size_t>(1, width_ / divisor));
+  }
+  ThreadPool* pool = width > 1 ? acquire_pool(width) : nullptr;
+
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    const std::shared_ptr<JobState>& state = batch[i];
     JobStatus expected = JobStatus::kQueued;
     if (!state->status.compare_exchange_strong(expected, JobStatus::kRunning,
                                                std::memory_order_acq_rel)) {
@@ -120,10 +243,11 @@ void JobService::lane_main() {
     }
 
     state->started_at = Clock::now();
-    const double queued_ms = ms_between(state->submitted_at,
-                                        state->started_at);
-    const std::size_t in_flight =
-        running_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    state->coalesced_dispatch = batch.size() > 1;
+    const double queued_ms =
+        ms_between(state->submitted_at, state->started_at);
+    if (i > 0) coalesced_.fetch_add(1, std::memory_order_relaxed);
+    executing_.fetch_add(1, std::memory_order_relaxed);
 
     if (emit_) {
       JobEvent event = make_event(*state, JobEvent::Kind::kStarted);
@@ -131,30 +255,20 @@ void JobService::lane_main() {
       emit_(event, *state);
     }
 
-    // Load-balanced width: share the session's parallel width over the
-    // jobs in flight, never below the caller's expected sibling count
-    // (lanes_hint) so the head of a batch does not monopolize the
-    // machine before its siblings start.  An in-flight count of one IS
-    // the re-absorbed full-width single-job run.
-    std::size_t divisor = in_flight;
-    if (state->options.lanes_hint > 0) {
-      divisor = std::max(divisor,
-                         std::min(state->options.lanes_hint, lane_limit_));
-    }
-    const std::size_t width = std::max<std::size_t>(1, width_ / divisor);
-
-    ThreadPool* pool = width > 1 ? acquire_pool(width) : nullptr;
     JobResult result = execute_(*state, pool);
-    if (pool != nullptr) release_pool(pool);
-    running_.fetch_sub(1, std::memory_order_acq_rel);
+    executing_.fetch_sub(1, std::memory_order_relaxed);
 
     result.queued_ms = queued_ms;
     result.run_ms = ms_between(state->started_at, Clock::now());
+    result.queue_depth = state->queue_depth_at_submit;
     const JobStatus status = !result.ok() ? JobStatus::kFailed
                              : result.run.cancelled ? JobStatus::kCancelled
                                                     : JobStatus::kDone;
     finalize(state, std::move(result), status);
   }
+
+  if (pool != nullptr) release_pool(pool);
+  running_.fetch_sub(1, std::memory_order_acq_rel);
 }
 
 void JobService::cancel_job(const std::shared_ptr<JobState>& state) {
@@ -257,9 +371,21 @@ ThreadPool* JobService::acquire_pool(std::size_t width) {
   {
     std::lock_guard<std::mutex> lock(pool_mutex_);
     PoolEntry* best = nullptr;
+    bool best_exact = false;
     for (PoolEntry& entry : pools_) {
-      if (entry.in_use || entry.width != width) continue;
-      if (best == nullptr || entry.last_used > best->last_used) best = &entry;
+      if (entry.in_use) continue;
+      const bool exact = entry.width == width;
+      // Near match: an idle pool up to twice as wide still serves the
+      // dispatch (width only changes speed, never results); wider than
+      // that would oversubscribe the machine.
+      const bool near = entry.width > width && entry.width <= 2 * width;
+      if (!exact && !near) continue;
+      // Prefer exact widths, then the most recently used (warmest caches).
+      if (best == nullptr || (exact && !best_exact) ||
+          (exact == best_exact && entry.last_used > best->last_used)) {
+        best = &entry;
+        best_exact = exact;
+      }
     }
     if (best != nullptr) {
       best->in_use = true;

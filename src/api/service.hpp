@@ -2,15 +2,33 @@
 // api::Session's asynchronous submission API.
 //
 // One service lives as long as its session.  Submitted jobs enter a
-// priority/FIFO JobQueue; long-lived lane threads (spawned lazily up to a
-// fixed limit) pop jobs and execute them through a callback into the
-// session.  Each dispatch picks its parallel width from the live load --
-// width = session width / max(in-flight jobs, lanes_hint) -- leasing a
-// warm ThreadPool of that width from an LRU pool cache, so an idle machine
+// sharded, mostly-lock-free JobQueue (one ring per lane + an occupancy
+// bitset; see api/job_queue.hpp); long-lived lane threads (spawned lazily
+// up to a fixed limit) pop from their own shard first and steal from
+// loaded neighbours, executing jobs through a callback into the session.
+// Each dispatch picks its parallel width from the live load -- width =
+// session width / max(in-flight dispatches, lanes_hint) -- leasing a warm
+// ThreadPool of that width from an LRU pool cache, so an idle machine
 // re-absorbs into full-width single-job runs while a saturated one shards
 // into one-worker lanes, and no per-batch pool teardown ever happens.
+// Shared widths are quantized to powers of two so a fluctuating in-flight
+// count keeps hitting the same warm pools instead of minting new ones.
 // Width never changes results: engine reductions are partitioned over the
 // fixed slots of parallel/reduction.hpp (bitwise identical for any width).
+//
+// Coalescing: a popped job carrying a non-zero SubmitOptions::coalesce_key
+// gathers queued same-key neighbours from its shard into the one dispatch
+// (up to Config::coalesce_limit), amortizing pool/workspace leasing over
+// sub-millisecond jobs.  The batch budget scales with queue depth per
+// lane, so coalescing only engages once the lanes cannot drain the queue
+// one job at a time -- a shallow queue still fans out across lanes.
+// Members keep their own JobEvent streams, results and cancel windows: a
+// lane claims each member with the same status CAS as a solo dispatch.
+//
+// Admission control: submit consults SubmitOptions::queue_policy when the
+// queue holds Config::queue_capacity entries -- block until room, reject
+// (kFailed, error set), or shed the oldest queued job at or below the
+// entrant's priority (kCancelled, JobResult::shed set).
 //
 // Cancellation is per job: a queued job flips kQueued -> kCancelled with a
 // single CAS and finalizes immediately (the losing lane skips it); a
@@ -47,12 +65,28 @@ class JobService {
     std::size_t width = 1;
     /// Idle leased ThreadPools kept warm past which LRU eviction kicks in.
     std::size_t pool_cache_cap = 4;
+    /// Dispatch-queue ring segments (0 = one per lane, the default).
+    /// Clamped to 1 when `steal` is off: an un-stolen shard with no lane
+    /// of its own would strand jobs.
+    std::size_t queue_shards = 0;
+    /// Cells per queue shard (rounded up to a power of two).
+    std::size_t shard_capacity = 1024;
+    /// Queued jobs past which SubmitOptions::queue_policy kicks in
+    /// (0 = shards * shard_capacity, effectively unbounded).
+    std::size_t queue_capacity = 0;
+    /// Maximum same-key jobs batched into one lane dispatch (1 = off).
+    std::size_t coalesce_limit = 8;
+    /// Let an idle lane drain a loaded neighbour's queue shard.
+    bool steal = true;
     /// Runs one job (never throws; failures land in JobResult::error).
     /// `pool` is the leased execution pool -- nullptr means width 1, run
     /// the engines serially on the lane thread.
     std::function<JobResult(JobState&, ThreadPool*)> execute;
     /// Serialized event sink (the session fans out to its observers).
     std::function<void(const JobEvent&, const JobState&)> emit;
+    /// Invoked on the lane thread after every dispatch (solo or
+    /// coalesced); the session flushes its sticky workspace lease here.
+    std::function<void()> dispatch_end;
   };
 
   explicit JobService(Config config);
@@ -63,7 +97,8 @@ class JobService {
   /// Cancels and finalizes every outstanding job, then joins the lanes.
   ~JobService();
 
-  /// Enqueue one job; returns immediately.
+  /// Enqueue one job; returns immediately unless the queue is at capacity
+  /// and the job's policy is kBlock.
   JobHandle submit(JobSpec spec, SubmitOptions options);
 
   /// Per-job cancel (JobHandle::cancel): CAS a queued job terminal, or
@@ -101,6 +136,29 @@ class JobService {
   std::size_t pool_reuses() const noexcept {
     return pool_reuses_.load(std::memory_order_relaxed);
   }
+  /// Live dispatch-queue depth (includes not-yet-skipped cancelled
+  /// entries).
+  std::size_t queue_depth() const noexcept { return queue_.size(); }
+  /// Jobs executing on lanes right now.
+  std::size_t jobs_executing() const noexcept {
+    return executing_.load(std::memory_order_relaxed);
+  }
+  /// Jobs an idle lane stole from another lane's queue shard.
+  std::size_t steals() const noexcept {
+    return steals_.load(std::memory_order_relaxed);
+  }
+  /// Jobs that rode a coalesced dispatch behind its head job.
+  std::size_t coalesced_jobs() const noexcept {
+    return coalesced_.load(std::memory_order_relaxed);
+  }
+  /// Jobs cancelled by the shed-oldest admission policy.
+  std::size_t jobs_shed() const noexcept {
+    return shed_.load(std::memory_order_relaxed);
+  }
+  /// Jobs refused by the reject admission policy.
+  std::size_t jobs_rejected() const noexcept {
+    return rejected_.load(std::memory_order_relaxed);
+  }
 
  private:
   struct PoolEntry {
@@ -110,13 +168,23 @@ class JobService {
     std::uint64_t last_used = 0;
   };
 
-  void lane_main();
+  void lane_main(std::size_t lane);
 
   /// Spawn lanes up to min(lane_limit, outstanding jobs).  Registry lock
   /// held by the caller.
   void spawn_lanes_locked();
 
-  /// Lease a warm pool of exactly `width` workers (width >= 2).
+  /// Apply the job's admission policy until the queue accepts it.  True
+  /// when enqueued; false when the job was finalized instead (rejected,
+  /// or cancelled by a concurrent drain/shutdown while waiting).
+  bool admit(const std::shared_ptr<JobState>& state);
+
+  /// Execute `batch` as one dispatch: claim each member with the queued ->
+  /// running CAS, share one leased pool, emit per-member events.
+  void run_dispatch(const std::vector<std::shared_ptr<JobState>>& batch);
+
+  /// Lease a warm pool for a dispatch of `width` workers (width >= 2):
+  /// exact-width match first, else an idle pool up to twice as wide.
   ThreadPool* acquire_pool(std::size_t width);
   void release_pool(ThreadPool* pool);
 
@@ -131,8 +199,11 @@ class JobService {
 
   std::size_t width_;
   std::size_t lane_limit_;
+  std::size_t queue_capacity_;
+  std::size_t coalesce_limit_;
   std::function<JobResult(JobState&, ThreadPool*)> execute_;
   std::function<void(const JobEvent&, const JobState&)> emit_;
+  std::function<void()> dispatch_end_;
   std::shared_ptr<ServiceGate> gate_;  ///< JobHandle::cancel liveness
 
   JobQueue queue_;
@@ -146,7 +217,8 @@ class JobService {
   CancelToken session_cancel_;
   std::atomic<std::uint64_t> cancel_generation_{0};
   std::atomic<std::uint64_t> next_id_{1};
-  std::atomic<std::size_t> running_{0};
+  std::atomic<std::size_t> running_{0};    ///< dispatches in flight
+  std::atomic<std::size_t> executing_{0};  ///< jobs in flight
 
   std::mutex pool_mutex_;
   std::vector<PoolEntry> pools_;
@@ -156,6 +228,10 @@ class JobService {
   std::atomic<std::size_t> submitted_{0};
   std::atomic<std::size_t> cancelled_{0};
   std::atomic<std::size_t> pool_reuses_{0};
+  std::atomic<std::size_t> steals_{0};
+  std::atomic<std::size_t> coalesced_{0};
+  std::atomic<std::size_t> shed_{0};
+  std::atomic<std::size_t> rejected_{0};
 };
 
 }  // namespace bismo::api::detail

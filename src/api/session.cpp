@@ -102,12 +102,17 @@ Session::Session(Options options)
   config.lanes = options.scheduler_lanes;
   config.width = width_;
   config.pool_cache_cap = options.pool_cache_cap;
+  config.queue_shards = options.queue_shards;
+  config.queue_capacity = options.queue_capacity;
+  config.coalesce_limit = options.coalesce_limit;
+  config.steal = options.work_stealing;
   config.execute = [this](detail::JobState& state, ThreadPool* pool) {
     return execute_job(state, pool);
   };
   config.emit = [this](const JobEvent& event, const detail::JobState& state) {
     emit_event(event, state);
   };
+  config.dispatch_end = [this] { flush_sticky_lease(); };
   service_ = std::make_unique<detail::JobService>(std::move(config));
 }
 
@@ -126,6 +131,12 @@ Session::Stats Session::stats() const noexcept {
   s.workspace_reuses = workspace_reuses_.load(std::memory_order_relaxed);
   s.workspace_evictions = workspace_evictions_.load(std::memory_order_relaxed);
   s.lane_pool_reuses = service_->pool_reuses();
+  s.queue_depth = service_->queue_depth();
+  s.jobs_executing = service_->jobs_executing();
+  s.steals = service_->steals();
+  s.coalesced_jobs = service_->coalesced_jobs();
+  s.jobs_shed = service_->jobs_shed();
+  s.jobs_rejected = service_->jobs_rejected();
   return s;
 }
 
@@ -193,8 +204,29 @@ std::size_t Session::release_workspaces(WorkspaceLease lease) {
   return evictions;
 }
 
+Session::StickyLease& Session::sticky_slot() {
+  static thread_local StickyLease slot;
+  return slot;
+}
+
+void Session::flush_sticky_lease() {
+  StickyLease& slot = sticky_slot();
+  if (slot.owner != this) return;
+  slot.owner = nullptr;
+  if (slot.lease.set != nullptr) {
+    release_workspaces(std::move(slot.lease));
+  }
+  slot.lease = WorkspaceLease{};
+}
+
 void Session::emit_event(const JobEvent& event,
                          const detail::JobState& state) {
+  // Fast path for unobserved jobs: the sub-millisecond serving regime
+  // must not serialize every event on the observer mutex.
+  if (observer_ == nullptr && event_observer_ == nullptr &&
+      state.options.on_event == nullptr) {
+    return;
+  }
   std::lock_guard<std::recursive_mutex> lock(observer_mutex_);
   if (observer_ && event.kind == JobEvent::Kind::kStep) {
     // Legacy per-step adapter: Progress is a projection of the step event.
@@ -272,7 +304,20 @@ JobResult Session::execute_job(detail::JobState& state, ThreadPool* pool) {
   try {
     const std::optional<Layout> layout = load_layout(spec.clip);
     const SmoConfig config = resolve_config_impl(spec, layout_ptr(layout));
-    lease = acquire_workspaces(config.optics.mask_dim);
+    // A lease parked by the previous member of this lane's coalesced
+    // dispatch is the warmest possible set -- take it without touching
+    // the cache lock.  A parked lease of the wrong dimension flushes.
+    StickyLease& slot = sticky_slot();
+    if (slot.owner == this && slot.lease.set != nullptr &&
+        slot.lease.dim == config.optics.mask_dim) {
+      lease = std::move(slot.lease);
+      lease.reused = true;
+      slot.owner = nullptr;
+      slot.lease = WorkspaceLease{};
+    } else {
+      flush_sticky_lease();
+      lease = acquire_workspaces(config.optics.mask_dim);
+    }
     result.workspaces_reused = lease.reused;
     if (lease.reused) {
       workspace_reuses_.fetch_add(1, std::memory_order_relaxed);
@@ -315,7 +360,19 @@ JobResult Session::execute_job(detail::JobState& state, ThreadPool* pool) {
     result.error = e.what();
   }
   if (lease.set != nullptr) {
-    result.workspace_evictions = release_workspaces(std::move(lease));
+    // A coalesced-dispatch member parks the lease for its successor
+    // instead of a cache round-trip; the service flushes it after the
+    // dispatch.  Solo dispatches release in-job, so per-result eviction
+    // accounting is unchanged.
+    StickyLease& slot = sticky_slot();
+    if (state.coalesced_dispatch && slot.owner == nullptr &&
+        slot.lease.set == nullptr) {
+      slot.owner = this;
+      slot.lease = std::move(lease);
+      slot.lease.reused = false;
+    } else {
+      result.workspace_evictions = release_workspaces(std::move(lease));
+    }
   }
   result.total_seconds = elapsed_seconds(start);
   return result;

@@ -87,6 +87,19 @@ class Session {
     std::size_t workspace_cache_cap = 4;
     /// Maximum idle warm lane ThreadPools kept for reuse (LRU-evicted).
     std::size_t pool_cache_cap = 4;
+    /// Dispatch-queue ring shards (0 = one per scheduler lane).  More
+    /// shards cut producer contention; stealing keeps them all drained.
+    std::size_t queue_shards = 0;
+    /// Queued jobs past which SubmitOptions::queue_policy applies
+    /// (0 = shards * 1024, effectively unbounded for the default block
+    /// policy).  Size this to bound queue latency under overload.
+    std::size_t queue_capacity = 0;
+    /// Maximum same-key sub-millisecond jobs coalesced into one lane
+    /// dispatch (1 disables; see SubmitOptions::coalesce_key).
+    std::size_t coalesce_limit = 8;
+    /// Idle lanes steal queued jobs from loaded neighbours' shards.
+    /// Turning this off forces a single exact-FIFO queue shard.
+    bool work_stealing = true;
   };
 
   /// Per-batch execution options for the synchronous `run_batch` wrapper.
@@ -99,7 +112,7 @@ class Session {
     std::size_t concurrency = 1;
   };
 
-  /// Cross-job reuse counters.
+  /// Cross-job reuse counters plus live serving gauges.
   struct Stats {
     std::size_t jobs_submitted = 0;       ///< accepted by submit()
     std::size_t jobs_run = 0;             ///< reached a scheduler lane
@@ -107,6 +120,12 @@ class Session {
     std::size_t workspace_reuses = 0;     ///< jobs served by a warm set
     std::size_t workspace_evictions = 0;  ///< idle sets dropped by the cap
     std::size_t lane_pool_reuses = 0;     ///< dispatches on a warm pool
+    std::size_t queue_depth = 0;          ///< live: jobs waiting right now
+    std::size_t jobs_executing = 0;       ///< live: jobs on lanes right now
+    std::size_t steals = 0;               ///< jobs drained from a neighbour
+    std::size_t coalesced_jobs = 0;       ///< jobs riding a shared dispatch
+    std::size_t jobs_shed = 0;            ///< cancelled by shed-oldest
+    std::size_t jobs_rejected = 0;        ///< refused by reject policy
   };
 
   Session() : Session(Options{}) {}
@@ -220,6 +239,19 @@ class Session {
   /// sets past the cap.  Returns the number of evictions performed.
   /// Thread-safe.
   std::size_t release_workspaces(WorkspaceLease lease);
+
+  /// Lane-thread parking slot for one lease: consecutive members of a
+  /// coalesced dispatch hand the same warm WorkspaceSet to each other
+  /// without a cache round-trip.  Thread-local, so no lock is involved.
+  struct StickyLease {
+    Session* owner = nullptr;  ///< sessions never share a parked lease
+    WorkspaceLease lease;
+  };
+  static StickyLease& sticky_slot();
+
+  /// Return this lane's parked lease (when it is ours) to the idle cache;
+  /// the service calls this after every dispatch (Config::dispatch_end).
+  void flush_sticky_lease();
 
   std::size_t width_;
   std::once_flag pool_once_;

@@ -32,6 +32,14 @@ void ThreadPool::parallel_for(std::size_t n,
 void ThreadPool::parallel_for_slots(
     std::size_t n, const std::function<void(std::size_t, std::size_t)>& body) {
   if (n == 0) return;
+  // Inline fast path: a single iteration (or a single-worker pool) gains
+  // nothing from a dispatch round-trip through the pool mutex and two
+  // condvars -- run it on the calling thread.  Slot 0 keeps determinism:
+  // reduction partials are keyed by iteration index, not worker slot.
+  if (n == 1 || workers_.size() <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(0, i);
+    return;
+  }
   {
     std::unique_lock<std::mutex> lock(mutex_);
     dispatch_.body = &body;

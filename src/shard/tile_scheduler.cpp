@@ -88,11 +88,20 @@ ShardResult TileScheduler::run(const Layout& layout, const api::JobSpec& base,
   };
   auto sync = std::make_shared<SweepSync>();
 
+  // Every tile of one sweep shares a structural shape (same method, same
+  // tile_dim override), so one fingerprint keys them all: under load the
+  // scheduler batches queued tiles into shared dispatches.
+  const std::uint64_t coalesce_key =
+      options.coalesce_tiles && !specs.empty()
+          ? specs.front().coalesce_fingerprint()
+          : 0;
+
   std::vector<api::JobHandle> handles;
   handles.reserve(n);
   for (std::size_t t = 0; t < n; ++t) {
     api::SubmitOptions submit_options;
     submit_options.lanes_hint = lanes_hint;
+    submit_options.coalesce_key = coalesce_key;
     submit_options.batch_index = t;
     submit_options.batch_count = n;
     submit_options.on_event = [sync, t](const api::JobEvent& event) {

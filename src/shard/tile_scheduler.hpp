@@ -45,6 +45,11 @@ struct ShardOptions {
   /// Render, stitch, and evaluate full-layout images/metrics after the
   /// sweep (one extra engine pass per tile).  Off: only per-tile results.
   bool stitch_images = true;
+  /// Submit tiles with their shared coalesce fingerprint so the scheduler
+  /// may batch several small same-shape tiles into one lane dispatch
+  /// under load (sharing a leased workspace).  Results are bitwise
+  /// unaffected; turn off to force one dispatch per tile.
+  bool coalesce_tiles = true;
 };
 
 /// Outcome of one tiled sweep.

@@ -407,6 +407,294 @@ TEST(ServiceShutdown, DestructionFinalizesOutstandingHandles) {
   queued.cancel();  // no-op on a terminal job without a live session
 }
 
+// Regression: warm lane ThreadPools were cached but never matched on
+// reacquire, so lane_pool_reuses stayed 0 and every narrow dispatch paid
+// a full pool spin-up.  Two same-shaped concurrent batches must hit the
+// warm pool cache.
+TEST(ServicePools, RepeatedSameShapeSubmitsReuseWarmLanePools) {
+  api::Session::Options options;
+  options.threads = 4;
+  options.scheduler_lanes = 2;
+  api::Session session(options);
+
+  const std::vector<api::JobSpec> specs(4, tiny_spec(2));
+  api::Session::BatchOptions batch;
+  batch.concurrency = 2;  // two jobs in flight => half-width leased pools
+  for (const api::JobResult& r : session.run_batch(specs, batch)) {
+    ASSERT_TRUE(r.ok()) << r.error;
+  }
+  for (const api::JobResult& r : session.run_batch(specs, batch)) {
+    ASSERT_TRUE(r.ok()) << r.error;
+  }
+  EXPECT_GT(session.stats().lane_pool_reuses, 0u);
+}
+
+TEST(ServiceCoalesce, CoalescedBatchKeepsEventStreamsAndResultIdentity) {
+  api::Session::Options options;
+  options.scheduler_lanes = 1;
+  EventLog blocker_log;  // outlives the session (events drain into it)
+  api::Session session(options);
+
+  api::SubmitOptions blocker_options;
+  blocker_options.on_event = blocker_log.observer();
+  const api::JobHandle blocker =
+      session.submit(tiny_spec(300), std::move(blocker_options));
+  blocker_log.await(api::JobEvent::Kind::kStep);
+
+  // Six same-shape jobs pile up behind the blocker sharing one coalesce
+  // key; the freed lane batches them into shared dispatches.
+  const api::JobSpec base = tiny_spec(2);
+  const std::uint64_t key = base.coalesce_fingerprint();
+  ASSERT_NE(key, 0u);
+  constexpr std::size_t kJobs = 6;
+  std::vector<std::unique_ptr<EventLog>> logs;
+  std::vector<api::JobHandle> handles;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    logs.push_back(std::make_unique<EventLog>());
+    api::JobSpec spec = base;
+    spec.name = "member-" + std::to_string(i);
+    api::SubmitOptions submit;
+    submit.coalesce_key = key;
+    submit.on_event = logs.back()->observer();
+    handles.push_back(session.submit(spec, std::move(submit)));
+  }
+  blocker.cancel();
+
+  // Coalescing must be invisible per job: own event stream in lifecycle
+  // order, own result under the right name.
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    const api::JobResult& result = handles[i].wait();
+    ASSERT_TRUE(result.ok()) << result.error;
+    EXPECT_EQ(result.job_name, "member-" + std::to_string(i));
+    logs[i]->await(api::JobEvent::Kind::kFinished);
+    const auto kinds = logs[i]->kinds();
+    ASSERT_GE(kinds.size(), 3u);
+    EXPECT_EQ(kinds.front(), api::JobEvent::Kind::kEnqueued);
+    EXPECT_EQ(kinds[1], api::JobEvent::Kind::kStarted);
+    EXPECT_EQ(kinds.back(), api::JobEvent::Kind::kFinished);
+  }
+  EXPECT_GT(session.stats().coalesced_jobs, 0u);
+
+  // A coalesced member's optimization is bitwise identical to the same
+  // spec run solo in a fresh session.
+  api::Session solo;
+  api::JobSpec reference = base;
+  reference.name = "member-3";
+  const api::JobResult alone = solo.run(reference);
+  ASSERT_TRUE(alone.ok()) << alone.error;
+  EXPECT_TRUE(handles[3].wait().run.theta_m == alone.run.theta_m);
+  EXPECT_TRUE(handles[3].wait().run.theta_j == alone.run.theta_j);
+}
+
+TEST(ServiceBackpressure, RejectPolicyFailsFastWhenFull) {
+  api::Session::Options options;
+  options.scheduler_lanes = 1;
+  options.queue_shards = 1;
+  options.queue_capacity = 2;
+  EventLog blocker_log;  // outlives the session (events drain into it)
+  api::Session session(options);
+
+  api::SubmitOptions blocker_options;
+  blocker_options.on_event = blocker_log.observer();
+  const api::JobHandle blocker =
+      session.submit(tiny_spec(300), std::move(blocker_options));
+  blocker_log.await(api::JobEvent::Kind::kStep);  // lane busy, queue empty
+  const api::JobHandle filler1 = session.submit(tiny_spec(2));
+  const api::JobHandle filler2 = session.submit(tiny_spec(2));
+
+  api::SubmitOptions reject;
+  reject.queue_policy = api::QueuePolicy::kReject;
+  const api::JobHandle refused = session.submit(tiny_spec(2), reject);
+  // Fail-fast: terminal before any lane touches it.
+  EXPECT_EQ(refused.status(), api::JobStatus::kFailed);
+  const api::JobResult& refused_result = refused.wait();
+  EXPECT_FALSE(refused_result.ok());
+  EXPECT_NE(refused_result.error.find("rejected"), std::string::npos);
+  EXPECT_NE(refused_result.error.find("queue full"), std::string::npos);
+  EXPECT_FALSE(refused_result.cancelled());
+  EXPECT_EQ(session.stats().jobs_rejected, 1u);
+
+  blocker.cancel();
+  ASSERT_TRUE(filler1.wait().ok()) << filler1.wait().error;
+  ASSERT_TRUE(filler2.wait().ok()) << filler2.wait().error;
+}
+
+TEST(ServiceBackpressure, ShedOldestMakesRoomAndCountsShed) {
+  api::Session::Options options;
+  options.scheduler_lanes = 1;
+  options.queue_shards = 1;
+  options.queue_capacity = 2;
+  EventLog blocker_log;  // outlives the session (events drain into it)
+  api::Session session(options);
+
+  api::SubmitOptions blocker_options;
+  blocker_options.on_event = blocker_log.observer();
+  const api::JobHandle blocker =
+      session.submit(tiny_spec(300), std::move(blocker_options));
+  blocker_log.await(api::JobEvent::Kind::kStep);
+  const api::JobHandle oldest = session.submit(tiny_spec(2));
+  const api::JobHandle second = session.submit(tiny_spec(2));
+
+  api::SubmitOptions shed;
+  shed.queue_policy = api::QueuePolicy::kShedOldest;
+  const api::JobHandle entrant = session.submit(tiny_spec(2), shed);
+
+  // The oldest queued job was sacrificed for the entrant, and says so.
+  const api::JobResult& shed_result = oldest.wait();
+  EXPECT_EQ(oldest.status(), api::JobStatus::kCancelled);
+  EXPECT_TRUE(shed_result.cancelled());
+  EXPECT_TRUE(shed_result.shed);
+  EXPECT_EQ(session.stats().jobs_shed, 1u);
+  std::ostringstream json;
+  api::write_json(json, shed_result);
+  EXPECT_NE(json.str().find("\"shed\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"queue_depth\""), std::string::npos);
+
+  blocker.cancel();
+  ASSERT_TRUE(second.wait().ok()) << second.wait().error;
+  ASSERT_TRUE(entrant.wait().ok()) << entrant.wait().error;
+  EXPECT_FALSE(entrant.wait().shed);
+}
+
+TEST(ServiceBackpressure, BlockPolicyCompletesEverythingUnderOverload) {
+  api::Session::Options options;
+  options.scheduler_lanes = 2;
+  options.queue_shards = 1;
+  options.queue_capacity = 2;  // far below the offered load
+  api::Session session(options);
+
+  // Two producers push five jobs each through a two-slot queue; the
+  // default block policy throttles them instead of dropping anything.
+  constexpr std::size_t kPerProducer = 5;
+  std::vector<api::JobHandle> handles[2];
+  std::thread producers[2];
+  for (std::size_t p = 0; p < 2; ++p) {
+    producers[p] = std::thread([&session, &handles, p] {
+      for (std::size_t i = 0; i < kPerProducer; ++i) {
+        handles[p].push_back(session.submit(tiny_spec(1)));
+      }
+    });
+  }
+  for (auto& producer : producers) producer.join();
+
+  for (auto& side : handles) {
+    ASSERT_EQ(side.size(), kPerProducer);
+    for (const api::JobHandle& handle : side) {
+      const api::JobResult& result = handle.wait();
+      ASSERT_TRUE(result.ok()) << result.error;
+    }
+  }
+  const api::Session::Stats stats = session.stats();
+  EXPECT_EQ(stats.jobs_submitted, 2 * kPerProducer);
+  EXPECT_EQ(stats.jobs_shed, 0u);
+  EXPECT_EQ(stats.jobs_rejected, 0u);
+  EXPECT_EQ(stats.queue_depth, 0u);
+}
+
+TEST(ServiceCancel, CancelWhileQueuedUnderContention) {
+  api::Session::Options options;
+  options.scheduler_lanes = 2;
+  api::Session session(options);
+
+  constexpr std::size_t kJobs = 40;
+  std::vector<api::JobHandle> handles;
+  handles.reserve(kJobs);
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    handles.push_back(session.submit(tiny_spec(2)));
+  }
+  // Two threads race the lanes to cancel every other job.
+  std::thread cancellers[2];
+  for (std::size_t t = 0; t < 2; ++t) {
+    cancellers[t] = std::thread([&handles, t] {
+      for (std::size_t i = 2 * t; i < kJobs; i += 4) {
+        handles[i].cancel();
+      }
+    });
+  }
+  for (auto& canceller : cancellers) canceller.join();
+
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    const api::JobResult& result = handles[i].wait();
+    const api::JobStatus status = handles[i].status();
+    ASSERT_TRUE(api::is_terminal(status));
+    if (i % 2 == 0) {
+      // Cancelled either in the queue or mid-run -- or it beat the cancel.
+      EXPECT_TRUE(status == api::JobStatus::kCancelled ||
+                  status == api::JobStatus::kDone);
+    } else {
+      ASSERT_TRUE(result.ok()) << result.error;
+      EXPECT_EQ(status, api::JobStatus::kDone);
+    }
+  }
+  EXPECT_EQ(session.stats().queue_depth, 0u);
+  EXPECT_EQ(session.stats().jobs_executing, 0u);
+}
+
+TEST(ServiceStats, ExposesLiveQueueDepthAndInFlightGauges) {
+  api::Session::Options options;
+  options.scheduler_lanes = 1;
+  EventLog blocker_log;  // outlives the session (events drain into it)
+  api::Session session(options);
+
+  api::SubmitOptions blocker_options;
+  blocker_options.on_event = blocker_log.observer();
+  const api::JobHandle blocker =
+      session.submit(tiny_spec(300), std::move(blocker_options));
+  blocker_log.await(api::JobEvent::Kind::kStep);
+  const api::JobHandle waiter = session.submit(tiny_spec(2));
+
+  // Mid-flight: the blocker occupies the lane, the waiter sits queued.
+  const api::Session::Stats busy = session.stats();
+  EXPECT_GE(busy.jobs_executing, 1u);
+  EXPECT_GE(busy.queue_depth, 1u);
+
+  blocker.cancel();
+  ASSERT_TRUE(waiter.wait().ok()) << waiter.wait().error;
+  const api::Session::Stats idle = session.stats();
+  EXPECT_EQ(idle.queue_depth, 0u);
+  EXPECT_EQ(idle.jobs_executing, 0u);
+  // The waiter saw a non-empty queue at submission and reports it.
+  EXPECT_GE(waiter.wait().queue_depth, 0u);
+}
+
+TEST(ServiceWrappers, RunBatchBitwiseIdenticalAcrossLanesAndPolicies) {
+  std::vector<api::JobSpec> specs(6, tiny_spec(3));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    specs[i].name = "b" + std::to_string(i);
+  }
+
+  // Legacy-shaped scheduler: one lane, one exact-FIFO shard, no batching.
+  api::Session::Options legacy;
+  legacy.threads = 4;
+  legacy.scheduler_lanes = 1;
+  legacy.work_stealing = false;
+  legacy.coalesce_limit = 1;
+  api::Session legacy_session(legacy);
+  const std::vector<api::JobResult> base =
+      legacy_session.run_batch(specs, api::Session::BatchOptions{1});
+
+  // Full serving config: sharded queue, stealing, tight capacity.
+  api::Session::Options serving;
+  serving.threads = 4;
+  serving.scheduler_lanes = 4;
+  serving.queue_shards = 2;
+  serving.queue_capacity = 8;
+  api::Session serving_session(serving);
+  const std::vector<api::JobResult> wide =
+      serving_session.run_batch(specs, api::Session::BatchOptions{4});
+
+  ASSERT_EQ(base.size(), specs.size());
+  ASSERT_EQ(wide.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ASSERT_TRUE(base[i].ok()) << base[i].error;
+    ASSERT_TRUE(wide[i].ok()) << wide[i].error;
+    EXPECT_EQ(wide[i].job_name, specs[i].name);
+    // The scheduling policy must be invisible in the optimization.
+    EXPECT_TRUE(base[i].run.theta_m == wide[i].run.theta_m);
+    EXPECT_TRUE(base[i].run.theta_j == wide[i].run.theta_j);
+  }
+}
+
 TEST(ServiceWrappers, RunBatchMatchesAsyncSubmissionBitwise) {
   api::Session session;
   std::vector<api::JobSpec> specs(3, tiny_spec(3));

@@ -13,6 +13,7 @@
 // submission path and streams per-job status lines (enqueued / started /
 // step / done with queue latency) as the scheduler works; there the first
 // Ctrl-C cancels each outstanding job individually via its JobHandle.
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <csignal>
@@ -57,6 +58,14 @@ using namespace bismo;
       "  --halo-nm H        tile overlap margin in nm (default 128)\n"
       "  --lanes N          tiles optimized at once (default: auto)\n"
       "  --threads N        worker threads (default: hardware)\n"
+      "  --queue-capacity N queued jobs past which the admission policy\n"
+      "                     applies (default: effectively unbounded)\n"
+      "  --queue-policy P   admission policy at capacity: block | reject |\n"
+      "                     shed (shed-oldest); applies to --watch\n"
+      "                     submissions (default block)\n"
+      "  --coalesce N       batch up to N queued same-shape jobs into one\n"
+      "                     scheduler dispatch under load (1 disables;\n"
+      "                     default 8)\n"
       "  --fft-backend B    FFT kernel backend: scalar | avx2 | neon | auto\n"
       "                     (default: auto; also via BISMO_FFT_BACKEND)\n"
       "  --json PATH        write results JSON ('-' for stdout)\n"
@@ -64,7 +73,8 @@ using namespace bismo;
       "                     latency, metrics)\n"
       "  --progress         print per-step progress to stderr\n"
       "  --watch            submit asynchronously and stream per-job status\n"
-      "                     lines; Ctrl-C cancels the outstanding jobs\n"
+      "                     lines plus a periodic queue/lane status line;\n"
+      "                     Ctrl-C cancels the outstanding jobs\n"
       "                     individually\n"
       "  --out DIR          image/checkpoint directory for single runs\n"
       "                     (default bismo_cli_out)\n"
@@ -137,12 +147,16 @@ void write_images(api::Session& session, const api::JobSpec& spec,
 }
 
 /// Async serving path: submit everything up front, stream status via the
-/// session event observer, cancel outstanding jobs individually on ^C.
+/// session event observer, cancel outstanding jobs individually on ^C,
+/// and print a live queue/lane status line roughly once per second.
 std::vector<api::JobResult> watch_run(api::Session& session,
-                                      const std::vector<api::JobSpec>& specs) {
-  std::vector<api::JobHandle> handles = session.submit_batch(specs);
+                                      const std::vector<api::JobSpec>& specs,
+                                      const api::SubmitOptions& submit_base) {
+  std::vector<api::JobHandle> handles =
+      session.submit_batch(specs, submit_base);
   std::vector<api::JobResult> results(specs.size());
   bool cancelled = false;
+  int polls = 0;
   for (std::size_t i = 0; i < handles.size(); ++i) {
     while (!handles[i].wait_for(0.1)) {
       if (!cancelled && g_interrupted.load(std::memory_order_relaxed)) {
@@ -151,6 +165,14 @@ std::vector<api::JobResult> watch_run(api::Session& session,
         // jobs stop at their next step; terminal handles are no-ops.
         for (const api::JobHandle& handle : handles) handle.cancel();
         cancelled = true;
+      }
+      if (++polls % 10 == 0) {
+        const api::Session::Stats s = session.stats();
+        std::fprintf(stderr,
+                     "[status] queued %zu | running %zu | steals %zu | "
+                     "coalesced %zu | shed %zu | rejected %zu\n",
+                     s.queue_depth, s.jobs_executing, s.steals,
+                     s.coalesced_jobs, s.jobs_shed, s.jobs_rejected);
       }
     }
     results[i] = handles[i].wait();
@@ -265,6 +287,9 @@ int main(int argc, char** argv) {
   std::uint64_t seed = 1;
   std::size_t batch = 0;
   std::size_t threads = 0;
+  std::size_t queue_capacity = 0;
+  std::size_t coalesce_limit = 8;
+  api::QueuePolicy queue_policy = api::QueuePolicy::kBlock;
   bool progress = false;
   bool watch = false;
   std::size_t tile_rows = 0;
@@ -305,6 +330,19 @@ int main(int argc, char** argv) {
     else if (flag == "--halo-nm") halo_nm = std::strtod(next().c_str(), nullptr);
     else if (flag == "--lanes") lanes = std::strtoul(next().c_str(), nullptr, 10);
     else if (flag == "--threads") threads = std::strtoul(next().c_str(), nullptr, 10);
+    else if (flag == "--queue-capacity") queue_capacity = std::strtoul(next().c_str(), nullptr, 10);
+    else if (flag == "--coalesce") coalesce_limit = std::strtoul(next().c_str(), nullptr, 10);
+    else if (flag == "--queue-policy") {
+      const std::string policy = next();
+      if (policy == "block") queue_policy = api::QueuePolicy::kBlock;
+      else if (policy == "reject") queue_policy = api::QueuePolicy::kReject;
+      else if (policy == "shed" || policy == "shed-oldest") {
+        queue_policy = api::QueuePolicy::kShedOldest;
+      } else {
+        std::fprintf(stderr, "unknown queue policy \"%s\"\n", policy.c_str());
+        usage(argv[0]);
+      }
+    }
     else if (flag == "--fft-backend") {
       const std::string backend = next();
       if (!bismo::fft::set_backend(backend)) {
@@ -356,6 +394,8 @@ int main(int argc, char** argv) {
 
     api::Session::Options options;
     options.threads = threads;
+    options.queue_capacity = queue_capacity;
+    options.coalesce_limit = std::max<std::size_t>(1, coalesce_limit);
     if (watch) {
       // Whole status lines per job-lifecycle event; step lines at coarse
       // intervals when --progress is also given.
@@ -440,7 +480,14 @@ int main(int argc, char** argv) {
 
     std::vector<api::JobResult> results;
     if (watch) {
-      results = watch_run(session, specs);
+      api::SubmitOptions submit_base;
+      submit_base.queue_policy = queue_policy;
+      // Generated batch clips share one structural shape, so one
+      // fingerprint opts the whole stream into small-job coalescing.
+      if (options.coalesce_limit > 1 && specs.size() > 1) {
+        submit_base.coalesce_key = specs.front().coalesce_fingerprint();
+      }
+      results = watch_run(session, specs, submit_base);
     } else {
       InterruptWatcher watcher(session);
       results = session.run_batch(specs);
