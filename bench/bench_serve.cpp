@@ -39,9 +39,11 @@
 // Results land in BENCH_serve.json.  `--quick` shrinks the sustained
 // streams for CI smoke runs.
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <utility>
 #include <string>
 #include <thread>
 #include <vector>
@@ -322,6 +324,41 @@ int main(int argc, char** argv) {
               serving_run.jobs_per_sec() /
                   std::max(persistent_jps, 1e-9));
 
+  // -- Part 3: event-rate ceiling, locked vs batched emission. ----------
+  // A session-wide observer with a realistic per-event cost (metrics
+  // serialization, ~1 us).  With batch_events=false every lane thread
+  // runs that cost inside the emission lock, so the observer is a
+  // serialization point for the whole scheduler; with batch_events=true
+  // lanes append to a flat-combining buffer and one emitter drains it
+  // outside the lock, so lane threads never wait on the consumer.
+  std::atomic<std::uint64_t> event_count{0};
+  const auto counting_observer = [&event_count](const api::JobEvent&) {
+    event_count.fetch_add(1, std::memory_order_relaxed);
+    volatile unsigned sink = 0;
+    for (unsigned k = 0; k < 400; ++k) sink = sink + k;
+  };
+  const auto run_event_case = [&](bool batched) {
+    api::Session::Options opts;
+    opts.threads = args.threads;
+    opts.batch_events = batched;
+    opts.on_event = counting_observer;
+    event_count.store(0, std::memory_order_relaxed);
+    SustainedResult r = run_sustained(opts, tiny, api::SubmitOptions{});
+    const double events = static_cast<double>(
+        event_count.load(std::memory_order_relaxed));
+    return std::make_pair(r, r.seconds > 0.0 ? events / r.seconds : 0.0);
+  };
+  const auto [locked_run, locked_eps] = run_event_case(/*batched=*/false);
+  const auto [batched_run, batched_eps] = run_event_case(/*batched=*/true);
+  std::printf(
+      "events_locked           : %7.1f jobs/sec, %9.0f events/sec\n",
+      locked_run.jobs_per_sec(), locked_eps);
+  std::printf(
+      "events_batched          : %7.1f jobs/sec, %9.0f events/sec "
+      "(%4.2fx ceiling)\n",
+      batched_run.jobs_per_sec(), batched_eps,
+      batched_eps / std::max(locked_eps, 1e-9));
+
   BenchReport report("serve", args);
   report.add("transient", {{"jobs_per_sec", transient_jps},
                            {"seconds", transient_seconds},
@@ -354,6 +391,15 @@ int main(int argc, char** argv) {
   report.add("sustained", sustained_row(serving_run));
   report.add("sustained_overload_shed", sustained_row(shed_run));
   report.add("sustained_overload_reject", sustained_row(reject_run));
+  report.add("events_locked", {{"jobs_per_sec", locked_run.jobs_per_sec()},
+                               {"events_per_sec", locked_eps},
+                               {"seconds", locked_run.seconds}});
+  report.add("events_batched",
+             {{"jobs_per_sec", batched_run.jobs_per_sec()},
+              {"events_per_sec", batched_eps},
+              {"seconds", batched_run.seconds},
+              {"ceiling_vs_locked",
+               batched_eps / std::max(locked_eps, 1e-9)}});
   report.add("speedup",
              {{"persistent_over_transient", persistent_jps / transient_jps},
               {"sustained_over_legacy",

@@ -117,22 +117,41 @@ struct SubmitOptions {
   /// legacy Progress records; submit_batch fills these in).
   std::size_t batch_index = 0;
   std::size_t batch_count = 1;
+  /// Locality group for distributed schedulers: jobs sharing the same
+  /// non-zero hint prefer to land on the same worker (net::Dispatcher maps
+  /// the hint onto its worker set; halo-neighbour tiles of one sweep share
+  /// a hint so their coalesce fingerprints stay effective per worker).
+  /// In-process sessions ignore it.  0 = no preference.
+  std::uint64_t placement_hint = 0;
 };
 
 namespace detail {
 
+struct JobState;
+
+/// Cancellation sink behind a ServiceGate.  The in-process JobService and
+/// the remote net::Dispatcher both implement it, so JobHandle::cancel
+/// routes identically whether the job runs locally or on a worker.
+class JobRouter {
+ public:
+  virtual void cancel_job(const std::shared_ptr<JobState>& state) = 0;
+
+ protected:
+  ~JobRouter() = default;
+};
+
 class JobService;
 
 /// Liveness gate between JobHandles and their scheduler: shared by the
-/// service and every job it created.  The service nulls `service` as the
-/// last act of its destructor (with all jobs already finalized), so a
-/// handle can safely route `cancel()` through the gate no matter which
-/// thread is tearing the session down.  Recursive: an observer invoked
-/// under the gate (a finished event from a gated cancel) may cancel
-/// another handle of the same session.
+/// router (JobService or net::Dispatcher) and every job it created.  The
+/// router nulls `service` as the last act of its destructor (with all jobs
+/// already finalized), so a handle can safely route `cancel()` through the
+/// gate no matter which thread is tearing the session down.  Recursive: an
+/// observer invoked under the gate (a finished event from a gated cancel)
+/// may cancel another handle of the same session.
 struct ServiceGate {
   std::recursive_mutex mutex;
-  JobService* service = nullptr;
+  JobRouter* service = nullptr;
 };
 
 /// Shared state of one submitted job.  Created by JobService::submit and
@@ -181,6 +200,12 @@ struct JobState {
 
 }  // namespace detail
 
+class JobHandle;
+
+namespace detail {
+JobHandle make_handle(std::shared_ptr<JobState> state);
+}  // namespace detail
+
 /// Copyable, thread-safe view of one submitted job.
 class JobHandle {
  public:
@@ -217,11 +242,23 @@ class JobHandle {
 
  private:
   friend class detail::JobService;
+  friend JobHandle detail::make_handle(std::shared_ptr<detail::JobState>);
   explicit JobHandle(std::shared_ptr<detail::JobState> state)
       : state_(std::move(state)) {}
 
   std::shared_ptr<detail::JobState> state_;
 };
+
+namespace detail {
+
+/// Wrap shared job state in a handle.  Entry point for alternative
+/// schedulers (net::Dispatcher) that honour the JobState contract:
+/// publish the result under state->mutex, set finished, notify cv.
+inline JobHandle make_handle(std::shared_ptr<JobState> state) {
+  return JobHandle(std::move(state));
+}
+
+}  // namespace detail
 
 }  // namespace bismo::api
 

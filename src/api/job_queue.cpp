@@ -253,6 +253,30 @@ std::shared_ptr<JobState> JobQueue::try_pop_matching(
   return try_pop_shard(shard, &coalesce_key);
 }
 
+std::shared_ptr<JobState> JobQueue::try_pop_matching_priority(
+    std::uint64_t coalesce_key, int priority) {
+  if (coalesce_key == 0 || priority == 0) return nullptr;
+  std::shared_ptr<JobState> state;
+  {
+    std::lock_guard<std::mutex> lock(prio_mutex_);
+    if (prio_items_.empty()) return nullptr;
+    const JobState& front = *prio_items_.front();
+    if (front.options.priority != priority ||
+        front.options.coalesce_key != coalesce_key) {
+      return nullptr;
+    }
+    state = std::move(prio_items_.front());
+    prio_items_.pop_front();
+    if (priority > 0) {
+      prio_pos_.fetch_sub(1, std::memory_order_release);
+    } else {
+      prio_neg_.fetch_sub(1, std::memory_order_release);
+    }
+  }
+  note_popped();
+  return state;
+}
+
 std::shared_ptr<JobState> JobQueue::shed_victim(int max_priority) {
   // Below-normal side-list tail goes first: it is the globally lowest
   // priority when present.

@@ -75,6 +75,13 @@ class JobQueue {
   std::shared_ptr<JobState> try_pop_matching(std::size_t shard,
                                              std::uint64_t coalesce_key);
 
+  /// Side-list counterpart of try_pop_matching: pop the list front only
+  /// when it carries exactly `coalesce_key` AND exactly the same non-zero
+  /// `priority` -- jobs never coalesce across priority levels, and the
+  /// front-only claim preserves the (priority desc, id asc) pop order.
+  std::shared_ptr<JobState> try_pop_matching_priority(
+      std::uint64_t coalesce_key, int priority);
+
   /// Non-blocking pop of the oldest lowest-priority queued job whose
   /// priority is <= `max_priority` (shed-oldest admission policy); nullptr
   /// when nothing sheddable is queued.  Relaxed "oldest": the ring victim

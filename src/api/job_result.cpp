@@ -38,6 +38,7 @@ void write_result_object(JsonWriter& w, const JobResult& r) {
   w.key("workspace_evictions").value(r.workspace_evictions);
   w.key("queue_depth").value(r.queue_depth);
   w.key("shed").value(r.shed);
+  w.key("retries").value(r.retries);
   w.key("fft_backend").value(r.fft_backend);
   w.key("before");
   write_metrics(w, r.before);

@@ -29,6 +29,8 @@ struct JobResult {
   std::size_t workspace_evictions = 0;  ///< idle sets evicted at release
   std::size_t queue_depth = 0;  ///< dispatch-queue depth at submission
   bool shed = false;  ///< cancelled by the shed-oldest admission policy
+  std::size_t retries = 0;  ///< times a cluster dispatcher resubmitted the
+                            ///< job after losing its worker (0 in-process)
   std::string fft_backend;  ///< FFT kernel backend the job ran on
                             ///< ("scalar" | "avx2" | "neon"); benches and
                             ///< perf tracking key results by it

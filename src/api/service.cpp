@@ -190,15 +190,22 @@ void JobService::lane_main(std::size_t lane) {
 
     batch.clear();
     const std::uint64_t key = head->options.coalesce_key;
+    const int priority = head->options.priority;
     batch.push_back(std::move(head));
-    if (key != 0 && coalesce_limit_ > 1 && shard < queue_.shard_count()) {
+    if (key != 0 && coalesce_limit_ > 1) {
       // Depth-scaled budget: batch only once the queue is deeper than the
       // lane set can drain one job at a time, so a shallow stream still
       // fans out across lanes at full width instead of serializing on one.
       const std::size_t budget =
           std::min(coalesce_limit_, 1 + queue_.size() / lane_limit_);
       while (batch.size() < budget) {
-        std::shared_ptr<JobState> more = queue_.try_pop_matching(shard, key);
+        // Ring heads gather from their shard; side-list heads (non-zero
+        // priority, shard_out past the ring count) gather same-key jobs of
+        // exactly their own priority level -- never across levels.
+        std::shared_ptr<JobState> more =
+            shard < queue_.shard_count()
+                ? queue_.try_pop_matching(shard, key)
+                : queue_.try_pop_matching_priority(key, priority);
         if (more == nullptr) break;
         batch.push_back(std::move(more));
       }

@@ -22,6 +22,9 @@
 // sub-millisecond jobs.  The batch budget scales with queue depth per
 // lane, so coalescing only engages once the lanes cannot drain the queue
 // one job at a time -- a shallow queue still fans out across lanes.
+// Non-zero-priority jobs coalesce too, but strictly within their own
+// level: a side-list head gathers same-key jobs of exactly its priority
+// from the list front, so jobs never coalesce across priority levels.
 // Members keep their own JobEvent streams, results and cancel windows: a
 // lane claims each member with the same status CAS as a solo dispatch.
 //
@@ -56,7 +59,7 @@
 
 namespace bismo::api::detail {
 
-class JobService {
+class JobService final : public JobRouter {
  public:
   struct Config {
     /// Maximum jobs executing concurrently (lane threads); 0 = width.
@@ -103,7 +106,7 @@ class JobService {
 
   /// Per-job cancel (JobHandle::cancel): CAS a queued job terminal, or
   /// request a running job's token.
-  void cancel_job(const std::shared_ptr<JobState>& state);
+  void cancel_job(const std::shared_ptr<JobState>& state) override;
 
   /// Session-wide cancel: drain all currently queued/running jobs.  The
   /// session token stays raised only while those jobs finalize

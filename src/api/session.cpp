@@ -97,6 +97,7 @@ Session::Session(Options options)
                        1, std::thread::hardware_concurrency())),
       observer_(std::move(options.on_progress)),
       event_observer_(std::move(options.on_event)),
+      batch_events_(options.batch_events),
       workspace_cache_cap_(options.workspace_cache_cap) {
   detail::JobService::Config config;
   config.lanes = options.scheduler_lanes;
@@ -219,15 +220,8 @@ void Session::flush_sticky_lease() {
   slot.lease = WorkspaceLease{};
 }
 
-void Session::emit_event(const JobEvent& event,
-                         const detail::JobState& state) {
-  // Fast path for unobserved jobs: the sub-millisecond serving regime
-  // must not serialize every event on the observer mutex.
-  if (observer_ == nullptr && event_observer_ == nullptr &&
-      state.options.on_event == nullptr) {
-    return;
-  }
-  std::lock_guard<std::recursive_mutex> lock(observer_mutex_);
+void Session::deliver_event(const PendingEvent& pending) {
+  const JobEvent& event = pending.event;
   if (observer_ && event.kind == JobEvent::Kind::kStep) {
     // Legacy per-step adapter: Progress is a projection of the step event.
     Progress progress;
@@ -240,7 +234,49 @@ void Session::emit_event(const JobEvent& event,
     observer_(progress);
   }
   if (event_observer_) event_observer_(event);
-  if (state.options.on_event) state.options.on_event(event);
+  if (pending.per_job) pending.per_job(event);
+}
+
+void Session::emit_event(const JobEvent& event,
+                         const detail::JobState& state) {
+  // Fast path for unobserved jobs: the sub-millisecond serving regime
+  // must not serialize every event on the observer mutex.
+  if (observer_ == nullptr && event_observer_ == nullptr &&
+      state.options.on_event == nullptr) {
+    return;
+  }
+  if (!batch_events_) {
+    std::lock_guard<std::recursive_mutex> lock(observer_mutex_);
+    deliver_event(PendingEvent{event, state.options.on_event});
+    return;
+  }
+  // Batched path: append under the buffer lock, then elect at most one
+  // drainer, which fans queued batches out OUTSIDE the lock until the
+  // buffer runs dry.  Lanes behind a slow observer enqueue and move on
+  // instead of convoying on the emission mutex; global FIFO order and the
+  // one-observer-call-at-a-time contract are both preserved (single
+  // drainer).  Re-entrant emissions (an observer cancels a job, whose
+  // finished event emits on the observing thread) simply append and are
+  // picked up by the already-running drain loop -- no recursion.
+  {
+    std::lock_guard<std::mutex> lock(event_mutex_);
+    event_queue_.push_back(PendingEvent{event, state.options.on_event});
+    if (event_draining_) return;
+    event_draining_ = true;
+  }
+  std::vector<PendingEvent> batch;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(event_mutex_);
+      if (event_queue_.empty()) {
+        event_draining_ = false;
+        return;
+      }
+      batch.clear();
+      batch.swap(event_queue_);
+    }
+    for (const PendingEvent& pending : batch) deliver_event(pending);
+  }
 }
 
 std::shared_ptr<SmoProblem> Session::make_problem(const JobSpec& spec) {
@@ -380,19 +416,6 @@ JobResult Session::execute_job(detail::JobState& state, ThreadPool* pool) {
 
 JobHandle Session::submit(JobSpec spec, SubmitOptions options) {
   return service_->submit(std::move(spec), std::move(options));
-}
-
-std::vector<JobHandle> Session::submit_batch(
-    const std::vector<JobSpec>& specs, const SubmitOptions& base) {
-  std::vector<JobHandle> handles;
-  handles.reserve(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    SubmitOptions options = base;
-    options.batch_index = i;
-    options.batch_count = specs.size();
-    handles.push_back(submit(specs[i], std::move(options)));
-  }
-  return handles;
 }
 
 JobResult Session::run(const JobSpec& spec) {

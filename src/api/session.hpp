@@ -17,7 +17,9 @@
 // step* -> finished) to the session-wide `Options::on_event` observer and
 // the per-job `SubmitOptions::on_event` observer.  The legacy per-step
 // ProgressObserver is an adapter over the same feed and remains supported.
-// All observer invocations are serialized by the session.
+// All observer invocations are serialized by the session; by default
+// delivery is batched -- lanes append events to a buffer and one drainer
+// fans them out outside the emission lock (Options::batch_events).
 //
 // Cancellation is per job and composable: `JobHandle::cancel()` stops one
 // job without touching its siblings; `Session::request_cancel()` drains
@@ -44,6 +46,7 @@
 #include "api/job_handle.hpp"
 #include "api/job_result.hpp"
 #include "api/job_spec.hpp"
+#include "api/submitter.hpp"
 #include "core/run_control.hpp"
 #include "parallel/thread_pool.hpp"
 #include "sim/workspace.hpp"
@@ -70,8 +73,10 @@ struct Progress {
 /// safe to call Session::request_cancel() from the observer.
 using ProgressObserver = std::function<void(const Progress&)>;
 
-/// Execution context shared by a sequence of jobs.
-class Session {
+/// Execution context shared by a sequence of jobs.  Implements the
+/// JobSubmitter serving contract (net::Dispatcher is the multi-process
+/// implementation of the same interface).
+class Session : public JobSubmitter {
  public:
   struct Options {
     std::size_t threads = 0;       ///< parallel width (0 = hardware)
@@ -100,6 +105,14 @@ class Session {
     /// Idle lanes steal queued jobs from loaded neighbours' shards.
     /// Turning this off forces a single exact-FIFO queue shard.
     bool work_stealing = true;
+    /// Batched observer delivery: producers append events to a session
+    /// buffer under a cheap lock and one drainer at a time fans batches
+    /// out to the observers OUTSIDE that lock, so lanes never stall
+    /// behind a slow observer while holding the emission mutex.  Global
+    /// FIFO order and serialized observer invocation are preserved.
+    /// false = legacy path serializing every emission on one recursive
+    /// mutex (kept for A/B measurement; see bench_serve).
+    bool batch_events = true;
   };
 
   /// Per-batch execution options for the synchronous `run_batch` wrapper.
@@ -136,7 +149,7 @@ class Session {
 
   /// Finalizes every outstanding job as cancelled and joins the scheduler;
   /// outstanding JobHandles stay safe to query afterwards.
-  ~Session();
+  ~Session() override;
 
   /// The shared worker pool (escape-hatch problems and image rendering;
   /// its width is the session's parallel width).  Constructed lazily on
@@ -147,17 +160,15 @@ class Session {
   /// The session's parallel width (what pool().width() will report).
   std::size_t width() const noexcept { return width_; }
 
+  /// JobSubmitter width: same as width().
+  std::size_t parallel_width() const noexcept override { return width_; }
+
   // -- Asynchronous service API ----------------------------------------
 
   /// Enqueue one job and return immediately.  Job-level validation errors
   /// surface in the eventual JobResult::error, never as exceptions.
-  JobHandle submit(JobSpec spec, SubmitOptions options = {});
-
-  /// Enqueue `specs` in order (batch_index/batch_count filled in from
-  /// `base`), all up front.  Handles are in spec order; completion order
-  /// is the scheduler's business.
-  std::vector<JobHandle> submit_batch(const std::vector<JobSpec>& specs,
-                                      const SubmitOptions& base = {});
+  /// (submit_batch is inherited from JobSubmitter.)
+  JobHandle submit(JobSpec spec, SubmitOptions options = {}) override;
 
   /// Cancel every currently queued or running job (queued jobs finalize
   /// immediately; running jobs stop at the next step boundary).  The
@@ -224,12 +235,25 @@ class Session {
     std::uint64_t last_used = 0;  ///< LRU tick
   };
 
+  /// One buffered observer delivery: the event plus a copy of the job's
+  /// per-job observer (the JobState may be finalized and released by the
+  /// time a drainer gets to it).
+  struct PendingEvent {
+    JobEvent event;
+    JobEventObserver per_job;
+  };
+
   /// Scheduler-lane job execution (detail::JobService::Config::execute).
   JobResult execute_job(detail::JobState& state, ThreadPool* pool);
 
-  /// Serialized fan-out of one event to the session-wide and per-job
-  /// observers (detail::JobService::Config::emit).
+  /// Fan one event out to the session-wide and per-job observers
+  /// (detail::JobService::Config::emit).  Batched mode appends to
+  /// event_queue_ and elects at most one drainer; legacy mode delivers
+  /// inline under observer_mutex_.
   void emit_event(const JobEvent& event, const detail::JobState& state);
+
+  /// Deliver one buffered event to the observers (drainer-serialized).
+  void deliver_event(const PendingEvent& pending);
 
   /// Check a warm set for `mask_dim` out of the cache (or create a cold
   /// one).  Thread-safe.
@@ -258,11 +282,17 @@ class Session {
   std::optional<ThreadPool> pool_storage_;
   ProgressObserver observer_;
   JobEventObserver event_observer_;
-  /// Serializes observer invocations across lanes.  Recursive because an
-  /// observer may cancel jobs (request_cancel / JobHandle::cancel), which
-  /// finalizes queued jobs and emits their finished events re-entrantly
-  /// on the observing thread.
+  bool batch_events_;
+  /// Legacy-path mutex serializing observer invocations across lanes.
+  /// Recursive because an observer may cancel jobs (request_cancel /
+  /// JobHandle::cancel), which finalizes queued jobs and emits their
+  /// finished events re-entrantly on the observing thread.
   std::recursive_mutex observer_mutex_;
+  /// Batched-path emission buffer: guards event_queue_/event_draining_
+  /// only -- never held across an observer call.
+  std::mutex event_mutex_;
+  std::vector<PendingEvent> event_queue_;
+  bool event_draining_ = false;
 
   std::mutex cache_mutex_;
   std::vector<CacheEntry> idle_workspaces_;

@@ -1,0 +1,51 @@
+// JobSubmitter: the one serving contract of the api layer.
+//
+// `api::Session` (in-process lanes) and `net::Dispatcher` (a cluster of
+// worker processes) both implement submit -> JobHandle with identical
+// semantics -- same event stream, same result ordering, same cancellation
+// behaviour -- so callers like shard::TileScheduler and the CLI batch
+// runner are written once against this interface and scale from one
+// process to N workers without a parallel entry point.
+#ifndef BISMO_API_SUBMITTER_HPP
+#define BISMO_API_SUBMITTER_HPP
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "api/job_handle.hpp"
+#include "api/job_spec.hpp"
+
+namespace bismo::api {
+
+class JobSubmitter {
+ public:
+  virtual ~JobSubmitter() = default;
+
+  /// Enqueue one job and return immediately with its handle.
+  virtual JobHandle submit(JobSpec spec, SubmitOptions options = {}) = 0;
+
+  /// Usable parallel width (threads for a Session, summed worker widths
+  /// for a Dispatcher).  Callers size sliding windows off this.
+  virtual std::size_t parallel_width() const noexcept = 0;
+
+  /// Submit `specs` in order as one labeled batch (batch_index and
+  /// batch_count filled in from a copy of `base` per job).  Handles are in
+  /// spec order; completion order is the scheduler's business.
+  std::vector<JobHandle> submit_batch(const std::vector<JobSpec>& specs,
+                                      const SubmitOptions& base = {}) {
+    std::vector<JobHandle> handles;
+    handles.reserve(specs.size());
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      SubmitOptions per_job = base;
+      per_job.batch_index = i;
+      per_job.batch_count = specs.size();
+      handles.push_back(submit(specs[i], std::move(per_job)));
+    }
+    return handles;
+  }
+};
+
+}  // namespace bismo::api
+
+#endif  // BISMO_API_SUBMITTER_HPP

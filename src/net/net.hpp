@@ -1,0 +1,21 @@
+// Umbrella header of the distributed serving layer.
+//
+//   wire.hpp        binary codec for specs/results/events/stats
+//   frame.hpp       length-prefixed framing + fd IO
+//   socket.hpp      RAII TCP sockets
+//   protocol.hpp    typed frame payloads
+//   worker.hpp      net::Worker -- serve a Session over TCP
+//   dispatcher.hpp  net::Dispatcher -- fault-tolerant cluster scheduler
+//   spawn.hpp       fork-based local worker processes
+#ifndef BISMO_NET_NET_HPP
+#define BISMO_NET_NET_HPP
+
+#include "net/dispatcher.hpp"
+#include "net/frame.hpp"
+#include "net/protocol.hpp"
+#include "net/socket.hpp"
+#include "net/spawn.hpp"
+#include "net/wire.hpp"
+#include "net/worker.hpp"
+
+#endif  // BISMO_NET_NET_HPP

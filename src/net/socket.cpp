@@ -1,0 +1,136 @@
+#include "net/socket.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include "net/wire.hpp"
+
+namespace bismo::net {
+namespace {
+
+[[noreturn]] void fail(const std::string& what) {
+  throw WireError("net: " + what + ": " + std::strerror(errno));
+}
+
+void enable_nodelay(int fd) {
+  // Frames are small and latency-sensitive (submits, events, heartbeats);
+  // Nagle would add 40 ms stalls to the event stream.
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+}  // namespace
+
+Socket::~Socket() { close(); }
+
+Socket::Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void Socket::shutdown_both() noexcept {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+Socket listen_loopback(std::uint16_t* port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) fail("socket() failed");
+  Socket sock(fd);
+
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(*port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    fail("bind(127.0.0.1:" + std::to_string(*port) + ") failed");
+  }
+  if (::listen(fd, 64) < 0) fail("listen() failed");
+
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    fail("getsockname() failed");
+  }
+  *port = ntohs(addr.sin_port);
+  return sock;
+}
+
+Socket accept_connection(const Socket& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.fd(), nullptr, nullptr);
+    if (fd >= 0) {
+      enable_nodelay(fd);
+      return Socket(fd);
+    }
+    if (errno == EINTR) continue;
+    // EBADF/EINVAL: the listener was closed or shut down -- orderly stop.
+    if (errno == EBADF || errno == EINVAL || errno == ECONNABORTED) {
+      return Socket();
+    }
+    fail("accept() failed");
+  }
+}
+
+Socket connect_to(const std::string& host, std::uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* info = nullptr;
+  const int rc =
+      ::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &info);
+  if (rc != 0 || info == nullptr) {
+    throw WireError("net: cannot resolve " + host + ": " +
+                    ::gai_strerror(rc));
+  }
+  int saved_errno = 0;
+  for (addrinfo* ai = info; ai != nullptr; ai = ai->ai_next) {
+    const int fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      saved_errno = errno;
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) {
+      ::freeaddrinfo(info);
+      enable_nodelay(fd);
+      return Socket(fd);
+    }
+    saved_errno = errno;
+    ::close(fd);
+  }
+  ::freeaddrinfo(info);
+  throw WireError("net: cannot connect to " + host + ":" +
+                  std::to_string(port) + ": " + std::strerror(saved_errno));
+}
+
+void set_recv_timeout(const Socket& socket, double seconds) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(seconds);
+  tv.tv_usec = static_cast<suseconds_t>((seconds - static_cast<double>(tv.tv_sec)) * 1e6);
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+}  // namespace bismo::net

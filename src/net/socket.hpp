@@ -1,0 +1,62 @@
+// Thin RAII wrappers over POSIX TCP sockets for the worker protocol.
+//
+// Scope is deliberately small: loopback-friendly listen/accept/connect,
+// receive timeouts (the dispatcher's heartbeat watchdog), and a hard
+// bidirectional shutdown used both for orderly teardown and for the
+// fault-injection kill path.  TLS/auth is an explicit non-goal of this
+// layer (see ROADMAP follow-ups); deployments needing it should front
+// workers with a tunnel.
+#ifndef BISMO_NET_SOCKET_HPP
+#define BISMO_NET_SOCKET_HPP
+
+#include <cstdint>
+#include <string>
+
+namespace bismo::net {
+
+/// Move-only owner of one socket fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket();
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+
+  int fd() const noexcept { return fd_; }
+  bool valid() const noexcept { return fd_ >= 0; }
+
+  /// Close the fd (idempotent).
+  void close() noexcept;
+
+  /// shutdown(SHUT_RDWR): unblocks any reader/writer on the fd from
+  /// another thread without racing the fd number itself.  Idempotent.
+  void shutdown_both() noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Bind + listen on 127.0.0.1.  `*port` == 0 picks an ephemeral port and
+/// is updated to the chosen one.  Throws WireError on failure.
+Socket listen_loopback(std::uint16_t* port);
+
+/// Accept one connection (blocking).  Returns an invalid Socket when the
+/// listener was closed/shut down (orderly stop); throws on other errors.
+Socket accept_connection(const Socket& listener);
+
+/// Connect to host:port (blocking; "localhost" or a dotted IPv4 address).
+/// Throws WireError on resolution or connection failure.
+Socket connect_to(const std::string& host, std::uint16_t port);
+
+/// SO_RCVTIMEO: blocking reads fail with EAGAIN after `seconds`.  This is
+/// the heartbeat watchdog -- a healthy worker always sends something
+/// (events, results, heartbeats) within the timeout.
+void set_recv_timeout(const Socket& socket, double seconds);
+
+}  // namespace bismo::net
+
+#endif  // BISMO_NET_SOCKET_HPP

@@ -1,0 +1,118 @@
+#include "net/spawn.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "net/wire.hpp"
+
+namespace bismo::net {
+namespace {
+
+void reap(pid_t pid) {
+  if (pid <= 0) return;
+  ::kill(pid, SIGKILL);
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+}
+
+ssize_t read_retry(int fd, void* buf, std::size_t size) {
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, size);
+    if (n >= 0 || errno != EINTR) return n;
+  }
+}
+
+}  // namespace
+
+SpawnedCluster::~SpawnedCluster() {
+  for (pid_t pid : workers_) reap(pid);
+}
+
+SpawnedCluster::SpawnedCluster(SpawnedCluster&& other) noexcept
+    : workers_(std::move(other.workers_)),
+      endpoints_(std::move(other.endpoints_)) {
+  other.workers_.clear();
+}
+
+SpawnedCluster& SpawnedCluster::operator=(SpawnedCluster&& other) noexcept {
+  if (this != &other) {
+    for (pid_t pid : workers_) reap(pid);
+    workers_ = std::move(other.workers_);
+    endpoints_ = std::move(other.endpoints_);
+    other.workers_.clear();
+  }
+  return *this;
+}
+
+void SpawnedCluster::kill_worker(std::size_t index) {
+  if (index >= workers_.size()) return;
+  reap(workers_[index]);
+  workers_[index] = -1;
+}
+
+bool SpawnedCluster::alive(std::size_t index) const {
+  return index < workers_.size() && workers_[index] > 0;
+}
+
+SpawnedCluster spawn_local_workers(std::size_t count,
+                                   const WorkerOptions& base) {
+  SpawnedCluster cluster;
+  for (std::size_t i = 0; i < count; ++i) {
+    int pipefd[2];
+    if (::pipe(pipefd) != 0) {
+      throw WireError(std::string("net: pipe() failed: ") +
+                      std::strerror(errno));
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(pipefd[0]);
+      ::close(pipefd[1]);
+      throw WireError(std::string("net: fork() failed: ") +
+                      std::strerror(errno));
+    }
+    if (pid == 0) {
+      // Child: serve one Worker until killed.  Never returns.
+      ::close(pipefd[0]);
+      ::prctl(PR_SET_PDEATHSIG, SIGKILL);  // die with the parent
+      WorkerOptions options = base;
+      options.port = 0;
+      options.name = base.name + "-" + std::to_string(i);
+      int exit_code = 0;
+      try {
+        Worker worker(options);
+        const std::uint16_t port = worker.port();
+        if (::write(pipefd[1], &port, sizeof(port)) != sizeof(port)) {
+          std::_Exit(3);
+        }
+        ::close(pipefd[1]);
+        worker.serve();
+      } catch (const std::exception&) {
+        exit_code = 2;
+      }
+      std::_Exit(exit_code);
+    }
+    // Parent: learn the child's port.
+    ::close(pipefd[1]);
+    std::uint16_t port = 0;
+    const ssize_t n = read_retry(pipefd[0], &port, sizeof(port));
+    ::close(pipefd[0]);
+    if (n != static_cast<ssize_t>(sizeof(port)) || port == 0) {
+      reap(pid);
+      throw WireError("net: spawned worker " + std::to_string(i) +
+                      " failed to start");
+    }
+    cluster.workers_.push_back(pid);
+    cluster.endpoints_.push_back(Endpoint{"127.0.0.1", port});
+  }
+  return cluster;
+}
+
+}  // namespace bismo::net

@@ -1,0 +1,63 @@
+// Local worker process spawning (fork-based) for `--spawn-workers N`,
+// bench_cluster, and the fault-injection tests.
+//
+// Each worker is a fork of the current process that constructs a
+// net::Worker on an ephemeral port, writes the chosen port back through a
+// pipe, and serves until killed.  Children arm PR_SET_PDEATHSIG(SIGKILL)
+// so a crashed parent never leaks worker processes.  Fork MUST happen
+// before the parent creates threads or a Session; callers (CLI, bench)
+// spawn first and construct their Session/Dispatcher afterwards.
+#ifndef BISMO_NET_SPAWN_HPP
+#define BISMO_NET_SPAWN_HPP
+
+#include <cstddef>
+#include <sys/types.h>
+#include <vector>
+
+#include "net/dispatcher.hpp"
+#include "net/worker.hpp"
+
+namespace bismo::net {
+
+/// A set of forked local worker processes.  Destroying the cluster kills
+/// and reaps every still-live worker.
+class SpawnedCluster {
+ public:
+  SpawnedCluster() = default;
+  ~SpawnedCluster();
+
+  SpawnedCluster(const SpawnedCluster&) = delete;
+  SpawnedCluster& operator=(const SpawnedCluster&) = delete;
+  SpawnedCluster(SpawnedCluster&& other) noexcept;
+  SpawnedCluster& operator=(SpawnedCluster&& other) noexcept;
+
+  std::size_t size() const noexcept { return workers_.size(); }
+
+  /// Loopback endpoints of the spawned workers (dispatcher input).
+  const std::vector<Endpoint>& endpoints() const noexcept {
+    return endpoints_;
+  }
+
+  /// SIGKILL worker `index` (fault injection); no-op if already dead.
+  void kill_worker(std::size_t index);
+
+  /// True while worker `index` has not been killed/reaped.
+  bool alive(std::size_t index) const;
+
+ private:
+  friend SpawnedCluster spawn_local_workers(std::size_t count,
+                                            const WorkerOptions& base);
+
+  std::vector<pid_t> workers_;
+  std::vector<Endpoint> endpoints_;
+};
+
+/// Fork `count` local worker processes ("<base.name>-<i>", ephemeral
+/// ports).  Throws WireError when a worker fails to start.  Call before
+/// creating threads in the calling process.
+SpawnedCluster spawn_local_workers(std::size_t count,
+                                   const WorkerOptions& base = {});
+
+}  // namespace bismo::net
+
+#endif  // BISMO_NET_SPAWN_HPP

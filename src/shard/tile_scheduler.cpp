@@ -21,6 +21,16 @@ double elapsed_seconds(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
+/// Default placement: 2x2 superblocks of the tile grid share a hint, so
+/// the halo neighbours of one block prefer the same worker under a
+/// distributed scheduler (+1 keeps every hint non-zero; 0 would mean "no
+/// preference").
+std::uint64_t superblock_hint(const TileWindow& t, const TilePlan& plan) {
+  const std::uint64_t blocks_per_row = (plan.cols() + 1) / 2;
+  return (static_cast<std::uint64_t>(t.row) / 2) * blocks_per_row +
+         (static_cast<std::uint64_t>(t.col) / 2) + 1;
+}
+
 }  // namespace
 
 TilePlan TileScheduler::plan_for(const Layout& layout,
@@ -76,7 +86,7 @@ ShardResult TileScheduler::run(const Layout& layout, const api::JobSpec& base,
   const std::size_t lanes_hint =
       options.concurrency > 0
           ? options.concurrency
-          : std::min(plan.tile_count(), session_.width());
+          : std::min(plan.tile_count(), submitter_.parallel_width());
 
   // Submit every tile up front and harvest handles in completion order.
   // Shared-owned so late finished events (emitted after results become
@@ -99,11 +109,15 @@ ShardResult TileScheduler::run(const Layout& layout, const api::JobSpec& base,
   std::vector<api::JobHandle> handles;
   handles.reserve(n);
   for (std::size_t t = 0; t < n; ++t) {
+    const TileWindow& window = plan.tiles()[t];
     api::SubmitOptions submit_options;
     submit_options.lanes_hint = lanes_hint;
     submit_options.coalesce_key = coalesce_key;
     submit_options.batch_index = t;
     submit_options.batch_count = n;
+    submit_options.placement_hint = options.placement
+                                        ? options.placement(window)
+                                        : superblock_hint(window, plan);
     submit_options.on_event = [sync, t](const api::JobEvent& event) {
       if (event.kind != api::JobEvent::Kind::kFinished) return;
       {
@@ -112,7 +126,7 @@ ShardResult TileScheduler::run(const Layout& layout, const api::JobSpec& base,
       }
       sync->ready.notify_all();
     };
-    handles.push_back(session_.submit(specs[t], std::move(submit_options)));
+    handles.push_back(submitter_.submit(specs[t], std::move(submit_options)));
   }
 
   // Render each healthy tile's mask/aerial the moment it lands, while

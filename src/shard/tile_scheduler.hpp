@@ -22,10 +22,13 @@
 #define BISMO_SHARD_TILE_SCHEDULER_HPP
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "api/session.hpp"
+#include "api/submitter.hpp"
 #include "layout/layout.hpp"
 #include "math/grid2d.hpp"
 #include "metrics/solution.hpp"
@@ -50,6 +53,12 @@ struct ShardOptions {
   /// under load (sharing a leased workspace).  Results are bitwise
   /// unaffected; turn off to force one dispatch per tile.
   bool coalesce_tiles = true;
+  /// Locality placement hook: maps each tile to a SubmitOptions
+  /// placement_hint (jobs sharing a non-zero hint prefer the same worker
+  /// under net::Dispatcher; in-process sessions ignore hints).  Unset, the
+  /// scheduler groups 2x2 superblocks of the tile grid so halo neighbours
+  /// land together.  Return 0 for "no preference".
+  std::function<std::uint64_t(const TileWindow&)> placement;
 };
 
 /// Outcome of one tiled sweep.
@@ -77,9 +86,15 @@ struct ShardResult {
 
 /// Shards layouts through one shared api::Session (whose warm workspace
 /// cache, worker pool, observer, and cancel token the sweep reuses).
+/// Optionally submits tiles through a different api::JobSubmitter -- a
+/// net::Dispatcher fans the sweep over worker processes while the local
+/// session still resolves configs and renders/stitches the tiles.
 class TileScheduler {
  public:
-  explicit TileScheduler(api::Session& session) : session_(session) {}
+  explicit TileScheduler(api::Session& session,
+                         api::JobSubmitter* submitter = nullptr)
+      : session_(session),
+        submitter_(submitter != nullptr ? *submitter : session) {}
 
   /// Decompose `layout` per `options` and optimize every tile with
   /// `base`'s method/configuration (base.clip is ignored -- the layout
@@ -102,7 +117,8 @@ class TileScheduler {
                                        const TilePlan& plan) const;
 
  private:
-  api::Session& session_;
+  api::Session& session_;        ///< config resolution + render/stitch
+  api::JobSubmitter& submitter_; ///< where tile jobs execute
 };
 
 }  // namespace bismo::shard

@@ -5,6 +5,7 @@
 // shutdown with outstanding handles.  These suites gate the TSan CI job.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <chrono>
 #include <condition_variable>
 #include <memory>
@@ -711,6 +712,99 @@ TEST(ServiceWrappers, RunBatchMatchesAsyncSubmissionBitwise) {
     EXPECT_TRUE(async.run.theta_m == sync[i].run.theta_m);
     EXPECT_TRUE(async.run.theta_j == sync[i].run.theta_j);
   }
+}
+
+TEST(ServiceCoalesce, EqualNonZeroPriorityJobsStillCoalesce) {
+  api::Session::Options options;
+  options.scheduler_lanes = 1;
+  EventLog blocker_log;  // outlives the session (events drain into it)
+  api::Session session(options);
+
+  api::SubmitOptions blocker_options;
+  blocker_options.on_event = blocker_log.observer();
+  const api::JobHandle blocker =
+      session.submit(tiny_spec(300), std::move(blocker_options));
+  blocker_log.await(api::JobEvent::Kind::kStep);
+
+  // Four same-shape urgent jobs share one coalesce key AND one non-zero
+  // priority.  A shared priority level must not defeat coalescing: the
+  // gather matches key+priority together, so these batch into shared
+  // dispatches exactly like priority-0 members.
+  const api::JobSpec base = tiny_spec(2);
+  const std::uint64_t key = base.coalesce_fingerprint();
+  std::vector<api::JobHandle> handles;
+  for (std::size_t i = 0; i < 4; ++i) {
+    api::JobSpec spec = base;
+    spec.name = "urgent-" + std::to_string(i);
+    api::SubmitOptions submit;
+    submit.coalesce_key = key;
+    submit.priority = 2;
+    handles.push_back(session.submit(spec, std::move(submit)));
+  }
+  blocker.cancel();
+
+  for (api::JobHandle& handle : handles) {
+    const api::JobResult& r = handle.wait();
+    ASSERT_TRUE(r.ok()) << r.error;
+  }
+  EXPECT_GT(session.stats().coalesced_jobs, 0u);
+}
+
+TEST(ServiceCoalesce, MixedPriorityJobsNeverCoalesceAcrossLevels) {
+  api::Session::Options options;
+  options.scheduler_lanes = 1;
+  EventLog blocker_log;  // outlives the session (events drain into it)
+  OrderLog order;
+  options.on_event = order.observer();
+  api::Session session(options);
+
+  api::SubmitOptions blocker_options;
+  blocker_options.on_event = blocker_log.observer();
+  const api::JobHandle blocker =
+      session.submit(tiny_spec(300), std::move(blocker_options));
+  blocker_log.await(api::JobEvent::Kind::kStep);
+
+  // Same shape, same coalesce key, two priority levels.  If the gather
+  // ever pulled a low job into a high dispatch, a "low-" job would start
+  // before the last "high-" job: coalesced members start together, and
+  // the single lane otherwise drains strictly priority-first.
+  const api::JobSpec base = tiny_spec(2);
+  const std::uint64_t key = base.coalesce_fingerprint();
+  std::vector<api::JobHandle> handles;
+  for (std::size_t i = 0; i < 3; ++i) {
+    api::JobSpec spec = base;
+    spec.name = "low-" + std::to_string(i);
+    api::SubmitOptions submit;
+    submit.coalesce_key = key;
+    submit.priority = 1;
+    handles.push_back(session.submit(spec, std::move(submit)));
+  }
+  for (std::size_t i = 0; i < 3; ++i) {
+    api::JobSpec spec = base;
+    spec.name = "high-" + std::to_string(i);
+    api::SubmitOptions submit;
+    submit.coalesce_key = key;
+    submit.priority = 2;
+    handles.push_back(session.submit(spec, std::move(submit)));
+  }
+  blocker.cancel();
+  for (api::JobHandle& handle : handles) {
+    const api::JobResult& r = handle.wait();
+    ASSERT_TRUE(r.ok()) << r.error;
+  }
+
+  std::lock_guard<std::mutex> lock(order.mutex);
+  std::size_t last_high_start = 0;
+  std::size_t first_low_start = order.started.size();
+  for (std::size_t i = 0; i < order.started.size(); ++i) {
+    if (order.started[i].rfind("high-", 0) == 0) last_high_start = i;
+    if (order.started[i].rfind("low-", 0) == 0) {
+      first_low_start = std::min(first_low_start, i);
+    }
+  }
+  EXPECT_LT(last_high_start, first_low_start)
+      << "a priority-1 job started before the priority-2 dispatches "
+         "drained: coalescing crossed priority levels";
 }
 
 }  // namespace

@@ -21,7 +21,9 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -31,6 +33,7 @@
 #include "io/grid_io.hpp"
 #include "io/image_io.hpp"
 #include "math/grid_ops.hpp"
+#include "net/net.hpp"
 #include "shard/shard.hpp"
 
 namespace {
@@ -68,6 +71,12 @@ using namespace bismo;
       "                     default 8)\n"
       "  --fft-backend B    FFT kernel backend: scalar | avx2 | neon | auto\n"
       "                     (default: auto; also via BISMO_FFT_BACKEND)\n"
+      "  --workers LIST     distributed serving: execute jobs on running\n"
+      "                     bismo_worker processes (\"host:port,host:port\")\n"
+      "                     via the fault-tolerant cluster dispatcher\n"
+      "  --spawn-workers N  fork N local worker processes on ephemeral\n"
+      "                     ports and dispatch to them (no running workers\n"
+      "                     needed; they die with the CLI)\n"
       "  --json PATH        write results JSON ('-' for stdout)\n"
       "  --csv PATH         write a per-job summary CSV (status, queue/run\n"
       "                     latency, metrics)\n"
@@ -147,13 +156,15 @@ void write_images(api::Session& session, const api::JobSpec& spec,
 }
 
 /// Async serving path: submit everything up front, stream status via the
-/// session event observer, cancel outstanding jobs individually on ^C,
-/// and print a live queue/lane status line roughly once per second.
-std::vector<api::JobResult> watch_run(api::Session& session,
+/// submitter's event observer, cancel outstanding jobs individually on ^C,
+/// and print a live status line (print_status) roughly once per second.
+/// Works identically for an in-process Session and a cluster Dispatcher.
+std::vector<api::JobResult> watch_run(api::JobSubmitter& submitter,
                                       const std::vector<api::JobSpec>& specs,
-                                      const api::SubmitOptions& submit_base) {
+                                      const api::SubmitOptions& submit_base,
+                                      const std::function<void()>& print_status) {
   std::vector<api::JobHandle> handles =
-      session.submit_batch(specs, submit_base);
+      submitter.submit_batch(specs, submit_base);
   std::vector<api::JobResult> results(specs.size());
   bool cancelled = false;
   int polls = 0;
@@ -166,14 +177,7 @@ std::vector<api::JobResult> watch_run(api::Session& session,
         for (const api::JobHandle& handle : handles) handle.cancel();
         cancelled = true;
       }
-      if (++polls % 10 == 0) {
-        const api::Session::Stats s = session.stats();
-        std::fprintf(stderr,
-                     "[status] queued %zu | running %zu | steals %zu | "
-                     "coalesced %zu | shed %zu | rejected %zu\n",
-                     s.queue_depth, s.jobs_executing, s.steals,
-                     s.coalesced_jobs, s.jobs_shed, s.jobs_rejected);
-      }
+      if (++polls % 10 == 0 && print_status) print_status();
     }
     results[i] = handles[i].wait();
   }
@@ -195,8 +199,8 @@ void print_result(const api::JobResult& r) {
 
 /// Tiled execution: shard the layout, sweep the tiles concurrently,
 /// stitch, report full-layout metrics, dump images/JSON.
-int run_tiled(api::Session& session, const api::JobSpec& base,
-              const std::string& layout_path,
+int run_tiled(api::Session& session, api::JobSubmitter* submitter,
+              const api::JobSpec& base, const std::string& layout_path,
               const std::string& generate_kind, std::uint64_t seed,
               std::size_t rows, std::size_t cols, double halo_nm,
               std::size_t lanes, bool progress, const std::string& json_path,
@@ -215,12 +219,14 @@ int run_tiled(api::Session& session, const api::JobSpec& base,
   opts.halo_nm = halo_nm;
   opts.concurrency = lanes;
 
-  shard::TileScheduler scheduler(session);
+  shard::TileScheduler scheduler(session, submitter);
   const shard::TilePlan plan = scheduler.plan_for(layout, base, opts);
   std::printf("%zu tiles (%zux%zu, %zu px windows, %zu px halo), "
-              "%zu worker threads\n",
+              "width %zu%s\n",
               plan.tile_count(), rows, cols, plan.tile_dim(), plan.halo_px(),
-              session.width());
+              submitter != nullptr ? submitter->parallel_width()
+                                   : session.width(),
+              submitter != nullptr ? " (cluster)" : "");
 
   const shard::ShardResult result = scheduler.run(layout, base, opts);
   (void)progress;  // tiled progress prints whole lines; nothing to flush
@@ -296,6 +302,8 @@ int main(int argc, char** argv) {
   std::size_t tile_cols = 0;
   double halo_nm = 128.0;
   std::size_t lanes = 0;
+  std::string workers_spec;
+  std::size_t spawn_workers = 0;
 
   // Shorthand flags keep their historical defaults by prepending their
   // override before any explicit --config (so --config wins on conflict).
@@ -356,6 +364,8 @@ int main(int argc, char** argv) {
         return 2;
       }
     }
+    else if (flag == "--workers") workers_spec = next();
+    else if (flag == "--spawn-workers") spawn_workers = std::strtoul(next().c_str(), nullptr, 10);
     else if (flag == "--json") json_path = next();
     else if (flag == "--csv") csv_path = next();
     else if (flag == "--progress") progress = true;
@@ -379,8 +389,23 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--watch cannot be combined with --tiles\n");
     usage(argv[0]);
   }
+  if (spawn_workers > 0 && !workers_spec.empty()) {
+    std::fprintf(stderr,
+                 "--spawn-workers and --workers are mutually exclusive\n");
+    usage(argv[0]);
+  }
 
   try {
+    // Fork worker processes FIRST: spawning must precede any thread the
+    // Session or Dispatcher creates in this process.
+    net::SpawnedCluster cluster;
+    std::vector<net::Endpoint> worker_endpoints;
+    if (spawn_workers > 0) {
+      cluster = net::spawn_local_workers(spawn_workers);
+      worker_endpoints = cluster.endpoints();
+    } else if (!workers_spec.empty()) {
+      worker_endpoints = net::parse_endpoints(workers_spec);
+    }
     const Method method = method_from_string(method_name);
 
     // Shared base configuration for every job.
@@ -453,11 +478,30 @@ int main(int argc, char** argv) {
     api::Session session(options);
     std::signal(SIGINT, handle_interrupt);
 
+    // Cluster mode: jobs execute on worker processes via the dispatcher;
+    // the local session still resolves configs and renders images.
+    std::unique_ptr<net::Dispatcher> dispatcher;
+    if (!worker_endpoints.empty()) {
+      net::DispatcherOptions dopts;
+      dopts.workers = worker_endpoints;
+      if (watch) dopts.on_event = options.on_event;
+      dispatcher = std::make_unique<net::Dispatcher>(dopts);
+      const std::size_t alive =
+          dispatcher->wait_for_workers(worker_endpoints.size(), 10.0);
+      std::printf("cluster: %zu/%zu workers alive, parallel width %zu\n",
+                  alive, worker_endpoints.size(),
+                  dispatcher->parallel_width());
+      if (alive == 0) {
+        std::fprintf(stderr, "error: no workers reachable\n");
+        return 1;
+      }
+    }
+
     if (tile_rows > 0) {
       InterruptWatcher watcher(session);
-      return run_tiled(session, base, layout_path, generate_kind, seed,
-                       tile_rows, tile_cols, halo_nm, lanes, progress,
-                       json_path, out_dir);
+      return run_tiled(session, dispatcher.get(), base, layout_path,
+                       generate_kind, seed, tile_rows, tile_cols, halo_nm,
+                       lanes, progress, json_path, out_dir);
     }
 
     std::vector<api::JobSpec> specs;
@@ -487,7 +531,28 @@ int main(int argc, char** argv) {
       if (options.coalesce_limit > 1 && specs.size() > 1) {
         submit_base.coalesce_key = specs.front().coalesce_fingerprint();
       }
-      results = watch_run(session, specs, submit_base);
+      if (dispatcher != nullptr) {
+        net::Dispatcher& d = *dispatcher;
+        results = watch_run(d, specs, submit_base, [&d] {
+          const net::Dispatcher::Stats s = d.stats();
+          std::fprintf(stderr,
+                       "[status] workers %zu/%zu | completed %zu/%zu | "
+                       "retries %zu\n",
+                       s.workers_alive, s.workers_total, s.jobs_completed,
+                       s.jobs_submitted, s.jobs_retried);
+        });
+      } else {
+        results = watch_run(session, specs, submit_base, [&session] {
+          const api::Session::Stats s = session.stats();
+          std::fprintf(stderr,
+                       "[status] queued %zu | running %zu | steals %zu | "
+                       "coalesced %zu | shed %zu | rejected %zu\n",
+                       s.queue_depth, s.jobs_executing, s.steals,
+                       s.coalesced_jobs, s.jobs_shed, s.jobs_rejected);
+        });
+      }
+    } else if (dispatcher != nullptr) {
+      results = dispatcher->run_batch(specs);
     } else {
       InterruptWatcher watcher(session);
       results = session.run_batch(specs);
@@ -501,8 +566,14 @@ int main(int argc, char** argv) {
       print_result(r);
       if (!r.ok()) ++failures;
     }
-    const api::Session::Stats stats = session.stats();
-    if (results.size() > 1) {
+    if (dispatcher != nullptr) {
+      const net::Dispatcher::Stats ds = dispatcher->stats();
+      std::printf("cluster: %zu jobs completed on %zu/%zu workers, "
+                  "%zu retries\n",
+                  ds.jobs_completed, ds.workers_alive, ds.workers_total,
+                  ds.jobs_retried);
+    } else if (results.size() > 1) {
+      const api::Session::Stats stats = session.stats();
       std::printf("session: %zu jobs, %zu served from warm workspaces\n",
                   stats.jobs_run, stats.workspace_reuses);
     }
