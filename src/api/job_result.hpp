@@ -34,6 +34,8 @@ struct JobResult {
   std::string fft_backend;  ///< FFT kernel backend the job ran on
                             ///< ("scalar" | "avx2" | "neon"); benches and
                             ///< perf tracking key results by it
+  std::string fusion;       ///< imaging-pipeline mode the job ran under
+                            ///< ("fused" | "staged"; sim::fusion_mode_name)
   std::string error;        ///< non-empty when the job failed
 
   bool ok() const noexcept { return error.empty(); }

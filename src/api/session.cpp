@@ -10,6 +10,7 @@
 
 #include "api/service.hpp"
 #include "fft/kernels/kernel.hpp"
+#include "sim/pipeline.hpp"
 
 namespace bismo::api {
 namespace {
@@ -106,6 +107,7 @@ Session::Session(Options options)
   config.queue_shards = options.queue_shards;
   config.queue_capacity = options.queue_capacity;
   config.coalesce_limit = options.coalesce_limit;
+  config.queue_slo_ms = options.queue_slo_ms;
   config.steal = options.work_stealing;
   config.execute = [this](detail::JobState& state, ThreadPool* pool) {
     return execute_job(state, pool);
@@ -138,6 +140,8 @@ Session::Stats Session::stats() const noexcept {
   s.coalesced_jobs = service_->coalesced_jobs();
   s.jobs_shed = service_->jobs_shed();
   s.jobs_rejected = service_->jobs_rejected();
+  s.queue_p95_ms = service_->queue_p95_ms();
+  s.slo_sheds = service_->slo_sheds();
   return s;
 }
 
@@ -314,6 +318,7 @@ JobResult Session::execute_job(detail::JobState& state, ThreadPool* pool) {
   result.method = state.method_name;
   result.clip = state.clip_desc;
   result.fft_backend = fft::backend_name();
+  result.fusion = sim::fusion_mode_name();
   jobs_run_.fetch_add(1, std::memory_order_relaxed);
 
   RunControl control;

@@ -102,6 +102,13 @@ class Session : public JobSubmitter {
     /// Maximum same-key sub-millisecond jobs coalesced into one lane
     /// dispatch (1 disables; see SubmitOptions::coalesce_key).
     std::size_t coalesce_limit = 8;
+    /// Queue-latency SLO target in milliseconds (0 = off).  While the
+    /// rolling p95 of job queue latency (Stats::queue_p95_ms) exceeds the
+    /// target, full-queue admissions with the kBlock policy auto-switch to
+    /// shed-oldest: the submitter is never parked and the oldest queued
+    /// job is cancelled (JobResult::shed) instead, until the tail latency
+    /// recovers.  Jobs submitted with kReject/kShedOldest are unaffected.
+    double queue_slo_ms = 0.0;
     /// Idle lanes steal queued jobs from loaded neighbours' shards.
     /// Turning this off forces a single exact-FIFO queue shard.
     bool work_stealing = true;
@@ -139,6 +146,8 @@ class Session : public JobSubmitter {
     std::size_t coalesced_jobs = 0;       ///< jobs riding a shared dispatch
     std::size_t jobs_shed = 0;            ///< cancelled by shed-oldest
     std::size_t jobs_rejected = 0;        ///< refused by reject policy
+    double queue_p95_ms = 0.0;            ///< live: rolling p95 queue latency
+    std::size_t slo_sheds = 0;            ///< sheds forced by queue_slo_ms
   };
 
   Session() : Session(Options{}) {}

@@ -212,6 +212,18 @@ void Fft1dPlan::transform_columns(std::complex<double>* data,
   fft::active_kernel().pow2_cols(*pow2_, data, width, stride, inverse);
 }
 
+void Fft1dPlan::transform_columns_fused(const fft_detail::ColsFusion& fusion,
+                                        std::complex<double>* dst,
+                                        std::size_t width, std::size_t stride,
+                                        bool inverse) const {
+  if (pow2_ == nullptr || n_ < 8) {
+    throw std::logic_error(
+        "Fft1dPlan::transform_columns_fused: power-of-two lengths >= 8 only");
+  }
+  fft::active_kernel().pow2_cols_fused(*pow2_, fusion, dst, width, stride,
+                                       inverse);
+}
+
 Fft2dPlan::Fft2dPlan(std::size_t rows, std::size_t cols)
     : row_plan_(cols), col_plan_(rows) {}
 
@@ -250,6 +262,76 @@ void Fft2dPlan::transform_cols(ComplexGrid& g, bool inverse,
     for (std::size_t r = 0; r < r_count; ++r) col[r] = g(r, c);
     col_plan_.transform(col, inverse, scratch_1d);
     for (std::size_t r = 0; r < r_count; ++r) g(r, c) = col[r];
+  }
+}
+
+bool Fft2dPlan::fused_cols() const noexcept {
+  return rows() >= 8 && col_plan_.is_pow2();
+}
+
+void Fft2dPlan::transform_cols_fused(const fft_detail::ColsFusion& fusion,
+                                     ComplexGrid& dst, bool inverse,
+                                     std::complex<double>* scratch) const {
+  const fft::FftKernel& kernel = fft::active_kernel();
+  const std::size_t r_count = rows();
+  const std::size_t c_count = cols();
+  const std::size_t size = r_count * c_count;
+  if (fused_cols() && kernel.pow2_cols_fused != nullptr) {
+    col_plan_.transform_columns_fused(fusion, dst.data(), c_count, c_count,
+                                      inverse);
+    return;
+  }
+  // Staged fallback (Bluestein row counts, tiny grids, or a kernel
+  // without the fused entry): materialize the gathered/seeded input into
+  // `dst`, run the staged column pass, then the epilogue per-stage ops.
+  if (fusion.row_nonzero != nullptr) {
+    for (std::size_t r = 0; r < r_count; ++r) {
+      std::complex<double>* out_row = dst.data() + r * c_count;
+      if (fusion.row_nonzero[r]) {
+        const std::complex<double>* src_row = fusion.src + r * c_count;
+        if (fusion.seed != nullptr) {
+          kernel.seed_cotangent(out_row, fusion.seed + r * c_count, src_row,
+                                c_count, fusion.seed_scale);
+        } else {
+          std::copy(src_row, src_row + c_count, out_row);
+        }
+      } else {
+        std::fill(out_row, out_row + c_count, std::complex<double>{0.0, 0.0});
+      }
+    }
+  } else if (fusion.seed != nullptr) {
+    kernel.seed_cotangent(dst.data(), fusion.seed, fusion.src, size,
+                          fusion.seed_scale);
+  } else {
+    std::copy(fusion.src, fusion.src + size, dst.data());
+  }
+  transform_cols(dst, inverse, scratch);
+  if (fusion.scale != 1.0) kernel.scale(dst.data(), size, fusion.scale);
+  if (fusion.norm_acc != nullptr) {
+    kernel.accumulate_norm(fusion.norm_acc, dst.data(), size,
+                           fusion.norm_weight);
+  }
+  if (fusion.wns_out != nullptr) {
+    if (fusion.wns_weights != nullptr) {
+      *fusion.wns_out =
+          kernel.weighted_norm_sum(fusion.wns_weights, dst.data(), size);
+    } else if (fusion.seed != nullptr) {
+      // Seeded input reduction: sum seed[i] * |src_i|^2 over the logical
+      // (row-masked) source, matching the fused pass's semantics.
+      double acc = 0.0;
+      if (fusion.row_nonzero != nullptr) {
+        for (std::size_t r = 0; r < r_count; ++r) {
+          if (!fusion.row_nonzero[r]) continue;
+          acc += kernel.weighted_norm_sum(fusion.seed + r * c_count,
+                                          fusion.src + r * c_count, c_count);
+        }
+      } else {
+        acc = kernel.weighted_norm_sum(fusion.seed, fusion.src, size);
+      }
+      *fusion.wns_out = acc;
+    } else {
+      *fusion.wns_out = 0.0;
+    }
   }
 }
 

@@ -49,6 +49,7 @@ namespace bismo {
 namespace fft_detail {
 struct Pow2Plan;
 struct BluesteinPlan;
+struct ColsFusion;
 }  // namespace fft_detail
 
 /// Preplanned in-place 1-D DFT of a fixed length.
@@ -95,6 +96,16 @@ class Fft1dPlan {
   /// Power-of-two lengths only (`is_pow2()`).
   void transform_columns(std::complex<double>* data, std::size_t width,
                          std::size_t stride, bool inverse) const;
+
+  /// Fused out-of-place column transform (see fft_detail::ColsFusion):
+  /// reads `fusion.src` through the bit-reversal permutation inside the
+  /// first butterfly stage and applies the scale / weighted-norm epilogue
+  /// inside the last.  Power-of-two lengths >= 8 only (callers go through
+  /// `Fft2dPlan::transform_cols_fused`, which falls back to the staged
+  /// sequence for other shapes).
+  void transform_columns_fused(const fft_detail::ColsFusion& fusion,
+                               std::complex<double>* dst, std::size_t width,
+                               std::size_t stride, bool inverse) const;
 
  private:
   std::size_t n_ = 0;
@@ -147,6 +158,26 @@ class Fft2dPlan {
   /// In-place unnormalized 1-D transforms of every column.
   void transform_cols(ComplexGrid& g, bool inverse,
                       std::complex<double>* scratch) const;
+
+  /// True when the fused column-pass kernels handle this shape (power-of-
+  /// two row count of at least 8).  `transform_cols_fused` works either
+  /// way; this only tells callers which path it will take.
+  bool fused_cols() const noexcept;
+
+  /// Fused out-of-place column pass (see fft_detail::ColsFusion):
+  /// `fusion.src` is a rows() x cols() grid (same stride as `dst`) read
+  /// through the bit-reversal permutation -- rows flagged zero are never
+  /// touched, the optional cotangent seed is applied on the fly -- every
+  /// column is transformed into `dst`, and the scale / weighted-norm
+  /// epilogue runs inside the final butterfly stage.  For shapes without
+  /// fused kernels (`!fused_cols()`) the equivalent staged sequence runs
+  /// instead: materialize the input into `dst`, `transform_cols`, then
+  /// the per-stage epilogue ops.  Either way the result matches the
+  /// staged per-stage sequence to <= 1e-12 (identical per-element
+  /// arithmetic up to compiler FMA contraction).
+  void transform_cols_fused(const fft_detail::ColsFusion& fusion,
+                            ComplexGrid& dst, bool inverse,
+                            std::complex<double>* scratch) const;
 
  private:
   Fft1dPlan row_plan_;  ///< length cols (transforms along a row)

@@ -167,6 +167,102 @@ void pow2_many(const Pow2Plan& plan, std::complex<double>* data,
   }
 }
 
+/// In-place twiddle-free radix-2 column stage over adjacent row pairs.
+void cols_stage_radix2(double* base_d, std::size_t n, std::size_t dstride,
+                       std::size_t dwidth) {
+  for (std::size_t r = 0; r < n; r += 2) {
+    double* u = base_d + r * dstride;
+    double* v = u + dstride;
+    std::size_t c = 0;
+    for (; c + 4 <= dwidth; c += 4) {
+      const __m256d a = _mm256_loadu_pd(u + c);
+      const __m256d b = _mm256_loadu_pd(v + c);
+      _mm256_storeu_pd(u + c, _mm256_add_pd(a, b));
+      _mm256_storeu_pd(v + c, _mm256_sub_pd(a, b));
+    }
+    for (; c < dwidth; ++c) {
+      const double a = u[c];
+      const double b = v[c];
+      u[c] = a + b;
+      v[c] = a - b;
+    }
+  }
+}
+
+/// In-place radix-4 column stage with broadcast twiddles: shared by the
+/// staged pass and the middle stages of the fused pass, so both run
+/// identical arithmetic.
+template <bool kInv>
+void cols_stage_radix4(const Pow2Stage& st, double* base_d, std::size_t n,
+                       std::size_t dstride, std::size_t dwidth) {
+  const double cs = kInv ? -1.0 : 1.0;
+  const __m256d mask = kInv ? neg_even_mask() : neg_odd_mask();
+  const std::size_t q = st.q;
+  for (std::size_t base = 0; base < n; base += 4 * q) {
+    for (std::size_t k = 0; k < q; ++k) {
+      const __m256d W1 = _mm256_setr_pd(
+          st.w1[k].real(), cs * st.w1[k].imag(), st.w1[k].real(),
+          cs * st.w1[k].imag());
+      const __m256d W2 = _mm256_setr_pd(
+          st.w2[k].real(), cs * st.w2[k].imag(), st.w2[k].real(),
+          cs * st.w2[k].imag());
+      const __m256d W3 = _mm256_setr_pd(
+          st.w3[k].real(), cs * st.w3[k].imag(), st.w3[k].real(),
+          cs * st.w3[k].imag());
+      double* r0 = base_d + (base + k) * dstride;
+      double* r1 = r0 + q * dstride;
+      double* r2 = r1 + q * dstride;
+      double* r3 = r2 + q * dstride;
+      std::size_t c = 0;
+      for (; c + 4 <= dwidth; c += 4) {
+        const __m256d x0 = _mm256_loadu_pd(r0 + c);
+        const __m256d t1 = cmul2(_mm256_loadu_pd(r1 + c), W2);
+        const __m256d t2 = cmul2(_mm256_loadu_pd(r2 + c), W1);
+        const __m256d t3 = cmul2(_mm256_loadu_pd(r3 + c), W3);
+        const __m256d a = _mm256_add_pd(x0, t1);
+        const __m256d b = _mm256_sub_pd(x0, t1);
+        const __m256d cc = _mm256_add_pd(t2, t3);
+        const __m256d dd = _mm256_sub_pd(t2, t3);
+        const __m256d d4 = _mm256_xor_pd(_mm256_permute_pd(dd, 0x5), mask);
+        _mm256_storeu_pd(r0 + c, _mm256_add_pd(a, cc));
+        _mm256_storeu_pd(r1 + c, _mm256_add_pd(b, d4));
+        _mm256_storeu_pd(r2 + c, _mm256_sub_pd(a, cc));
+        _mm256_storeu_pd(r3 + c, _mm256_sub_pd(b, d4));
+      }
+      for (; c < dwidth; c += 2) {
+        const double w1r = st.w1[k].real();
+        const double w1i = cs * st.w1[k].imag();
+        const double w2r = st.w2[k].real();
+        const double w2i = cs * st.w2[k].imag();
+        const double w3r = st.w3[k].real();
+        const double w3i = cs * st.w3[k].imag();
+        const double t1r = r1[c] * w2r - r1[c + 1] * w2i;
+        const double t1i = r1[c] * w2i + r1[c + 1] * w2r;
+        const double t2r = r2[c] * w1r - r2[c + 1] * w1i;
+        const double t2i = r2[c] * w1i + r2[c + 1] * w1r;
+        const double t3r = r3[c] * w3r - r3[c + 1] * w3i;
+        const double t3i = r3[c] * w3i + r3[c + 1] * w3r;
+        const double ar = r0[c] + t1r;
+        const double ai = r0[c + 1] + t1i;
+        const double br = r0[c] - t1r;
+        const double bi = r0[c + 1] - t1i;
+        const double cr = t2r + t3r;
+        const double ci = t2i + t3i;
+        const double d4r = cs * (t2i - t3i);
+        const double d4i = -cs * (t2r - t3r);
+        r0[c] = ar + cr;
+        r0[c + 1] = ai + ci;
+        r1[c] = br + d4r;
+        r1[c + 1] = bi + d4i;
+        r2[c] = ar - cr;
+        r2[c + 1] = ai - ci;
+        r3[c] = br - d4r;
+        r3[c + 1] = bi - d4i;
+      }
+    }
+  }
+}
+
 /// Lock-step column transform: butterflies sweep whole rows with broadcast
 /// twiddles, so every memory access is unit-stride and 2-complex wide.
 template <bool kInv>
@@ -185,91 +281,10 @@ void pow2_cols_impl(const Pow2Plan& plan, std::complex<double>* data,
   const std::size_t dstride = 2 * stride;
   const std::size_t dwidth = 2 * width;
   if (plan.leading_radix2) {
-    for (std::size_t r = 0; r < n; r += 2) {
-      double* u = base_d + r * dstride;
-      double* v = u + dstride;
-      std::size_t c = 0;
-      for (; c + 4 <= dwidth; c += 4) {
-        const __m256d a = _mm256_loadu_pd(u + c);
-        const __m256d b = _mm256_loadu_pd(v + c);
-        _mm256_storeu_pd(u + c, _mm256_add_pd(a, b));
-        _mm256_storeu_pd(v + c, _mm256_sub_pd(a, b));
-      }
-      for (; c < dwidth; ++c) {
-        const double a = u[c];
-        const double b = v[c];
-        u[c] = a + b;
-        v[c] = a - b;
-      }
-    }
+    cols_stage_radix2(base_d, n, dstride, dwidth);
   }
-  const double cs = kInv ? -1.0 : 1.0;
-  const __m256d mask = kInv ? neg_even_mask() : neg_odd_mask();
   for (const Pow2Stage& st : plan.stages) {
-    const std::size_t q = st.q;
-    for (std::size_t base = 0; base < n; base += 4 * q) {
-      for (std::size_t k = 0; k < q; ++k) {
-        const __m256d W1 = _mm256_setr_pd(
-            st.w1[k].real(), cs * st.w1[k].imag(), st.w1[k].real(),
-            cs * st.w1[k].imag());
-        const __m256d W2 = _mm256_setr_pd(
-            st.w2[k].real(), cs * st.w2[k].imag(), st.w2[k].real(),
-            cs * st.w2[k].imag());
-        const __m256d W3 = _mm256_setr_pd(
-            st.w3[k].real(), cs * st.w3[k].imag(), st.w3[k].real(),
-            cs * st.w3[k].imag());
-        double* r0 = base_d + (base + k) * dstride;
-        double* r1 = r0 + q * dstride;
-        double* r2 = r1 + q * dstride;
-        double* r3 = r2 + q * dstride;
-        std::size_t c = 0;
-        for (; c + 4 <= dwidth; c += 4) {
-          const __m256d x0 = _mm256_loadu_pd(r0 + c);
-          const __m256d t1 = cmul2(_mm256_loadu_pd(r1 + c), W2);
-          const __m256d t2 = cmul2(_mm256_loadu_pd(r2 + c), W1);
-          const __m256d t3 = cmul2(_mm256_loadu_pd(r3 + c), W3);
-          const __m256d a = _mm256_add_pd(x0, t1);
-          const __m256d b = _mm256_sub_pd(x0, t1);
-          const __m256d cc = _mm256_add_pd(t2, t3);
-          const __m256d dd = _mm256_sub_pd(t2, t3);
-          const __m256d d4 = _mm256_xor_pd(_mm256_permute_pd(dd, 0x5), mask);
-          _mm256_storeu_pd(r0 + c, _mm256_add_pd(a, cc));
-          _mm256_storeu_pd(r1 + c, _mm256_add_pd(b, d4));
-          _mm256_storeu_pd(r2 + c, _mm256_sub_pd(a, cc));
-          _mm256_storeu_pd(r3 + c, _mm256_sub_pd(b, d4));
-        }
-        for (; c < dwidth; c += 2) {
-          const double w1r = st.w1[k].real();
-          const double w1i = cs * st.w1[k].imag();
-          const double w2r = st.w2[k].real();
-          const double w2i = cs * st.w2[k].imag();
-          const double w3r = st.w3[k].real();
-          const double w3i = cs * st.w3[k].imag();
-          const double t1r = r1[c] * w2r - r1[c + 1] * w2i;
-          const double t1i = r1[c] * w2i + r1[c + 1] * w2r;
-          const double t2r = r2[c] * w1r - r2[c + 1] * w1i;
-          const double t2i = r2[c] * w1i + r2[c + 1] * w1r;
-          const double t3r = r3[c] * w3r - r3[c + 1] * w3i;
-          const double t3i = r3[c] * w3i + r3[c + 1] * w3r;
-          const double ar = r0[c] + t1r;
-          const double ai = r0[c + 1] + t1i;
-          const double br = r0[c] - t1r;
-          const double bi = r0[c + 1] - t1i;
-          const double cr = t2r + t3r;
-          const double ci = t2i + t3i;
-          const double d4r = cs * (t2i - t3i);
-          const double d4i = -cs * (t2r - t3r);
-          r0[c] = ar + cr;
-          r0[c + 1] = ai + ci;
-          r1[c] = br + d4r;
-          r1[c + 1] = bi + d4i;
-          r2[c] = ar - cr;
-          r2[c + 1] = ai - ci;
-          r3[c] = br - d4r;
-          r3[c + 1] = bi - d4i;
-        }
-      }
-    }
+    cols_stage_radix4<kInv>(st, base_d, n, dstride, dwidth);
   }
 }
 
@@ -280,6 +295,373 @@ void pow2_cols(const Pow2Plan& plan, std::complex<double>* data,
     pow2_cols_impl<true>(plan, data, width, stride);
   } else {
     pow2_cols_impl<false>(plan, data, width, stride);
+  }
+}
+
+// ---- fused column pass -----------------------------------------------------
+//
+// First stage reads the source grid through the bit reversal (rows
+// flagged zero never read, the optional cotangent seed folded into the
+// loads); middle stages are the shared in-place helpers above; the last
+// stage scales and accumulates weighted norms as it stores.  See the
+// scalar kernel for the reference semantics.
+
+inline const double* fused_row(const fft_detail::ColsFusion& f, std::size_t j,
+                               std::size_t dstride) {
+  if (f.row_nonzero && !f.row_nonzero[j]) return nullptr;
+  return reinterpret_cast<const double*>(f.src) + j * dstride;
+}
+
+/// One 2-complex chunk of a gathered source row: zero when the row is
+/// flagged zero, seeded with s * dldi broadcast per complex otherwise.
+/// kWns (seeded only) folds the input reduction seed[i] * |src_i|^2 into
+/// the load: the raw norms are fmadd-ed with the seed pair into *vwns.
+template <bool kSeed, bool kWns>
+inline __m256d fused_load(const double* row, const double* seed_row,
+                          __m256d vss, std::size_t c, __m128d* vwns) {
+  if (!row) return _mm256_setzero_pd();
+  const __m256d x = _mm256_loadu_pd(row + c);
+  if (!kSeed) return x;
+  const __m128d dl = _mm_loadu_pd(seed_row + c / 2);
+  if (kWns) {
+    const __m256d p = _mm256_mul_pd(x, x);
+    const __m256d h = _mm256_hadd_pd(p, p);
+    const __m128d norms = _mm_unpacklo_pd(_mm256_castpd256_pd128(h),
+                                          _mm256_extractf128_pd(h, 1));
+    *vwns = _mm_fmadd_pd(dl, norms, *vwns);
+  }
+  const __m256d f = _mm256_mul_pd(
+      vss, _mm256_permute4x64_pd(_mm256_castpd128_pd256(dl), 0x50));
+  return _mm256_mul_pd(f, x);
+}
+
+/// Scalar-tail load of one double of a gathered source row.  kWns adds
+/// seed * x^2 per half (re + im halves of one complex sum to the full
+/// seed * |x|^2 term, kept in the separate tail accumulator).
+template <bool kSeed, bool kWns>
+inline double fused_load_1(const double* row, const double* seed_row,
+                           double ss, std::size_t c, double* twns) {
+  if (!row) return 0.0;
+  const double x = row[c];
+  if (!kSeed) return x;
+  if (kWns) *twns += seed_row[c / 2] * x * x;
+  return (ss * seed_row[c / 2]) * x;
+}
+
+/// Gathered leading radix-2 stage.
+template <bool kSeed, bool kWns>
+void fused_stage_r2(const Pow2Plan& plan, const fft_detail::ColsFusion& f,
+                    double* out, std::size_t dwidth, std::size_t dstride,
+                    double* wns) {
+  const std::size_t n = plan.n;
+  const double ss = f.seed_scale;
+  const __m256d vss = _mm256_set1_pd(ss);
+  __m128d vwns = _mm_setzero_pd();
+  double twns = 0.0;
+  for (std::size_t r = 0; r < n; r += 2) {
+    const std::size_t j0 = plan.bitrev[r];
+    const std::size_t j1 = plan.bitrev[r + 1];
+    const double* u = fused_row(f, j0, dstride);
+    const double* v = fused_row(f, j1, dstride);
+    const double* su = kSeed ? f.seed + j0 * (dwidth / 2) : nullptr;
+    const double* sv = kSeed ? f.seed + j1 * (dwidth / 2) : nullptr;
+    double* o0 = out + r * dstride;
+    double* o1 = o0 + dstride;
+    std::size_t c = 0;
+    for (; c + 4 <= dwidth; c += 4) {
+      const __m256d a = fused_load<kSeed, kWns>(u, su, vss, c, &vwns);
+      const __m256d b = fused_load<kSeed, kWns>(v, sv, vss, c, &vwns);
+      _mm256_storeu_pd(o0 + c, _mm256_add_pd(a, b));
+      _mm256_storeu_pd(o1 + c, _mm256_sub_pd(a, b));
+    }
+    for (; c < dwidth; ++c) {
+      const double a = fused_load_1<kSeed, kWns>(u, su, ss, c, &twns);
+      const double b = fused_load_1<kSeed, kWns>(v, sv, ss, c, &twns);
+      o0[c] = a + b;
+      o1[c] = a - b;
+    }
+  }
+  if (kWns) {
+    alignas(16) double lanes[2];
+    _mm_store_pd(lanes, vwns);
+    *wns = (lanes[0] + lanes[1]) + twns;
+  }
+}
+
+/// Gathered first radix-4 stage (q == 1, unity twiddles).
+template <bool kInv, bool kSeed, bool kWns>
+void fused_stage_r4_first(const Pow2Plan& plan, const fft_detail::ColsFusion& f,
+                          double* out, std::size_t dwidth, std::size_t dstride,
+                          double* wns) {
+  const std::size_t n = plan.n;
+  const double ss = f.seed_scale;
+  const __m256d vss = _mm256_set1_pd(ss);
+  const double cs = kInv ? -1.0 : 1.0;
+  const __m256d mask = kInv ? neg_even_mask() : neg_odd_mask();
+  __m128d vwns = _mm_setzero_pd();
+  double twns = 0.0;
+  for (std::size_t b = 0; b < n; b += 4) {
+    const double* x[4];
+    const double* sx[4] = {nullptr, nullptr, nullptr, nullptr};
+    for (int t = 0; t < 4; ++t) {
+      const std::size_t j = plan.bitrev[b + t];
+      x[t] = fused_row(f, j, dstride);
+      if (kSeed) sx[t] = f.seed + j * (dwidth / 2);
+    }
+    double* o0 = out + b * dstride;
+    double* o1 = o0 + dstride;
+    double* o2 = o1 + dstride;
+    double* o3 = o2 + dstride;
+    std::size_t c = 0;
+    for (; c + 4 <= dwidth; c += 4) {
+      const __m256d x0 = fused_load<kSeed, kWns>(x[0], sx[0], vss, c, &vwns);
+      const __m256d x1 = fused_load<kSeed, kWns>(x[1], sx[1], vss, c, &vwns);
+      const __m256d x2 = fused_load<kSeed, kWns>(x[2], sx[2], vss, c, &vwns);
+      const __m256d x3 = fused_load<kSeed, kWns>(x[3], sx[3], vss, c, &vwns);
+      const __m256d a = _mm256_add_pd(x0, x1);
+      const __m256d bb = _mm256_sub_pd(x0, x1);
+      const __m256d cc = _mm256_add_pd(x2, x3);
+      const __m256d dd = _mm256_sub_pd(x2, x3);
+      const __m256d d4 = _mm256_xor_pd(_mm256_permute_pd(dd, 0x5), mask);
+      _mm256_storeu_pd(o0 + c, _mm256_add_pd(a, cc));
+      _mm256_storeu_pd(o1 + c, _mm256_add_pd(bb, d4));
+      _mm256_storeu_pd(o2 + c, _mm256_sub_pd(a, cc));
+      _mm256_storeu_pd(o3 + c, _mm256_sub_pd(bb, d4));
+    }
+    for (; c < dwidth; c += 2) {
+      double xr[4], xi[4];
+      for (int t = 0; t < 4; ++t) {
+        xr[t] = fused_load_1<kSeed, kWns>(x[t], sx[t], ss, c, &twns);
+        xi[t] = fused_load_1<kSeed, kWns>(x[t], sx[t], ss, c + 1, &twns);
+      }
+      const double ar = xr[0] + xr[1];
+      const double ai = xi[0] + xi[1];
+      const double br = xr[0] - xr[1];
+      const double bi = xi[0] - xi[1];
+      const double cr = xr[2] + xr[3];
+      const double ci = xi[2] + xi[3];
+      const double d4r = cs * (xi[2] - xi[3]);
+      const double d4i = -cs * (xr[2] - xr[3]);
+      o0[c] = ar + cr;
+      o0[c + 1] = ai + ci;
+      o1[c] = br + d4r;
+      o1[c + 1] = bi + d4i;
+      o2[c] = ar - cr;
+      o2[c + 1] = ai - ci;
+      o3[c] = br - d4r;
+      o3[c + 1] = bi - d4i;
+    }
+  }
+  if (kWns) {
+    alignas(16) double lanes[2];
+    _mm_store_pd(lanes, vwns);
+    *wns = (lanes[0] + lanes[1]) + twns;
+  }
+}
+
+/// Per-row epilogue on one 2-complex chunk y (already scaled): kMode 1
+/// accumulates w * |y|^2 into acc_row, kMode 2 reduces
+/// wns_row[i] * |y|^2 into vwns.  Norms of the two complex lanes are
+/// built with the same mul/hadd arithmetic as accumulate_norm.
+template <int kMode>
+inline void fused_epilogue2(__m256d y, double* acc_row, const double* wns_row,
+                            std::size_t c, __m128d vw, __m128d* vwns) {
+  if (kMode == 0) return;
+  const __m256d p = _mm256_mul_pd(y, y);
+  const __m256d h = _mm256_hadd_pd(p, p);
+  const __m128d norms = _mm_unpacklo_pd(_mm256_castpd256_pd128(h),
+                                        _mm256_extractf128_pd(h, 1));
+  if (kMode == 1) {
+    _mm_storeu_pd(acc_row + c / 2,
+                  _mm_fmadd_pd(vw, norms, _mm_loadu_pd(acc_row + c / 2)));
+  } else {
+    *vwns = _mm_fmadd_pd(_mm_loadu_pd(wns_row + c / 2), norms, *vwns);
+  }
+}
+
+/// Final radix-4 stage with the scale / weighted-norm epilogue fused
+/// into the stores.
+template <bool kInv, int kMode>
+void fused_stage_last(const Pow2Stage& st, const fft_detail::ColsFusion& f,
+                      double* base_d, std::size_t n, std::size_t dstride,
+                      std::size_t dwidth, double* wns_out) {
+  const double cs = kInv ? -1.0 : 1.0;
+  const __m256d mask = kInv ? neg_even_mask() : neg_odd_mask();
+  const std::size_t q = st.q;
+  const std::size_t rw = dwidth / 2;  // real-array row pitch
+  const double s = f.scale;
+  const __m256d vs = _mm256_set1_pd(s);
+  const __m128d vw = _mm_set1_pd(f.norm_weight);
+  __m128d vwns = _mm_setzero_pd();
+  double twns = 0.0;  // scalar-tail reduction, kept separate for fixed order
+  for (std::size_t base = 0; base < n; base += 4 * q) {
+    for (std::size_t k = 0; k < q; ++k) {
+      const __m256d W1 = _mm256_setr_pd(
+          st.w1[k].real(), cs * st.w1[k].imag(), st.w1[k].real(),
+          cs * st.w1[k].imag());
+      const __m256d W2 = _mm256_setr_pd(
+          st.w2[k].real(), cs * st.w2[k].imag(), st.w2[k].real(),
+          cs * st.w2[k].imag());
+      const __m256d W3 = _mm256_setr_pd(
+          st.w3[k].real(), cs * st.w3[k].imag(), st.w3[k].real(),
+          cs * st.w3[k].imag());
+      const std::size_t row0 = base + k;
+      double* r0 = base_d + row0 * dstride;
+      double* r1 = r0 + q * dstride;
+      double* r2 = r1 + q * dstride;
+      double* r3 = r2 + q * dstride;
+      double* a0 = kMode == 1 ? f.norm_acc + row0 * rw : nullptr;
+      double* a1 = kMode == 1 ? a0 + q * rw : nullptr;
+      double* a2 = kMode == 1 ? a1 + q * rw : nullptr;
+      double* a3 = kMode == 1 ? a2 + q * rw : nullptr;
+      const double* g0 = kMode == 2 ? f.wns_weights + row0 * rw : nullptr;
+      const double* g1 = kMode == 2 ? g0 + q * rw : nullptr;
+      const double* g2 = kMode == 2 ? g1 + q * rw : nullptr;
+      const double* g3 = kMode == 2 ? g2 + q * rw : nullptr;
+      std::size_t c = 0;
+      for (; c + 4 <= dwidth; c += 4) {
+        const __m256d x0 = _mm256_loadu_pd(r0 + c);
+        const __m256d t1 = cmul2(_mm256_loadu_pd(r1 + c), W2);
+        const __m256d t2 = cmul2(_mm256_loadu_pd(r2 + c), W1);
+        const __m256d t3 = cmul2(_mm256_loadu_pd(r3 + c), W3);
+        const __m256d a = _mm256_add_pd(x0, t1);
+        const __m256d b = _mm256_sub_pd(x0, t1);
+        const __m256d cc = _mm256_add_pd(t2, t3);
+        const __m256d dd = _mm256_sub_pd(t2, t3);
+        const __m256d d4 = _mm256_xor_pd(_mm256_permute_pd(dd, 0x5), mask);
+        const __m256d y0 = _mm256_mul_pd(_mm256_add_pd(a, cc), vs);
+        const __m256d y1 = _mm256_mul_pd(_mm256_add_pd(b, d4), vs);
+        const __m256d y2 = _mm256_mul_pd(_mm256_sub_pd(a, cc), vs);
+        const __m256d y3 = _mm256_mul_pd(_mm256_sub_pd(b, d4), vs);
+        _mm256_storeu_pd(r0 + c, y0);
+        _mm256_storeu_pd(r1 + c, y1);
+        _mm256_storeu_pd(r2 + c, y2);
+        _mm256_storeu_pd(r3 + c, y3);
+        fused_epilogue2<kMode>(y0, a0, g0, c, vw, &vwns);
+        fused_epilogue2<kMode>(y1, a1, g1, c, vw, &vwns);
+        fused_epilogue2<kMode>(y2, a2, g2, c, vw, &vwns);
+        fused_epilogue2<kMode>(y3, a3, g3, c, vw, &vwns);
+      }
+      for (; c < dwidth; c += 2) {
+        const double w1r = st.w1[k].real();
+        const double w1i = cs * st.w1[k].imag();
+        const double w2r = st.w2[k].real();
+        const double w2i = cs * st.w2[k].imag();
+        const double w3r = st.w3[k].real();
+        const double w3i = cs * st.w3[k].imag();
+        const double t1r = r1[c] * w2r - r1[c + 1] * w2i;
+        const double t1i = r1[c] * w2i + r1[c + 1] * w2r;
+        const double t2r = r2[c] * w1r - r2[c + 1] * w1i;
+        const double t2i = r2[c] * w1i + r2[c + 1] * w1r;
+        const double t3r = r3[c] * w3r - r3[c + 1] * w3i;
+        const double t3i = r3[c] * w3i + r3[c + 1] * w3r;
+        const double ar = r0[c] + t1r;
+        const double ai = r0[c + 1] + t1i;
+        const double br = r0[c] - t1r;
+        const double bi = r0[c + 1] - t1i;
+        const double cr = t2r + t3r;
+        const double ci = t2i + t3i;
+        const double d4r = cs * (t2i - t3i);
+        const double d4i = -cs * (t2r - t3r);
+        const double y0r = (ar + cr) * s;
+        const double y0i = (ai + ci) * s;
+        const double y1r = (br + d4r) * s;
+        const double y1i = (bi + d4i) * s;
+        const double y2r = (ar - cr) * s;
+        const double y2i = (ai - ci) * s;
+        const double y3r = (br - d4r) * s;
+        const double y3i = (bi - d4i) * s;
+        r0[c] = y0r;
+        r0[c + 1] = y0i;
+        r1[c] = y1r;
+        r1[c + 1] = y1i;
+        r2[c] = y2r;
+        r2[c + 1] = y2i;
+        r3[c] = y3r;
+        r3[c + 1] = y3i;
+        if (kMode == 1) {
+          const double w = f.norm_weight;
+          a0[c / 2] += w * (y0r * y0r + y0i * y0i);
+          a1[c / 2] += w * (y1r * y1r + y1i * y1i);
+          a2[c / 2] += w * (y2r * y2r + y2i * y2i);
+          a3[c / 2] += w * (y3r * y3r + y3i * y3i);
+        } else if (kMode == 2) {
+          twns += g0[c / 2] * (y0r * y0r + y0i * y0i);
+          twns += g1[c / 2] * (y1r * y1r + y1i * y1i);
+          twns += g2[c / 2] * (y2r * y2r + y2i * y2i);
+          twns += g3[c / 2] * (y3r * y3r + y3i * y3i);
+        }
+      }
+    }
+  }
+  if (kMode == 2) {
+    alignas(16) double lanes[2];
+    _mm_store_pd(lanes, vwns);
+    *wns_out = (lanes[0] + lanes[1]) + twns;
+  }
+}
+
+template <bool kInv, bool kSeed, bool kWns>
+void pow2_cols_fused_impl(const Pow2Plan& plan,
+                          const fft_detail::ColsFusion& fusion, double* base_d,
+                          std::size_t dwidth, std::size_t dstride) {
+  const std::size_t n = plan.n;
+  double iwns = 0.0;  // seeded input reduction (see ColsFusion)
+  std::size_t first = 0;
+  if (plan.leading_radix2) {
+    fused_stage_r2<kSeed, kWns>(plan, fusion, base_d, dwidth, dstride, &iwns);
+  } else {
+    fused_stage_r4_first<kInv, kSeed, kWns>(plan, fusion, base_d, dwidth,
+                                            dstride, &iwns);
+    first = 1;
+  }
+  const std::size_t last = plan.stages.size() - 1;
+  for (std::size_t si = first; si < last; ++si) {
+    cols_stage_radix4<kInv>(plan.stages[si], base_d, n, dstride, dwidth);
+  }
+  double wns = 0.0;
+  const Pow2Stage& st = plan.stages[last];
+  if (fusion.norm_acc) {
+    fused_stage_last<kInv, 1>(st, fusion, base_d, n, dstride, dwidth, &wns);
+  } else if (fusion.wns_weights && fusion.wns_out) {
+    fused_stage_last<kInv, 2>(st, fusion, base_d, n, dstride, dwidth, &wns);
+  } else {
+    fused_stage_last<kInv, 0>(st, fusion, base_d, n, dstride, dwidth, &wns);
+  }
+  if (fusion.wns_out) *fusion.wns_out = kWns ? iwns : wns;
+}
+
+template <bool kInv>
+void pow2_cols_fused_dispatch(const Pow2Plan& plan,
+                              const fft_detail::ColsFusion& fusion,
+                              double* base_d, std::size_t dwidth,
+                              std::size_t dstride) {
+  if (fusion.seed) {
+    if (fusion.wns_out && !fusion.wns_weights) {
+      pow2_cols_fused_impl<kInv, true, true>(plan, fusion, base_d, dwidth,
+                                             dstride);
+    } else {
+      pow2_cols_fused_impl<kInv, true, false>(plan, fusion, base_d, dwidth,
+                                              dstride);
+    }
+  } else {
+    pow2_cols_fused_impl<kInv, false, false>(plan, fusion, base_d, dwidth,
+                                             dstride);
+  }
+}
+
+void pow2_cols_fused(const Pow2Plan& plan,
+                     const fft_detail::ColsFusion& fusion,
+                     std::complex<double>* dst, std::size_t width,
+                     std::size_t stride, bool inverse) {
+  if (width == 0) return;
+  auto* base_d = reinterpret_cast<double*>(dst);
+  const std::size_t dstride = 2 * stride;
+  const std::size_t dwidth = 2 * width;
+  if (inverse) {
+    pow2_cols_fused_dispatch<true>(plan, fusion, base_d, dwidth, dstride);
+  } else {
+    pow2_cols_fused_dispatch<false>(plan, fusion, base_d, dwidth, dstride);
   }
 }
 
@@ -531,6 +913,7 @@ const FftKernel* avx2_kernel() {
     k.name = "avx2";
     k.pow2_many = pow2_many;
     k.pow2_cols = pow2_cols;
+    k.pow2_cols_fused = pow2_cols_fused;
     k.scale = scale;
     k.cmul = cmul;
     k.cmul_inplace = cmul_inplace;

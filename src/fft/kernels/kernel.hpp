@@ -59,6 +59,25 @@ struct FftKernel {
                     std::complex<double>* data, std::size_t width,
                     std::size_t stride, bool inverse) = nullptr;
 
+  /// Fused out-of-place column pass -- the per-shape pipeline primitive
+  /// (see fft_detail::ColsFusion).  Reads `fusion.src` rows through the
+  /// bit-reversal permutation inside the first butterfly stage (skipping
+  /// rows flagged zero, applying the optional cotangent seed on the fly)
+  /// and applies the scale / weighted-norm epilogue inside the final
+  /// stage, so a forward or adjoint column transform plus its neighboring
+  /// elementwise stages costs one read and one write of the grid instead
+  /// of one per stage.  Precondition: `plan.n >= 8` (first and last
+  /// stages are distinct); `Fft2dPlan::transform_cols_fused` runs the
+  /// equivalent staged sequence for smaller or non-pow2 shapes.
+  /// Arithmetic is per-element identical to the staged sequence (gather,
+  /// pow2_cols, scale, accumulate_norm / weighted_norm_sum), except that
+  /// rows flagged zero produce literal +0.0 where the staged path may
+  /// round to -0.0.
+  void (*pow2_cols_fused)(const fft_detail::Pow2Plan& plan,
+                          const fft_detail::ColsFusion& fusion,
+                          std::complex<double>* dst, std::size_t width,
+                          std::size_t stride, bool inverse) = nullptr;
+
   /// x[i] *= s.
   void (*scale)(std::complex<double>* x, std::size_t n, double s) = nullptr;
 

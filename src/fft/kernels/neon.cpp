@@ -109,6 +109,55 @@ void pow2_many(const Pow2Plan& plan, std::complex<double>* data,
   }
 }
 
+/// In-place twiddle-free radix-2 column stage over adjacent row pairs.
+void cols_stage_radix2(double* base_d, std::size_t n, std::size_t dstride,
+                       std::size_t dwidth) {
+  for (std::size_t r = 0; r < n; r += 2) {
+    double* u = base_d + r * dstride;
+    double* v = u + dstride;
+    for (std::size_t c = 0; c < dwidth; c += 2) {
+      const float64x2_t a = vld1q_f64(u + c);
+      const float64x2_t b = vld1q_f64(v + c);
+      vst1q_f64(u + c, vaddq_f64(a, b));
+      vst1q_f64(v + c, vsubq_f64(a, b));
+    }
+  }
+}
+
+/// In-place radix-4 column stage with broadcast twiddles: shared by the
+/// staged pass and the middle stages of the fused pass.
+template <bool kInv>
+void cols_stage_radix4(const Pow2Stage& st, double* base_d, std::size_t n,
+                       std::size_t dstride, std::size_t dwidth) {
+  const double cs = kInv ? -1.0 : 1.0;
+  const std::size_t q = st.q;
+  for (std::size_t base = 0; base < n; base += 4 * q) {
+    for (std::size_t k = 0; k < q; ++k) {
+      const float64x2_t W1 = {st.w1[k].real(), cs * st.w1[k].imag()};
+      const float64x2_t W2 = {st.w2[k].real(), cs * st.w2[k].imag()};
+      const float64x2_t W3 = {st.w3[k].real(), cs * st.w3[k].imag()};
+      double* r0 = base_d + (base + k) * dstride;
+      double* r1 = r0 + q * dstride;
+      double* r2 = r1 + q * dstride;
+      double* r3 = r2 + q * dstride;
+      for (std::size_t c = 0; c < dwidth; c += 2) {
+        const float64x2_t x0 = vld1q_f64(r0 + c);
+        const float64x2_t t1 = cmul1(vld1q_f64(r1 + c), W2);
+        const float64x2_t t2 = cmul1(vld1q_f64(r2 + c), W1);
+        const float64x2_t t3 = cmul1(vld1q_f64(r3 + c), W3);
+        const float64x2_t a = vaddq_f64(x0, t1);
+        const float64x2_t b = vsubq_f64(x0, t1);
+        const float64x2_t cc = vaddq_f64(t2, t3);
+        const float64x2_t d4 = rot_i<kInv>(vsubq_f64(t2, t3));
+        vst1q_f64(r0 + c, vaddq_f64(a, cc));
+        vst1q_f64(r1 + c, vaddq_f64(b, d4));
+        vst1q_f64(r2 + c, vsubq_f64(a, cc));
+        vst1q_f64(r3 + c, vsubq_f64(b, d4));
+      }
+    }
+  }
+}
+
 /// Lock-step column transform: butterflies sweep whole rows with broadcast
 /// twiddles, unit-stride one complex per vector.
 template <bool kInv>
@@ -126,45 +175,10 @@ void pow2_cols_impl(const Pow2Plan& plan, std::complex<double>* data,
   const std::size_t dstride = 2 * stride;
   const std::size_t dwidth = 2 * width;
   if (plan.leading_radix2) {
-    for (std::size_t r = 0; r < n; r += 2) {
-      double* u = base_d + r * dstride;
-      double* v = u + dstride;
-      for (std::size_t c = 0; c < dwidth; c += 2) {
-        const float64x2_t a = vld1q_f64(u + c);
-        const float64x2_t b = vld1q_f64(v + c);
-        vst1q_f64(u + c, vaddq_f64(a, b));
-        vst1q_f64(v + c, vsubq_f64(a, b));
-      }
-    }
+    cols_stage_radix2(base_d, n, dstride, dwidth);
   }
-  const double cs = kInv ? -1.0 : 1.0;
   for (const Pow2Stage& st : plan.stages) {
-    const std::size_t q = st.q;
-    for (std::size_t base = 0; base < n; base += 4 * q) {
-      for (std::size_t k = 0; k < q; ++k) {
-        const float64x2_t W1 = {st.w1[k].real(), cs * st.w1[k].imag()};
-        const float64x2_t W2 = {st.w2[k].real(), cs * st.w2[k].imag()};
-        const float64x2_t W3 = {st.w3[k].real(), cs * st.w3[k].imag()};
-        double* r0 = base_d + (base + k) * dstride;
-        double* r1 = r0 + q * dstride;
-        double* r2 = r1 + q * dstride;
-        double* r3 = r2 + q * dstride;
-        for (std::size_t c = 0; c < dwidth; c += 2) {
-          const float64x2_t x0 = vld1q_f64(r0 + c);
-          const float64x2_t t1 = cmul1(vld1q_f64(r1 + c), W2);
-          const float64x2_t t2 = cmul1(vld1q_f64(r2 + c), W1);
-          const float64x2_t t3 = cmul1(vld1q_f64(r3 + c), W3);
-          const float64x2_t a = vaddq_f64(x0, t1);
-          const float64x2_t b = vsubq_f64(x0, t1);
-          const float64x2_t cc = vaddq_f64(t2, t3);
-          const float64x2_t d4 = rot_i<kInv>(vsubq_f64(t2, t3));
-          vst1q_f64(r0 + c, vaddq_f64(a, cc));
-          vst1q_f64(r1 + c, vaddq_f64(b, d4));
-          vst1q_f64(r2 + c, vsubq_f64(a, cc));
-          vst1q_f64(r3 + c, vsubq_f64(b, d4));
-        }
-      }
-    }
+    cols_stage_radix4<kInv>(st, base_d, n, dstride, dwidth);
   }
 }
 
@@ -175,6 +189,233 @@ void pow2_cols(const Pow2Plan& plan, std::complex<double>* data,
     pow2_cols_impl<true>(plan, data, width, stride);
   } else {
     pow2_cols_impl<false>(plan, data, width, stride);
+  }
+}
+
+// ---- fused column pass -----------------------------------------------------
+//
+// Mirrors the scalar/AVX2 fused pass: first stage gathers through the bit
+// reversal (zero-flagged rows never read, optional cotangent seed folded
+// into the loads), middle stages are the shared helpers above, the last
+// stage scales and accumulates weighted norms as it stores.
+
+inline const double* fused_row(const fft_detail::ColsFusion& f, std::size_t j,
+                               std::size_t dstride) {
+  if (f.row_nonzero && !f.row_nonzero[j]) return nullptr;
+  return reinterpret_cast<const double*>(f.src) + j * dstride;
+}
+
+/// kWns (seeded only) folds the input reduction seed[i] * |src_i|^2 into
+/// the load (one complex per vector; |x|^2 is a horizontal pair-add).
+template <bool kSeed, bool kWns>
+inline float64x2_t fused_load(const double* row, const double* seed_row,
+                              double ss, std::size_t c, double* wns) {
+  if (!row) return vdupq_n_f64(0.0);
+  const float64x2_t x = vld1q_f64(row + c);
+  if (!kSeed) return x;
+  if (kWns) *wns += seed_row[c / 2] * vaddvq_f64(vmulq_f64(x, x));
+  const float64x2_t f = vdupq_n_f64(ss * seed_row[c / 2]);
+  return vmulq_f64(f, x);
+}
+
+/// Gathered leading radix-2 stage.
+template <bool kSeed, bool kWns>
+void fused_stage_r2(const Pow2Plan& plan, const fft_detail::ColsFusion& f,
+                    double* out, std::size_t dwidth, std::size_t dstride,
+                    double* wns) {
+  const std::size_t n = plan.n;
+  const double ss = f.seed_scale;
+  double wacc = 0.0;
+  for (std::size_t r = 0; r < n; r += 2) {
+    const std::size_t j0 = plan.bitrev[r];
+    const std::size_t j1 = plan.bitrev[r + 1];
+    const double* u = fused_row(f, j0, dstride);
+    const double* v = fused_row(f, j1, dstride);
+    const double* su = kSeed ? f.seed + j0 * (dwidth / 2) : nullptr;
+    const double* sv = kSeed ? f.seed + j1 * (dwidth / 2) : nullptr;
+    double* o0 = out + r * dstride;
+    double* o1 = o0 + dstride;
+    for (std::size_t c = 0; c < dwidth; c += 2) {
+      const float64x2_t a = fused_load<kSeed, kWns>(u, su, ss, c, &wacc);
+      const float64x2_t b = fused_load<kSeed, kWns>(v, sv, ss, c, &wacc);
+      vst1q_f64(o0 + c, vaddq_f64(a, b));
+      vst1q_f64(o1 + c, vsubq_f64(a, b));
+    }
+  }
+  if (kWns) *wns = wacc;
+}
+
+/// Gathered first radix-4 stage (q == 1, unity twiddles).
+template <bool kInv, bool kSeed, bool kWns>
+void fused_stage_r4_first(const Pow2Plan& plan, const fft_detail::ColsFusion& f,
+                          double* out, std::size_t dwidth, std::size_t dstride,
+                          double* wns) {
+  const std::size_t n = plan.n;
+  const double ss = f.seed_scale;
+  double wacc = 0.0;
+  for (std::size_t b = 0; b < n; b += 4) {
+    const double* x[4];
+    const double* sx[4] = {nullptr, nullptr, nullptr, nullptr};
+    for (int t = 0; t < 4; ++t) {
+      const std::size_t j = plan.bitrev[b + t];
+      x[t] = fused_row(f, j, dstride);
+      if (kSeed) sx[t] = f.seed + j * (dwidth / 2);
+    }
+    double* o0 = out + b * dstride;
+    double* o1 = o0 + dstride;
+    double* o2 = o1 + dstride;
+    double* o3 = o2 + dstride;
+    for (std::size_t c = 0; c < dwidth; c += 2) {
+      const float64x2_t x0 = fused_load<kSeed, kWns>(x[0], sx[0], ss, c, &wacc);
+      const float64x2_t x1 = fused_load<kSeed, kWns>(x[1], sx[1], ss, c, &wacc);
+      const float64x2_t x2 = fused_load<kSeed, kWns>(x[2], sx[2], ss, c, &wacc);
+      const float64x2_t x3 = fused_load<kSeed, kWns>(x[3], sx[3], ss, c, &wacc);
+      const float64x2_t a = vaddq_f64(x0, x1);
+      const float64x2_t bb = vsubq_f64(x0, x1);
+      const float64x2_t cc = vaddq_f64(x2, x3);
+      const float64x2_t d4 = rot_i<kInv>(vsubq_f64(x2, x3));
+      vst1q_f64(o0 + c, vaddq_f64(a, cc));
+      vst1q_f64(o1 + c, vaddq_f64(bb, d4));
+      vst1q_f64(o2 + c, vsubq_f64(a, cc));
+      vst1q_f64(o3 + c, vsubq_f64(bb, d4));
+    }
+  }
+  if (kWns) *wns = wacc;
+}
+
+/// Final radix-4 stage with the scale / weighted-norm epilogue fused into
+/// the stores.  One complex per vector: the |y|^2 value is a horizontal
+/// pair-add of y*y, matching accumulate_norm's arithmetic.
+template <bool kInv, int kMode>
+void fused_stage_last(const Pow2Stage& st, const fft_detail::ColsFusion& f,
+                      double* base_d, std::size_t n, std::size_t dstride,
+                      std::size_t dwidth, double* wns_out) {
+  const double cs = kInv ? -1.0 : 1.0;
+  const std::size_t q = st.q;
+  const std::size_t rw = dwidth / 2;
+  const double s = f.scale;
+  const float64x2_t vs = vdupq_n_f64(s);
+  const double w = f.norm_weight;
+  double wns = 0.0;
+  for (std::size_t base = 0; base < n; base += 4 * q) {
+    for (std::size_t k = 0; k < q; ++k) {
+      const float64x2_t W1 = {st.w1[k].real(), cs * st.w1[k].imag()};
+      const float64x2_t W2 = {st.w2[k].real(), cs * st.w2[k].imag()};
+      const float64x2_t W3 = {st.w3[k].real(), cs * st.w3[k].imag()};
+      const std::size_t row0 = base + k;
+      double* r0 = base_d + row0 * dstride;
+      double* r1 = r0 + q * dstride;
+      double* r2 = r1 + q * dstride;
+      double* r3 = r2 + q * dstride;
+      double* a0 = kMode == 1 ? f.norm_acc + row0 * rw : nullptr;
+      double* a1 = kMode == 1 ? a0 + q * rw : nullptr;
+      double* a2 = kMode == 1 ? a1 + q * rw : nullptr;
+      double* a3 = kMode == 1 ? a2 + q * rw : nullptr;
+      const double* g0 = kMode == 2 ? f.wns_weights + row0 * rw : nullptr;
+      const double* g1 = kMode == 2 ? g0 + q * rw : nullptr;
+      const double* g2 = kMode == 2 ? g1 + q * rw : nullptr;
+      const double* g3 = kMode == 2 ? g2 + q * rw : nullptr;
+      for (std::size_t c = 0; c < dwidth; c += 2) {
+        const float64x2_t x0 = vld1q_f64(r0 + c);
+        const float64x2_t t1 = cmul1(vld1q_f64(r1 + c), W2);
+        const float64x2_t t2 = cmul1(vld1q_f64(r2 + c), W1);
+        const float64x2_t t3 = cmul1(vld1q_f64(r3 + c), W3);
+        const float64x2_t a = vaddq_f64(x0, t1);
+        const float64x2_t b = vsubq_f64(x0, t1);
+        const float64x2_t cc = vaddq_f64(t2, t3);
+        const float64x2_t d4 = rot_i<kInv>(vsubq_f64(t2, t3));
+        const float64x2_t y0 = vmulq_f64(vaddq_f64(a, cc), vs);
+        const float64x2_t y1 = vmulq_f64(vaddq_f64(b, d4), vs);
+        const float64x2_t y2 = vmulq_f64(vsubq_f64(a, cc), vs);
+        const float64x2_t y3 = vmulq_f64(vsubq_f64(b, d4), vs);
+        vst1q_f64(r0 + c, y0);
+        vst1q_f64(r1 + c, y1);
+        vst1q_f64(r2 + c, y2);
+        vst1q_f64(r3 + c, y3);
+        if (kMode != 0) {
+          const double n0 = vaddvq_f64(vmulq_f64(y0, y0));
+          const double n1 = vaddvq_f64(vmulq_f64(y1, y1));
+          const double n2 = vaddvq_f64(vmulq_f64(y2, y2));
+          const double n3 = vaddvq_f64(vmulq_f64(y3, y3));
+          if (kMode == 1) {
+            a0[c / 2] += w * n0;
+            a1[c / 2] += w * n1;
+            a2[c / 2] += w * n2;
+            a3[c / 2] += w * n3;
+          } else {
+            wns += g0[c / 2] * n0;
+            wns += g1[c / 2] * n1;
+            wns += g2[c / 2] * n2;
+            wns += g3[c / 2] * n3;
+          }
+        }
+      }
+    }
+  }
+  if (kMode == 2) *wns_out = wns;
+}
+
+template <bool kInv, bool kSeed, bool kWns>
+void pow2_cols_fused_impl(const Pow2Plan& plan,
+                          const fft_detail::ColsFusion& fusion, double* base_d,
+                          std::size_t dwidth, std::size_t dstride) {
+  const std::size_t n = plan.n;
+  double iwns = 0.0;  // seeded input reduction (see ColsFusion)
+  std::size_t first = 0;
+  if (plan.leading_radix2) {
+    fused_stage_r2<kSeed, kWns>(plan, fusion, base_d, dwidth, dstride, &iwns);
+  } else {
+    fused_stage_r4_first<kInv, kSeed, kWns>(plan, fusion, base_d, dwidth,
+                                            dstride, &iwns);
+    first = 1;
+  }
+  const std::size_t last = plan.stages.size() - 1;
+  for (std::size_t si = first; si < last; ++si) {
+    cols_stage_radix4<kInv>(plan.stages[si], base_d, n, dstride, dwidth);
+  }
+  double wns = 0.0;
+  const Pow2Stage& st = plan.stages[last];
+  if (fusion.norm_acc) {
+    fused_stage_last<kInv, 1>(st, fusion, base_d, n, dstride, dwidth, &wns);
+  } else if (fusion.wns_weights && fusion.wns_out) {
+    fused_stage_last<kInv, 2>(st, fusion, base_d, n, dstride, dwidth, &wns);
+  } else {
+    fused_stage_last<kInv, 0>(st, fusion, base_d, n, dstride, dwidth, &wns);
+  }
+  if (fusion.wns_out) *fusion.wns_out = kWns ? iwns : wns;
+}
+
+template <bool kInv>
+void pow2_cols_fused_dispatch(const Pow2Plan& plan,
+                              const fft_detail::ColsFusion& fusion,
+                              double* base_d, std::size_t dwidth,
+                              std::size_t dstride) {
+  if (fusion.seed) {
+    if (fusion.wns_out && !fusion.wns_weights) {
+      pow2_cols_fused_impl<kInv, true, true>(plan, fusion, base_d, dwidth,
+                                             dstride);
+    } else {
+      pow2_cols_fused_impl<kInv, true, false>(plan, fusion, base_d, dwidth,
+                                              dstride);
+    }
+  } else {
+    pow2_cols_fused_impl<kInv, false, false>(plan, fusion, base_d, dwidth,
+                                             dstride);
+  }
+}
+
+void pow2_cols_fused(const Pow2Plan& plan,
+                     const fft_detail::ColsFusion& fusion,
+                     std::complex<double>* dst, std::size_t width,
+                     std::size_t stride, bool inverse) {
+  if (width == 0) return;
+  auto* base_d = reinterpret_cast<double*>(dst);
+  const std::size_t dstride = 2 * stride;
+  const std::size_t dwidth = 2 * width;
+  if (inverse) {
+    pow2_cols_fused_dispatch<true>(plan, fusion, base_d, dwidth, dstride);
+  } else {
+    pow2_cols_fused_dispatch<false>(plan, fusion, base_d, dwidth, dstride);
   }
 }
 
@@ -316,6 +557,7 @@ const FftKernel* neon_kernel() {
     k.name = "neon";
     k.pow2_many = pow2_many;
     k.pow2_cols = pow2_cols;
+    k.pow2_cols_fused = pow2_cols_fused;
     k.scale = scale;
     k.cmul = cmul;
     k.cmul_inplace = cmul_inplace;

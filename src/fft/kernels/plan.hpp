@@ -46,6 +46,57 @@ struct Pow2Plan {
   std::vector<Pow2Stage> stages;
 };
 
+/// Descriptor of one fused column pass (FftKernel::pow2_cols_fused): an
+/// out-of-place lock-step column transform whose input permutation,
+/// optional cotangent seeding, and output epilogue are folded into the
+/// first and last butterfly stages, so the pass touches each grid exactly
+/// once instead of round-tripping through memory between stages.
+///
+/// Input (folded into the first stage, which reads `src` rows through the
+/// bit-reversal permutation and writes `dst`):
+///   * `src`       -- the gathered input grid (never modified; must not
+///                    alias the destination).
+///   * `row_nonzero` -- optional per-row flags (length n): rows flagged 0
+///                    are treated as exactly zero and never read, so a
+///                    band-sparse spectrum needs only its occupied rows
+///                    initialized.  Null means every row is read.
+///   * `seed`/`seed_scale` -- optional cotangent seed: the logical input
+///                    of row j, column c becomes
+///                    seed_scale * seed[j * width + c] * src(j, c),
+///                    computed on the fly during the first-stage loads
+///                    (the adjoint pass's seed grid never materializes).
+///
+/// Epilogue (folded into the final butterfly stage, applied to each
+/// output y in store order):
+///   * `scale`     -- y *= scale (1.0 = identity, bitwise).
+///   * `norm_acc`/`norm_weight` -- norm_acc[i] += norm_weight * |y_i|^2
+///                    (the per-scenario intensity accumulation).
+///   * `wns_weights`/`wns_out`  -- *wns_out = sum_i wns_weights[i]*|y_i|^2
+///                    (the source-gradient reduction; summation order is
+///                    the final-stage store order, deterministic per
+///                    backend).  norm and wns are mutually exclusive.
+///
+/// Seeded input reduction: when `seed` and `wns_out` are both set (and
+/// `wns_weights` is null), the pass instead reduces over the *input*,
+///   *wns_out = sum_i seed[i] * |src_i|^2
+/// (unscaled by `seed_scale`; zero-flagged rows contribute nothing),
+/// accumulated during the first-stage loads in bit-reversed row order --
+/// the adjoint pass reads each cached field once for both the cotangent
+/// seed and the source-gradient reduction.
+/// Real-valued arrays (`seed`, `norm_acc`, `wns_weights`) are dense with
+/// row pitch `width`.
+struct ColsFusion {
+  const std::complex<double>* src = nullptr;
+  const std::uint8_t* row_nonzero = nullptr;
+  const double* seed = nullptr;
+  double seed_scale = 1.0;
+  double scale = 1.0;
+  double* norm_acc = nullptr;
+  double norm_weight = 0.0;
+  const double* wns_weights = nullptr;
+  double* wns_out = nullptr;
+};
+
 /// Bluestein (chirp-z) data for arbitrary length n: chirp[j] =
 /// exp(-i*pi*j^2/n) (index squared reduced mod 2n to avoid precision loss)
 /// and the forward FFT of the zero-padded reciprocal chirp at length m.

@@ -90,6 +90,66 @@ void pow2_many(const Pow2Plan& plan, std::complex<double>* data,
   }
 }
 
+// In-place twiddle-free radix-2 column stage over adjacent row pairs.
+void cols_stage_radix2(double* base_d, std::size_t n, std::size_t dstride,
+                       std::size_t width) {
+  for (std::size_t r = 0; r < n; r += 2) {
+    double* u = base_d + r * dstride;
+    double* v = u + dstride;
+    for (std::size_t c = 0; c < 2 * width; ++c) {
+      const double a = u[c];
+      const double b = v[c];
+      u[c] = a + b;
+      v[c] = a - b;
+    }
+  }
+}
+
+// In-place radix-4 column stage: shared by the staged pass and by the
+// middle stages of the fused pass, so both run identical arithmetic.
+void cols_stage_radix4(const Pow2Stage& st, double* base_d, std::size_t n,
+                       std::size_t dstride, std::size_t width, double cs) {
+  const std::size_t q = st.q;
+  for (std::size_t base = 0; base < n; base += 4 * q) {
+    for (std::size_t k = 0; k < q; ++k) {
+      const double w1r = st.w1[k].real();
+      const double w1i = cs * st.w1[k].imag();
+      const double w2r = st.w2[k].real();
+      const double w2i = cs * st.w2[k].imag();
+      const double w3r = st.w3[k].real();
+      const double w3i = cs * st.w3[k].imag();
+      double* r0 = base_d + (base + k) * dstride;
+      double* r1 = r0 + q * dstride;
+      double* r2 = r1 + q * dstride;
+      double* r3 = r2 + q * dstride;
+      for (std::size_t c = 0; c < 2 * width; c += 2) {
+        const double t1r = r1[c] * w2r - r1[c + 1] * w2i;
+        const double t1i = r1[c] * w2i + r1[c + 1] * w2r;
+        const double t2r = r2[c] * w1r - r2[c + 1] * w1i;
+        const double t2i = r2[c] * w1i + r2[c + 1] * w1r;
+        const double t3r = r3[c] * w3r - r3[c + 1] * w3i;
+        const double t3i = r3[c] * w3i + r3[c + 1] * w3r;
+        const double ar = r0[c] + t1r;
+        const double ai = r0[c + 1] + t1i;
+        const double br = r0[c] - t1r;
+        const double bi = r0[c + 1] - t1i;
+        const double cr = t2r + t3r;
+        const double ci = t2i + t3i;
+        const double d4r = cs * (t2i - t3i);
+        const double d4i = -cs * (t2r - t3r);
+        r0[c] = ar + cr;
+        r0[c + 1] = ai + ci;
+        r1[c] = br + d4r;
+        r1[c + 1] = bi + d4i;
+        r2[c] = ar - cr;
+        r2[c + 1] = ai - ci;
+        r3[c] = br - d4r;
+        r3[c + 1] = bi - d4i;
+      }
+    }
+  }
+}
+
 void pow2_cols(const Pow2Plan& plan, std::complex<double>* data,
                std::size_t width, std::size_t stride, bool inverse) {
   const std::size_t n = plan.n;
@@ -105,59 +165,268 @@ void pow2_cols(const Pow2Plan& plan, std::complex<double>* data,
   auto* base_d = reinterpret_cast<double*>(data);
   const std::size_t dstride = 2 * stride;
   if (plan.leading_radix2) {
-    for (std::size_t r = 0; r < n; r += 2) {
-      double* u = base_d + r * dstride;
-      double* v = u + dstride;
-      for (std::size_t c = 0; c < 2 * width; ++c) {
-        const double a = u[c];
-        const double b = v[c];
-        u[c] = a + b;
-        v[c] = a - b;
-      }
-    }
+    cols_stage_radix2(base_d, n, dstride, width);
   }
   const double cs = inverse ? -1.0 : 1.0;
   for (const Pow2Stage& st : plan.stages) {
-    const std::size_t q = st.q;
-    for (std::size_t base = 0; base < n; base += 4 * q) {
-      for (std::size_t k = 0; k < q; ++k) {
-        const double w1r = st.w1[k].real();
-        const double w1i = cs * st.w1[k].imag();
-        const double w2r = st.w2[k].real();
-        const double w2i = cs * st.w2[k].imag();
-        const double w3r = st.w3[k].real();
-        const double w3i = cs * st.w3[k].imag();
-        double* r0 = base_d + (base + k) * dstride;
-        double* r1 = r0 + q * dstride;
-        double* r2 = r1 + q * dstride;
-        double* r3 = r2 + q * dstride;
-        for (std::size_t c = 0; c < 2 * width; c += 2) {
-          const double t1r = r1[c] * w2r - r1[c + 1] * w2i;
-          const double t1i = r1[c] * w2i + r1[c + 1] * w2r;
-          const double t2r = r2[c] * w1r - r2[c + 1] * w1i;
-          const double t2i = r2[c] * w1i + r2[c + 1] * w1r;
-          const double t3r = r3[c] * w3r - r3[c + 1] * w3i;
-          const double t3i = r3[c] * w3i + r3[c + 1] * w3r;
-          const double ar = r0[c] + t1r;
-          const double ai = r0[c + 1] + t1i;
-          const double br = r0[c] - t1r;
-          const double bi = r0[c + 1] - t1i;
-          const double cr = t2r + t3r;
-          const double ci = t2i + t3i;
-          const double d4r = cs * (t2i - t3i);
-          const double d4i = -cs * (t2r - t3r);
-          r0[c] = ar + cr;
-          r0[c + 1] = ai + ci;
-          r1[c] = br + d4r;
-          r1[c + 1] = bi + d4i;
-          r2[c] = ar - cr;
-          r2[c + 1] = ai - ci;
-          r3[c] = br - d4r;
-          r3[c + 1] = bi - d4i;
+    cols_stage_radix4(st, base_d, n, dstride, width, cs);
+  }
+}
+
+// ---- Fused column pass ------------------------------------------------
+//
+// The first butterfly stage reads the source grid through the bit
+// reversal (no row swaps, rows flagged zero never read, the optional
+// cotangent seed folded into the loads); the last stage applies the
+// scale/weighted-norm epilogue as it stores.  Middle stages are the
+// shared in-place helpers above, so the fused pass computes the same
+// per-element arithmetic as the staged sequence.
+
+// Source-row base pointer, or null when the row is flagged zero (loads
+// then become literal 0.0 without touching memory).
+inline const double* fused_row(const fft_detail::ColsFusion& f, std::size_t j,
+                               std::size_t dstride) {
+  if (f.row_nonzero && !f.row_nonzero[j]) return nullptr;
+  return reinterpret_cast<const double*>(f.src) + j * dstride;
+}
+
+// Gathered leading radix-2 stage: output rows (r, r+1) combine source
+// rows bitrev[r], bitrev[r+1].  kWns (seeded only) accumulates the input
+// reduction sum seed[i] * |src_i|^2 into *wns as the rows are read.
+template <bool kSeed, bool kWns>
+void fused_stage_r2(const Pow2Plan& plan, const fft_detail::ColsFusion& f,
+                    double* out, std::size_t width, std::size_t dstride,
+                    double* wns) {
+  const std::size_t n = plan.n;
+  const double ss = f.seed_scale;
+  double wacc = 0.0;
+  for (std::size_t r = 0; r < n; r += 2) {
+    const std::size_t j0 = plan.bitrev[r];
+    const std::size_t j1 = plan.bitrev[r + 1];
+    const double* u = fused_row(f, j0, dstride);
+    const double* v = fused_row(f, j1, dstride);
+    const double* su = kSeed ? f.seed + j0 * width : nullptr;
+    const double* sv = kSeed ? f.seed + j1 * width : nullptr;
+    double* o0 = out + r * dstride;
+    double* o1 = o0 + dstride;
+    for (std::size_t c = 0; c < 2 * width; c += 2) {
+      double ur = 0.0, ui = 0.0, vr = 0.0, vi = 0.0;
+      if (u) {
+        if (kWns) wacc += su[c / 2] * (u[c] * u[c] + u[c + 1] * u[c + 1]);
+        const double fu = kSeed ? ss * su[c / 2] : 1.0;
+        ur = kSeed ? fu * u[c] : u[c];
+        ui = kSeed ? fu * u[c + 1] : u[c + 1];
+      }
+      if (v) {
+        if (kWns) wacc += sv[c / 2] * (v[c] * v[c] + v[c + 1] * v[c + 1]);
+        const double fv = kSeed ? ss * sv[c / 2] : 1.0;
+        vr = kSeed ? fv * v[c] : v[c];
+        vi = kSeed ? fv * v[c + 1] : v[c + 1];
+      }
+      o0[c] = ur + vr;
+      o0[c + 1] = ui + vi;
+      o1[c] = ur - vr;
+      o1[c + 1] = ui - vi;
+    }
+  }
+  if (kWns) *wns = wacc;
+}
+
+// Gathered first radix-4 stage (q == 1, unity twiddles -- bitwise equal
+// to the staged multiply by W^0): output rows (b..b+3) combine source
+// rows bitrev[b..b+3].
+template <bool kSeed, bool kWns>
+void fused_stage_r4_first(const Pow2Plan& plan, const fft_detail::ColsFusion& f,
+                          double* out, std::size_t width, std::size_t dstride,
+                          double cs, double* wns) {
+  const std::size_t n = plan.n;
+  const double ss = f.seed_scale;
+  double wacc = 0.0;
+  for (std::size_t b = 0; b < n; b += 4) {
+    const double* x[4];
+    const double* sx[4] = {nullptr, nullptr, nullptr, nullptr};
+    for (int t = 0; t < 4; ++t) {
+      const std::size_t j = plan.bitrev[b + t];
+      x[t] = fused_row(f, j, dstride);
+      if (kSeed) sx[t] = f.seed + j * width;
+    }
+    double* o0 = out + b * dstride;
+    double* o1 = o0 + dstride;
+    double* o2 = o1 + dstride;
+    double* o3 = o2 + dstride;
+    for (std::size_t c = 0; c < 2 * width; c += 2) {
+      double xr[4], xi[4];
+      for (int t = 0; t < 4; ++t) {
+        if (x[t]) {
+          if (kWns) {
+            wacc += sx[t][c / 2] *
+                    (x[t][c] * x[t][c] + x[t][c + 1] * x[t][c + 1]);
+          }
+          const double fx = kSeed ? ss * sx[t][c / 2] : 1.0;
+          xr[t] = kSeed ? fx * x[t][c] : x[t][c];
+          xi[t] = kSeed ? fx * x[t][c + 1] : x[t][c + 1];
+        } else {
+          xr[t] = 0.0;
+          xi[t] = 0.0;
+        }
+      }
+      const double ar = xr[0] + xr[1];
+      const double ai = xi[0] + xi[1];
+      const double br = xr[0] - xr[1];
+      const double bi = xi[0] - xi[1];
+      const double cr = xr[2] + xr[3];
+      const double ci = xi[2] + xi[3];
+      const double d4r = cs * (xi[2] - xi[3]);
+      const double d4i = -cs * (xr[2] - xr[3]);
+      o0[c] = ar + cr;
+      o0[c + 1] = ai + ci;
+      o1[c] = br + d4r;
+      o1[c + 1] = bi + d4i;
+      o2[c] = ar - cr;
+      o2[c + 1] = ai - ci;
+      o3[c] = br - d4r;
+      o3[c + 1] = bi - d4i;
+    }
+  }
+  if (kWns) *wns = wacc;
+}
+
+// Final radix-4 stage with the epilogue fused into the stores: scale
+// (always; 1.0 is a bitwise identity), then kMode 1 accumulates
+// norm_weight * |y|^2 into norm_acc, kMode 2 reduces
+// wns_weights[i] * |y|^2 into *wns (rows r0..r3 in butterfly store
+// order -- deterministic for a fixed shape).
+template <int kMode>
+void fused_stage_last(const Pow2Stage& st, const fft_detail::ColsFusion& f,
+                      double* base_d, std::size_t n, std::size_t dstride,
+                      std::size_t width, double cs, double* wns) {
+  const double s = f.scale;
+  const double w = f.norm_weight;
+  const std::size_t q = st.q;
+  for (std::size_t base = 0; base < n; base += 4 * q) {
+    for (std::size_t k = 0; k < q; ++k) {
+      const double w1r = st.w1[k].real();
+      const double w1i = cs * st.w1[k].imag();
+      const double w2r = st.w2[k].real();
+      const double w2i = cs * st.w2[k].imag();
+      const double w3r = st.w3[k].real();
+      const double w3i = cs * st.w3[k].imag();
+      const std::size_t row0 = base + k;
+      double* r0 = base_d + row0 * dstride;
+      double* r1 = r0 + q * dstride;
+      double* r2 = r1 + q * dstride;
+      double* r3 = r2 + q * dstride;
+      double* a0 = kMode == 1 ? f.norm_acc + row0 * width : nullptr;
+      double* a1 = kMode == 1 ? a0 + q * width : nullptr;
+      double* a2 = kMode == 1 ? a1 + q * width : nullptr;
+      double* a3 = kMode == 1 ? a2 + q * width : nullptr;
+      const double* g0 = kMode == 2 ? f.wns_weights + row0 * width : nullptr;
+      const double* g1 = kMode == 2 ? g0 + q * width : nullptr;
+      const double* g2 = kMode == 2 ? g1 + q * width : nullptr;
+      const double* g3 = kMode == 2 ? g2 + q * width : nullptr;
+      for (std::size_t c = 0; c < 2 * width; c += 2) {
+        const double t1r = r1[c] * w2r - r1[c + 1] * w2i;
+        const double t1i = r1[c] * w2i + r1[c + 1] * w2r;
+        const double t2r = r2[c] * w1r - r2[c + 1] * w1i;
+        const double t2i = r2[c] * w1i + r2[c + 1] * w1r;
+        const double t3r = r3[c] * w3r - r3[c + 1] * w3i;
+        const double t3i = r3[c] * w3i + r3[c + 1] * w3r;
+        const double ar = r0[c] + t1r;
+        const double ai = r0[c + 1] + t1i;
+        const double br = r0[c] - t1r;
+        const double bi = r0[c + 1] - t1i;
+        const double cr = t2r + t3r;
+        const double ci = t2i + t3i;
+        const double d4r = cs * (t2i - t3i);
+        const double d4i = -cs * (t2r - t3r);
+        const double y0r = (ar + cr) * s;
+        const double y0i = (ai + ci) * s;
+        const double y1r = (br + d4r) * s;
+        const double y1i = (bi + d4i) * s;
+        const double y2r = (ar - cr) * s;
+        const double y2i = (ai - ci) * s;
+        const double y3r = (br - d4r) * s;
+        const double y3i = (bi - d4i) * s;
+        r0[c] = y0r;
+        r0[c + 1] = y0i;
+        r1[c] = y1r;
+        r1[c + 1] = y1i;
+        r2[c] = y2r;
+        r2[c + 1] = y2i;
+        r3[c] = y3r;
+        r3[c + 1] = y3i;
+        if (kMode == 1) {
+          a0[c / 2] += w * (y0r * y0r + y0i * y0i);
+          a1[c / 2] += w * (y1r * y1r + y1i * y1i);
+          a2[c / 2] += w * (y2r * y2r + y2i * y2i);
+          a3[c / 2] += w * (y3r * y3r + y3i * y3i);
+        } else if (kMode == 2) {
+          *wns += g0[c / 2] * (y0r * y0r + y0i * y0i);
+          *wns += g1[c / 2] * (y1r * y1r + y1i * y1i);
+          *wns += g2[c / 2] * (y2r * y2r + y2i * y2i);
+          *wns += g3[c / 2] * (y3r * y3r + y3i * y3i);
         }
       }
     }
   }
+}
+
+void pow2_cols_fused(const Pow2Plan& plan,
+                     const fft_detail::ColsFusion& fusion,
+                     std::complex<double>* dst, std::size_t width,
+                     std::size_t stride, bool inverse) {
+  const std::size_t n = plan.n;
+  if (width == 0) return;
+  auto* base_d = reinterpret_cast<double*>(dst);
+  const std::size_t dstride = 2 * stride;
+  const double cs = inverse ? -1.0 : 1.0;
+  // Seeded input reduction (see ColsFusion): fold the wns sum into the
+  // first-stage loads instead of the final-stage stores.
+  const bool in_wns = fusion.seed && fusion.wns_out && !fusion.wns_weights;
+  double iwns = 0.0;
+  std::size_t first = 0;
+  if (plan.leading_radix2) {
+    if (fusion.seed) {
+      if (in_wns) {
+        fused_stage_r2<true, true>(plan, fusion, base_d, width, dstride,
+                                   &iwns);
+      } else {
+        fused_stage_r2<true, false>(plan, fusion, base_d, width, dstride,
+                                    &iwns);
+      }
+    } else {
+      fused_stage_r2<false, false>(plan, fusion, base_d, width, dstride,
+                                   &iwns);
+    }
+  } else {
+    if (fusion.seed) {
+      if (in_wns) {
+        fused_stage_r4_first<true, true>(plan, fusion, base_d, width, dstride,
+                                         cs, &iwns);
+      } else {
+        fused_stage_r4_first<true, false>(plan, fusion, base_d, width, dstride,
+                                          cs, &iwns);
+      }
+    } else {
+      fused_stage_r4_first<false, false>(plan, fusion, base_d, width, dstride,
+                                         cs, &iwns);
+    }
+    first = 1;
+  }
+  const std::size_t last = plan.stages.size() - 1;
+  for (std::size_t si = first; si < last; ++si) {
+    cols_stage_radix4(plan.stages[si], base_d, n, dstride, width, cs);
+  }
+  double wns = 0.0;
+  const Pow2Stage& st = plan.stages[last];
+  if (fusion.norm_acc) {
+    fused_stage_last<1>(st, fusion, base_d, n, dstride, width, cs, &wns);
+  } else if (fusion.wns_weights && fusion.wns_out) {
+    fused_stage_last<2>(st, fusion, base_d, n, dstride, width, cs, &wns);
+  } else {
+    fused_stage_last<0>(st, fusion, base_d, n, dstride, width, cs, &wns);
+  }
+  if (fusion.wns_out) *fusion.wns_out = in_wns ? iwns : wns;
 }
 
 void scale(std::complex<double>* x, std::size_t n, double s) {
@@ -280,6 +549,7 @@ const FftKernel& scalar_kernel() {
     k.name = "scalar";
     k.pow2_many = pow2_many;
     k.pow2_cols = pow2_cols;
+    k.pow2_cols_fused = pow2_cols_fused;
     k.scale = scale;
     k.cmul = cmul;
     k.cmul_inplace = cmul_inplace;

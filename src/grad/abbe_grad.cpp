@@ -1,12 +1,10 @@
 #include "grad/abbe_grad.hpp"
 
 #include <algorithm>
-#include <functional>
 #include <stdexcept>
 #include <vector>
 
 #include "fft/fft.hpp"
-#include "fft/kernels/kernel.hpp"
 #include "math/grid_ops.hpp"
 #include "sim/imaging_model.hpp"
 
@@ -60,13 +58,23 @@ SmoGradient AbbeGradientEngine::evaluate(const RealGrid& theta_m,
   ComplexGrid o = to_complex(mask);
   fft2(o);
 
+  // When gradients are requested, capture each component's coherent field
+  // during the forward intensity pass so the backward sweep seeds its
+  // adjoints from the cache instead of recomputing every transform (fused
+  // pipeline mode only -- staged mode keeps the legacy double sweep).
+  // With narrow pass-bands the backward sweep runs the band-restricted
+  // direct adjoint and needs no fields, so capture stays disarmed.
+  const bool want_backprop = request.mask || request.source;
+  sim::FieldCaptureScope capture(
+      abbe_->workspaces(), abbe_->components(),
+      want_backprop && !sim::adjoint_uses_band_conv(*abbe_));
+
   const AbbeAerial fwd = abbe_->aerial(o, source, source_cutoff_);
   const double w_total = fwd.total_weight;
   if (w_total <= 0.0) {
     throw std::runtime_error("AbbeGradientEngine: source has no power");
   }
 
-  const bool want_backprop = request.mask || request.source;
   const SmoLoss loss = evaluate_smo_loss(fwd.intensity, target_, resist_,
                                          weights_, pw_, want_backprop);
 
@@ -78,10 +86,10 @@ SmoGradient AbbeGradientEngine::evaluate(const RealGrid& theta_m,
 
   const RealGrid& dldi = loss.dl_di;
 
-  // Backward sweep: one coherent-field recomputation per needed source
-  // point, run through the unified engine layer (sim::adjoint_pass) over
-  // the per-slot workspaces -- allocation- and lock-free in steady state,
-  // statically partitioned for determinism.
+  // Backward sweep: one adjoint chain per needed source point, run through
+  // the unified engine layer (sim::adjoint_pass) over the per-slot
+  // workspaces -- allocation- and lock-free in steady state, statically
+  // partitioned for determinism, seeded from the captured forward fields.
   //
   // Mask gradients only need points that contribute to the image; the
   // source gradient needs |A|^2 even where j ~ 0 (to revive points), so
@@ -101,17 +109,17 @@ SmoGradient AbbeGradientEngine::evaluate(const RealGrid& theta_m,
     items.push_back(item);
   }
 
-  std::function<void(std::size_t, sim::SimWorkspace&)> field_hook;
+  // The source-gradient reduction sum dL/dI * |A_s|^2 is computed inside
+  // the fused forward chain of each item (adjoint_pass's wns output), so
+  // no separate field traversal is needed.
+  std::vector<double> item_wns;
+  ComplexGrid go = sim::adjoint_pass(*abbe_, o, dldi, items,
+                                     request.source ? &item_wns : nullptr);
   if (request.source) {
-    field_hook = [&](std::size_t item, sim::SimWorkspace& ws) {
-      const ComplexGrid& a = ws.field();
-      gj_raw[items[item].component] =
-          fft::active_kernel().weighted_norm_sum(dldi.data(), a.data(),
-                                                 a.size());
-    };
+    for (std::size_t k = 0; k < items.size(); ++k) {
+      gj_raw[items[k].component] = item_wns[k];
+    }
   }
-
-  ComplexGrid go = sim::adjoint_pass(*abbe_, o, dldi, items, field_hook);
 
   if (request.mask) {
     // Every mask-path point can be below the cutoff (e.g. an all-dark

@@ -46,6 +46,13 @@ SmoGradient HopkinsGradientEngine::evaluate(const RealGrid& theta_m) const {
   ComplexGrid o = to_complex(mask);
   fft2(o);
 
+  // Capture each kernel's coherent field during the forward pass so the
+  // backward sweep reuses it (fused pipeline mode; see FieldCaptureScope).
+  // Narrow-band models take the band-restricted direct adjoint instead
+  // and never read the cache.
+  sim::FieldCaptureScope capture(hopkins_->workspaces(),
+                                 hopkins_->components(),
+                                 !sim::adjoint_uses_band_conv(*hopkins_));
   const RealGrid intensity = hopkins_->aerial(o);
   const SmoLoss loss = evaluate_smo_loss(intensity, target_, resist_,
                                          weights_, pw_, /*want_backprop=*/true);
@@ -67,7 +74,7 @@ SmoGradient HopkinsGradientEngine::evaluate(const RealGrid& theta_m) const {
     items[q].scale = 2.0 * kernels[q].weight;
     items[q].mask = true;
   }
-  ComplexGrid go = sim::adjoint_pass(*hopkins_, o, dldi, items, nullptr);
+  ComplexGrid go = sim::adjoint_pass(*hopkins_, o, dldi, items);
   if (go.empty()) go = ComplexGrid(n, n);  // rank-0 decomposition
   const RealGrid gm = real_part(fft2_adjoint(go));
   const RealGrid dact =

@@ -81,22 +81,15 @@ ComplexGrid AbbeImaging::field(const ComplexGrid& o,
   return a;
 }
 
-void AbbeImaging::field_into(const ComplexGrid& o, std::size_t c,
-                             sim::SimWorkspace& ws) const {
+sim::BandRef AbbeImaging::component_band(std::size_t c) const {
   const PassBand& band = passbands_[c];
-  ws.sparse_inverse_field(
-      o, band.indices.data(),
-      band.values.empty() ? nullptr : band.values.data(), band.indices.size(),
-      band_rows_[c].data(), band_rows_[c].size());
-}
-
-void AbbeImaging::adjoint_accumulate(std::size_t c, sim::SimWorkspace& ws,
-                                     ComplexGrid& go) const {
-  const PassBand& band = passbands_[c];
-  ws.adjoint_band_accumulate(
-      band.indices.data(),
-      band.values.empty() ? nullptr : band.values.data(), band.indices.size(),
-      band_rows_[c].data(), band_rows_[c].size(), go);
+  sim::BandRef ref;
+  ref.bins = band.indices.data();
+  ref.vals = band.values.empty() ? nullptr : band.values.data();
+  ref.nbins = band.indices.size();
+  ref.rows = band_rows_[c].data();
+  ref.nrows = band_rows_[c].size();
+  return ref;
 }
 
 AbbeAerial AbbeImaging::aerial(const ComplexGrid& o, const RealGrid& j,

@@ -100,10 +100,7 @@ class AbbeImaging : public sim::ImagingModel {
   std::size_t components() const noexcept override {
     return passbands_.size();
   }
-  void field_into(const ComplexGrid& o, std::size_t c,
-                  sim::SimWorkspace& ws) const override;
-  void adjoint_accumulate(std::size_t c, sim::SimWorkspace& ws,
-                          ComplexGrid& go) const override;
+  sim::BandRef component_band(std::size_t c) const override;
   ThreadPool* pool() const noexcept override { return pool_; }
   sim::WorkspaceSet& workspaces() const override { return *workspaces_; }
 

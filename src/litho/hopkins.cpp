@@ -194,19 +194,15 @@ ComplexGrid HopkinsImaging::field(const ComplexGrid& o, std::size_t q) const {
   return masked;
 }
 
-void HopkinsImaging::field_into(const ComplexGrid& o, std::size_t c,
-                                sim::SimWorkspace& ws) const {
+sim::BandRef HopkinsImaging::component_band(std::size_t c) const {
   const auto& band = socs_.band();
-  ws.sparse_inverse_field(o, band.data(), socs_.kernels()[c].values.data(),
-                          band.size(), band_rows_.data(), band_rows_.size());
-}
-
-void HopkinsImaging::adjoint_accumulate(std::size_t c, sim::SimWorkspace& ws,
-                                        ComplexGrid& go) const {
-  const auto& band = socs_.band();
-  ws.adjoint_band_accumulate(band.data(), socs_.kernels()[c].values.data(),
-                             band.size(), band_rows_.data(),
-                             band_rows_.size(), go);
+  sim::BandRef ref;
+  ref.bins = band.data();
+  ref.vals = socs_.kernels()[c].values.data();
+  ref.nbins = band.size();
+  ref.rows = band_rows_.data();
+  ref.nrows = band_rows_.size();
+  return ref;
 }
 
 RealGrid HopkinsImaging::aerial(const ComplexGrid& o) const {

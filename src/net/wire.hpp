@@ -34,7 +34,9 @@
 namespace bismo::net {
 
 /// Version of the frame + payload encoding.  Bump on any wire change.
-constexpr std::uint16_t kProtocolVersion = 1;
+/// v2: JobResult::fusion + HelloMsg::fusion + Session::Stats queue-SLO
+/// gauges (queue_p95_ms, slo_sheds).
+constexpr std::uint16_t kProtocolVersion = 2;
 
 /// Thrown by readers on truncated, corrupt, or out-of-range wire data.
 class WireError : public std::runtime_error {

@@ -10,19 +10,21 @@
 //
 //   g_O += conj(K_c) .* adjoint-IFFT(g_field_c)   over component c's band.
 //
-// `ImagingModel` captures exactly that shape: a component count, a band-
-// restricted field transform into a SimWorkspace, and the adjoint hook
-// (component weights travel with each pass, since the callers own the
-// cutoff filtering).  The pooled, deterministically-reduced loops that
-// the engines used to duplicate live here once (`accumulate_intensity`,
-// `adjoint_pass`) and run allocation-free over per-slot workspaces.  Adding
-// a new imaging backend means implementing the pure virtuals below -- the
-// parallel loops, reduction policy, and gradient plumbing come for free.
+// `ImagingModel` captures exactly that shape: a component count and a
+// pass-band view per component (component weights travel with each pass,
+// since the callers own the cutoff filtering).  The pooled,
+// deterministically-reduced loops that the engines used to duplicate live
+// here once (`accumulate_intensity`, `adjoint_pass`), run allocation-free
+// over per-slot workspaces, and route every component through the
+// workspace's `ImagingPipeline` -- the plan-time-specialized kernel
+// chains of sim/pipeline.hpp, fused or staged per the process fusion
+// mode.  Adding a new imaging backend means implementing the pure
+// virtuals below -- the parallel loops, reduction policy, fused chains,
+// and gradient plumbing come for free.
 #ifndef BISMO_SIM_IMAGING_MODEL_HPP
 #define BISMO_SIM_IMAGING_MODEL_HPP
 
 #include <cstdint>
-#include <functional>
 #include <vector>
 
 #include "math/grid2d.hpp"
@@ -49,16 +51,22 @@ class ImagingModel {
   /// retained SOCS kernels).
   virtual std::size_t components() const noexcept = 0;
 
-  /// Coherent field of component `c` for mask spectrum `o`, written to
-  /// `ws.field()`.  Allocation-free once `ws` is sized.
-  virtual void field_into(const ComplexGrid& o, std::size_t c,
-                          SimWorkspace& ws) const = 0;
+  /// Pass-band view of component `c` (Abbe: shifted pupil band of one
+  /// source point; Hopkins: one SOCS kernel).  The referenced index/value
+  /// arrays must stay valid for the model's lifetime.
+  virtual BandRef component_band(std::size_t c) const = 0;
 
-  /// Adjoint hook: consume the dense cotangent in `ws.cotangent()` and
-  /// accumulate conj(K_c) .* adjoint-IFFT(cotangent) into `go` over the
-  /// component's band.
-  virtual void adjoint_accumulate(std::size_t c, SimWorkspace& ws,
-                                  ComplexGrid& go) const = 0;
+  /// Coherent field of component `c` for mask spectrum `o`, written to
+  /// `ws.field()` through the workspace pipeline (fused or staged).
+  /// Allocation-free once `ws` is sized.
+  void field_into(const ComplexGrid& o, std::size_t c, SimWorkspace& ws) const;
+
+  /// Staged adjoint reference: consume the dense cotangent in
+  /// `ws.cotangent()` and accumulate conj(K_c) .* adjoint-IFFT(cotangent)
+  /// into `go` over the component's band.  (`adjoint_pass` runs the
+  /// pipeline's fused seed+transform chain instead.)
+  void adjoint_accumulate(std::size_t c, SimWorkspace& ws,
+                          ComplexGrid& go) const;
 
   /// Borrowed thread pool (null = serial).
   virtual ThreadPool* pool() const noexcept = 0;
@@ -77,21 +85,41 @@ struct AdjointItem {
 /// Deterministic pooled forward pass:
 ///   out = sum_k weights[k] * |field(comps[k])|^2
 /// partitioned over reduction slots (bitwise identical for any thread
-/// count).  `comps` and `weights` run in lockstep.
+/// count).  `comps` and `weights` run in lockstep.  When the workspace
+/// set's field cache is armed (sim::FieldCaptureScope), each component's
+/// field is written into its cache entry for the following adjoint_pass.
 RealGrid accumulate_intensity(const ImagingModel& model, const ComplexGrid& o,
                               const std::vector<std::uint32_t>& comps,
                               const std::vector<double>& weights);
 
-/// Deterministic pooled backward pass.  For every item (in order): recompute
-/// the component field into the slot workspace, report it to `field_hook`
-/// (may be null; used for source gradients), and -- when `item.mask` -- seed
-/// the cotangent ga = scale * dldi .* field and accumulate the model's
-/// adjoint into a per-slot g_O partial.  Returns the slot-order-combined
-/// g_O, or an empty grid when no item has `mask` set.
-ComplexGrid adjoint_pass(
-    const ImagingModel& model, const ComplexGrid& o, const RealGrid& dldi,
-    const std::vector<AdjointItem>& items,
-    const std::function<void(std::size_t item, SimWorkspace& ws)>& field_hook);
+/// Deterministic pooled backward pass.  For every item (in order): obtain
+/// the component field -- from the workspace set's field cache when the
+/// intensity pass captured it, otherwise by recomputing the fused forward
+/// chain into the slot workspace -- and, when `item.mask`, run the fused
+/// adjoint chain (cotangent seed scale * dldi .* field folded into the
+/// column pass) into a per-slot g_O partial.  When `wns` is non-null it is
+/// resized to `items.size()` and entry k receives
+/// sum_i dldi[i] * |field_k,i|^2 -- computed inside the forward chain when
+/// recomputing, or as one vectorized reduction over the cached field --
+/// the source-gradient reduction without a separate field transform.
+/// When `adjoint_uses_band_conv(model)` holds, the whole pass instead
+/// runs the band-restricted direct adjoint: one dense FFT2 of `dldi`,
+/// then per item an O(nbins^2) circular convolution evaluated only at the
+/// band bins -- no per-item transform and no field (cached or recomputed)
+/// at all.  Returns the slot-order-combined g_O, or an empty grid when no
+/// item has `mask` set.
+ComplexGrid adjoint_pass(const ImagingModel& model, const ComplexGrid& o,
+                         const RealGrid& dldi,
+                         const std::vector<AdjointItem>& items,
+                         std::vector<double>* wns = nullptr);
+
+/// True when `adjoint_pass` will run the band-restricted direct adjoint
+/// for this model: fused mode, a fused-capable (power-of-two, >= 8) grid,
+/// and every component band narrow enough that the O(nbins^2) circular
+/// convolution beats a dense column transform.  The direct adjoint needs
+/// no coherent fields, so callers can skip arming the field capture
+/// (sim::FieldCaptureScope) when this returns true.
+bool adjoint_uses_band_conv(const ImagingModel& model);
 
 }  // namespace bismo::sim
 

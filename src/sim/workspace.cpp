@@ -7,14 +7,37 @@
 namespace bismo::sim {
 
 void SimWorkspace::ensure(std::size_t dim) {
-  if (dim_ == dim) return;
-  dim_ = dim;
-  plan_ = Fft2dPlan(dim, dim);
-  field_.resize(dim, dim);
-  cotangent_.resize(dim, dim);
-  adjoint_accum_.resize(dim, dim);
-  intensity_accum_.resize(dim, dim);
-  fft_scratch_.assign(plan_.scratch_size(), std::complex<double>{});
+  if (dim_ == dim && !pipeline_.stale()) return;
+  pipeline_.build(dim);
+  if (dim_ != dim) {
+    dim_ = dim;
+    field_.resize(dim, dim);
+    cotangent_.resize(dim, dim);
+    spectrum_.resize(dim, dim);
+    adjoint_accum_.resize(dim, dim);
+    intensity_accum_.resize(dim, dim);
+    row_flags_.assign(dim, 0);
+    fft_scratch_.assign(pipeline_.plan().scratch_size(),
+                        std::complex<double>{});
+  }
+}
+
+double SimWorkspace::forward_field(const ComplexGrid& o, const BandRef& band,
+                                   RealGrid* acc, double acc_weight,
+                                   const double* wns_weights,
+                                   ComplexGrid* field_out) {
+  ComplexGrid* dest = field_out != nullptr ? field_out : &field_;
+  if (dest->rows() != dim_ || dest->cols() != dim_) dest->resize(dim_, dim_);
+  return pipeline_.forward(o, band, spectrum_, row_flags_.data(), *dest, acc,
+                           acc_weight, wns_weights, fft_scratch_.data());
+}
+
+double SimWorkspace::adjoint_seed_accumulate(const ComplexGrid& field,
+                                             const double* dldi, double scale,
+                                             const BandRef& band,
+                                             ComplexGrid& go, bool want_wns) {
+  return pipeline_.adjoint(dldi, scale, field, band, cotangent_, go,
+                           fft_scratch_.data(), want_wns);
 }
 
 void SimWorkspace::sparse_inverse_field(const ComplexGrid& o,
@@ -49,10 +72,10 @@ void SimWorkspace::sparse_inverse_field(const ComplexGrid& o,
   std::complex<double>* scratch = fft_scratch_.data();
   for_each_index_run(band_rows, nrows,
                [&](std::size_t, std::uint32_t row, std::size_t count) {
-                 plan_.transform_rows(field_.data() + std::size_t{row} * n,
+                 pipeline_.plan().transform_rows(field_.data() + std::size_t{row} * n,
                                       count, /*inverse=*/true, scratch);
                });
-  plan_.transform_cols(field_, /*inverse=*/true, scratch);
+  pipeline_.plan().transform_cols(field_, /*inverse=*/true, scratch);
   kernel.scale(field_.data(), field_.size(),
                1.0 / static_cast<double>(field_.size()));
 }
@@ -69,10 +92,10 @@ void SimWorkspace::adjoint_band_accumulate(const std::uint32_t* bins,
   // adjoint(IFFT2) = (1/N) FFT2, evaluated columns-then-rows so the row pass
   // can be restricted to the rows whose output bins are actually read --
   // batched over runs of adjacent occupied rows.
-  plan_.transform_cols(cotangent_, /*inverse=*/false, scratch);
+  pipeline_.plan().transform_cols(cotangent_, /*inverse=*/false, scratch);
   for_each_index_run(band_rows, nrows,
                [&](std::size_t, std::uint32_t row, std::size_t count) {
-                 plan_.transform_rows(cotangent_.data() + std::size_t{row} * n,
+                 pipeline_.plan().transform_rows(cotangent_.data() + std::size_t{row} * n,
                                       count, /*inverse=*/false, scratch);
                });
   const double inv_n = 1.0 / static_cast<double>(cotangent_.size());

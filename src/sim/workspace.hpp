@@ -36,6 +36,7 @@
 #include "fft/fft.hpp"
 #include "math/grid2d.hpp"
 #include "parallel/reduction.hpp"
+#include "sim/pipeline.hpp"
 
 namespace bismo::sim {
 
@@ -66,12 +67,17 @@ class SimWorkspace {
  public:
   SimWorkspace() = default;
 
-  /// Size every buffer (and the FFT plan) for `dim` x `dim` grids.  No-op
-  /// when already sized; this is the only method that allocates.
+  /// Size every buffer and build the imaging pipeline (FFT plan + fused
+  /// kernel chain selection) for `dim` x `dim` grids.  No-op when already
+  /// sized and the pipeline matches the process fusion mode; this is the
+  /// only method that allocates.
   void ensure(std::size_t dim);
 
   std::size_t dim() const noexcept { return dim_; }
-  const Fft2dPlan& plan() const noexcept { return plan_; }
+  const Fft2dPlan& plan() const noexcept { return pipeline_.plan(); }
+
+  /// The plan-time-specialized kernel chains this workspace runs.
+  const ImagingPipeline& pipeline() const noexcept { return pipeline_; }
 
   /// Coherent-field output of `sparse_inverse_field` (dense, dim x dim).
   ComplexGrid& field() noexcept { return field_; }
@@ -89,11 +95,39 @@ class SimWorkspace {
   /// FFT scratch sized for `plan()`.
   std::complex<double>* fft_scratch() noexcept { return fft_scratch_.data(); }
 
+  /// Forward imaging chain through the pipeline: field() = normalized
+  /// IFFT2 of `o` restricted to `band`, with the optional epilogues fused
+  /// into the column pass -- `acc != nullptr` accumulates
+  /// acc += acc_weight * |field|^2, `wns_weights != nullptr` returns
+  /// sum_i wns_weights[i] * |field_i|^2 (0.0 otherwise).  Runs the fused
+  /// or staged chain per the pipeline built at `ensure` time.  When
+  /// `field_out` is non-null the field is written there instead of the
+  /// slot-local field() buffer (resized on first use) -- the hook the
+  /// WorkspaceSet field cache captures through.
+  double forward_field(const ComplexGrid& o, const BandRef& band,
+                       RealGrid* acc, double acc_weight,
+                       const double* wns_weights,
+                       ComplexGrid* field_out = nullptr);
+
+  /// Adjoint imaging chain through the pipeline:
+  ///   go[band.bins] += conj(band) .* FFT2(scale * dldi .* field) / N.
+  /// `field` is the coherent field the chain seeds from (typically
+  /// field() or a cached capture; must not alias cotangent()).  The fused
+  /// chain computes the cotangent seed on the fly inside the column pass;
+  /// the staged chain seeds cotangent() then transforms.  When `want_wns`
+  /// is set, returns sum_i dldi[i] * |field_i|^2 computed on the same
+  /// seeded loads (0.0 otherwise).  Destroys cotangent().
+  double adjoint_seed_accumulate(const ComplexGrid& field, const double* dldi,
+                                 double scale, const BandRef& band,
+                                 ComplexGrid& go, bool want_wns = false);
+
   /// field() = normalized IFFT2 of `o` restricted to a sparse band:
   /// spectrum bin `bins[k]` contributes `o[bins[k]] * vals[k]` (`vals`
   /// null means unit pupil values).  `band_rows` lists the sorted distinct
   /// grid rows covered by `bins` (see `occupied_rows`); rows outside it are
-  /// exactly zero and their row transform is skipped.
+  /// exactly zero and their row transform is skipped.  Always runs the
+  /// staged per-stage sequence -- the reference the fused chains are
+  /// verified against.
   void sparse_inverse_field(const ComplexGrid& o, const std::uint32_t* bins,
                             const std::complex<double>* vals,
                             std::size_t nbins, const std::uint32_t* band_rows,
@@ -112,11 +146,13 @@ class SimWorkspace {
 
  private:
   std::size_t dim_ = 0;
-  Fft2dPlan plan_;
+  ImagingPipeline pipeline_;
   ComplexGrid field_;
   ComplexGrid cotangent_;
+  ComplexGrid spectrum_;  ///< fused-chain gather buffer (band product)
   ComplexGrid adjoint_accum_;
   RealGrid intensity_accum_;
+  std::vector<std::uint8_t> row_flags_;  ///< fused-chain row-sparsity flags
   std::vector<std::complex<double>> fft_scratch_;
 };
 
@@ -146,10 +182,77 @@ class WorkspaceSet {
   /// `component_scratch`.
   std::vector<double>& weight_scratch() noexcept { return weight_scratch_; }
 
+  // ---- Per-evaluation field cache (fused-pipeline fast path) ----------
+  //
+  // A gradient evaluation runs the forward chain twice per component:
+  // once in the intensity pass and once in the backward sweep, which
+  // needs the coherent field again to seed the adjoint.  When armed, the
+  // intensity pass writes each component's field into `capture_slot(c)`
+  // (zero extra copies -- the pipeline's destination is redirected) and
+  // `adjoint_pass` consumes it via `captured_field(c)`, eliminating the
+  // per-item forward recomputation.  Entries are only meaningful for the
+  // spectrum the capturing pass ran on, so both passes must run on one
+  // spectrum inside one scope -- the gradient engines arm it with
+  // FieldCaptureScope around their evaluate().  Cache grids persist
+  // across evaluations (warm after the first capture).
+
+  /// Arm the cache for one evaluation over `components` components.
+  void begin_field_capture(std::size_t components) {
+    capturing_ = true;
+    field_valid_.assign(components, 0);
+    if (field_cache_.size() < components) field_cache_.resize(components);
+  }
+
+  /// Disarm; existing entries become unreadable until the next capture.
+  void end_field_capture() noexcept { capturing_ = false; }
+
+  bool capturing() const noexcept { return capturing_; }
+
+  /// Cache grid to fill for component `c` (marks the entry valid; the
+  /// caller writes the field through the pipeline).  Requires an armed
+  /// capture with `c` in range; slots touch disjoint components, so the
+  /// pooled passes need no locking here.
+  ComplexGrid& capture_slot(std::size_t c) {
+    field_valid_[c] = 1;
+    return field_cache_[c];
+  }
+
+  /// Captured field of component `c`, or null when not captured this
+  /// evaluation (callers fall back to recomputing the forward chain).
+  const ComplexGrid* captured_field(std::size_t c) const {
+    return capturing_ && c < field_valid_.size() && field_valid_[c] != 0
+               ? &field_cache_[c]
+               : nullptr;
+  }
+
  private:
   std::vector<SimWorkspace> slots_;
   std::vector<std::uint32_t> component_scratch_;
   std::vector<double> weight_scratch_;
+  std::vector<ComplexGrid> field_cache_;
+  std::vector<std::uint8_t> field_valid_;
+  bool capturing_ = false;
+};
+
+/// RAII arm/disarm of a WorkspaceSet's field cache for one evaluation.
+/// Arms only when the fused pipeline mode is active (`enable` lets a
+/// caller skip capture entirely, e.g. loss-only evaluations): the staged
+/// mode keeps the legacy recompute sweep it is benchmarked against.
+class FieldCaptureScope {
+ public:
+  FieldCaptureScope(WorkspaceSet& set, std::size_t components,
+                    bool enable = true)
+      : set_(enable && fusion_enabled() ? &set : nullptr) {
+    if (set_ != nullptr) set_->begin_field_capture(components);
+  }
+  ~FieldCaptureScope() {
+    if (set_ != nullptr) set_->end_field_capture();
+  }
+  FieldCaptureScope(const FieldCaptureScope&) = delete;
+  FieldCaptureScope& operator=(const FieldCaptureScope&) = delete;
+
+ private:
+  WorkspaceSet* set_;
 };
 
 /// Sorted distinct grid rows (index / cols) covered by sorted flat bin

@@ -144,6 +144,7 @@ api::JobResult random_result(std::mt19937_64& rng) {
   result.workspaces_reused = rng() % 2 == 0;
   result.retries = rng() % 4;
   result.fft_backend = "scalar";
+  result.fusion = rng() % 2 == 0 ? "fused" : "staged";
   if (rng() % 4 == 0) result.error = random_name(rng);
   return result;
 }
@@ -318,6 +319,7 @@ TEST(WireProtocol, MessagesRoundTripByteExact) {
   hello.name = "worker-3";
   hello.width = 8;
   hello.fft_backend = "avx2";
+  hello.fusion = "fused";
   hello.self_check_ok = true;
   {
     const auto bytes = encoded(hello, net::encode_hello);
