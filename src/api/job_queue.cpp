@@ -48,6 +48,9 @@ JobQueue::JobQueue(Config config) {
   }
 }
 
+// bismo-lint: no-alloc-begin
+// The MPMC ring fast path: push/pop/notify touch only pre-sized cells
+// and refcounts -- the dispatch loop must stay allocation-free.
 bool JobQueue::try_push_shard(Shard& shard, std::size_t index,
                               const std::shared_ptr<JobState>& state) {
   std::uint64_t pos = shard.tail.load(std::memory_order_relaxed);
@@ -129,6 +132,7 @@ void JobQueue::note_popped() {
     space_cv_.notify_all();
   }
 }
+// bismo-lint: no-alloc-end
 
 bool JobQueue::try_push(const std::shared_ptr<JobState>& state) {
   if (state->options.priority != 0) {

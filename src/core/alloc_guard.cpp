@@ -1,0 +1,152 @@
+#include "core/alloc_guard.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace bismo::core {
+namespace {
+
+// Process-wide arm count: interposed operators only pay for counting
+// while a guard is alive somewhere.  All orderings are relaxed -- the
+// counters are test instrumentation, not synchronization; tests join
+// their worker threads (a synchronizing operation) before reading.
+std::atomic<int> g_armed{0};
+std::atomic<std::size_t> g_global_count{0};
+thread_local std::size_t t_thread_count = 0;
+
+inline void count_allocation() noexcept {
+#if !defined(BISMO_ALLOC_GUARD_DISABLED)
+  if (g_armed.load(std::memory_order_relaxed) > 0) {
+    g_global_count.fetch_add(1, std::memory_order_relaxed);
+    ++t_thread_count;
+  }
+#endif
+}
+
+}  // namespace
+
+AllocGuard::AllocGuard(Scope scope) : scope_(scope) {
+  g_armed.fetch_add(1, std::memory_order_relaxed);
+  start_ = scope_ == Scope::kThread
+               ? t_thread_count
+               : g_global_count.load(std::memory_order_relaxed);
+}
+
+AllocGuard::~AllocGuard() {
+  g_armed.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::size_t AllocGuard::allocations() const {
+  const std::size_t now =
+      scope_ == Scope::kThread
+          ? t_thread_count
+          : g_global_count.load(std::memory_order_relaxed);
+  return now - start_;
+}
+
+bool AllocGuard::enforced() {
+#if defined(BISMO_ALLOC_GUARD_DISABLED)
+  return false;
+#else
+  return true;
+#endif
+}
+
+}  // namespace bismo::core
+
+#if !defined(BISMO_ALLOC_GUARD_DISABLED)
+
+// Global operator new/delete replacement.  Every form funnels through
+// these two helpers; replacement (not overloading) is the one sanctioned
+// way to observe all C++ heap traffic without libc hooks.
+namespace {
+
+void* guarded_alloc(std::size_t size) noexcept {
+  bismo::core::count_allocation();
+  // Zero-size new must return a unique pointer.
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+void* guarded_alloc_aligned(std::size_t size, std::size_t align) noexcept {
+  bismo::core::count_allocation();
+  void* ptr = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&ptr, align, size == 0 ? 1 : size) != 0) return nullptr;
+  return ptr;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* ptr = guarded_alloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size) {
+  void* ptr = guarded_alloc(size);
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return guarded_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return guarded_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* ptr = guarded_alloc_aligned(size, static_cast<std::size_t>(align));
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* ptr = guarded_alloc_aligned(size, static_cast<std::size_t>(align));
+  if (ptr == nullptr) throw std::bad_alloc();
+  return ptr;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return guarded_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return guarded_alloc_aligned(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete(void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::size_t, std::align_val_t) noexcept {
+  std::free(ptr);
+}
+void operator delete(void* ptr, std::align_val_t,
+                     const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+void operator delete[](void* ptr, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(ptr);
+}
+
+#endif  // !BISMO_ALLOC_GUARD_DISABLED

@@ -1,0 +1,72 @@
+// core::AllocGuard: runtime cross-check of the static no-alloc claims.
+//
+// The lint pass (src/lint) proves textually that annotated hot paths
+// contain no allocating constructs; AllocGuard proves it dynamically by
+// interposing the global operator new/delete family and counting every
+// heap allocation that lands while a guard is armed.  Tests wrap a
+// steady-state region (Session::run re-submission, the fused pipeline
+// forward+adjoint, the JobQueue push/pop fast path) in a guard and
+// assert the count stays zero.
+//
+// Interposition is compiled out under ASan/TSan/MSan -- the sanitizer
+// runtimes own the allocator and replacing operator new underneath them
+// is not supported.  `AllocGuard::enforced()` reports whether counting
+// is live so tests can skip their assertions (the sanitizer jobs check
+// the same paths by other means).
+//
+// Counting is cheap when no guard is armed: a single relaxed atomic load
+// on the allocation path.  Guards nest; arming is process-wide but each
+// guard snapshots either the per-thread or the global counter, so a
+// kThread guard ignores allocator traffic from unrelated threads.
+#ifndef BISMO_CORE_ALLOC_GUARD_HPP
+#define BISMO_CORE_ALLOC_GUARD_HPP
+
+#include <cstddef>
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define BISMO_ALLOC_GUARD_DISABLED 1
+#endif
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#ifndef BISMO_ALLOC_GUARD_DISABLED
+#define BISMO_ALLOC_GUARD_DISABLED 1
+#endif
+#endif
+#endif
+
+namespace bismo::core {
+
+/// RAII allocation counter over a scope.  While at least one guard is
+/// alive anywhere in the process, the interposed operator new family
+/// counts allocations; each guard reports the delta since its own
+/// construction.
+class AllocGuard {
+ public:
+  enum class Scope {
+    kThread,  ///< count allocations made by the constructing thread
+    kGlobal,  ///< count allocations made by any thread
+  };
+
+  explicit AllocGuard(Scope scope = Scope::kThread);
+  ~AllocGuard();
+
+  AllocGuard(const AllocGuard&) = delete;
+  AllocGuard& operator=(const AllocGuard&) = delete;
+
+  /// Allocations observed since construction (0 when not enforced()).
+  std::size_t allocations() const;
+
+  /// True when operator-new interposition is compiled in and counting is
+  /// live; false under sanitizers.  Tests gate their zero-allocation
+  /// assertions on this.
+  static bool enforced();
+
+ private:
+  Scope scope_;
+  std::size_t start_ = 0;
+};
+
+}  // namespace bismo::core
+
+#endif  // BISMO_CORE_ALLOC_GUARD_HPP

@@ -1,3 +1,4 @@
+// bismo-lint: no-alloc
 // AVX2+FMA kernel: the scalar algorithms executed 2 complex (4 doubles)
 // per vector, with FMA butterflies, SoA twiddle loads, and a vectorized
 // double-precision exp for the activation paths.

@@ -1,3 +1,4 @@
+// bismo-lint: no-alloc
 // NEON (aarch64) kernel: the scalar algorithms on float64x2 vectors -- one
 // complex double per vector -- with fused multiply-add butterflies.  NEON
 // is baseline on aarch64, so this TU needs no special compile flags; the

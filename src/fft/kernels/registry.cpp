@@ -45,6 +45,7 @@ const FftKernel* initial_kernel() {
   const char* env = std::getenv("BISMO_FFT_BACKEND");
   if (env != nullptr && *env != '\0' && std::strcmp(env, "auto") != 0) {
     if (const FftKernel* k = resolve(env)) return k;
+    // bismo-lint: allow(no-io) one-shot startup warning for a bad env override
     std::fprintf(stderr,
                  "bismo: BISMO_FFT_BACKEND=%s is unknown or unavailable on "
                  "this CPU; using runtime detection\n",

@@ -1,3 +1,4 @@
+// bismo-lint: no-alloc
 // Portable reference kernel: the exact algorithms of the SIMD backends in
 // plain double arithmetic.  This backend defines the baseline every other
 // backend is validated against (<= 1e-12 relative agreement) and is the

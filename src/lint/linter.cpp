@@ -1,0 +1,649 @@
+#include "lint/linter.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace bismo::lint {
+namespace {
+
+const char* const kRuleAtomic = "atomic-order";
+const char* const kRuleNoAlloc = "no-alloc";
+const char* const kRuleWire = "wire-discipline";
+const char* const kRuleNoIo = "no-io";
+const char* const kRuleDirective = "lint-directive";
+
+/// The directive tag, assembled at run time so this file's own literals
+/// never look like directives when the tree lints itself.
+std::string directive_tag() { return std::string("bismo-") + "lint:"; }
+
+bool is_ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string basename_of(const std::string& label) {
+  const std::size_t slash = label.find_last_of('/');
+  return slash == std::string::npos ? label : label.substr(slash + 1);
+}
+
+// ---- Scrubbing --------------------------------------------------------------
+
+/// Replace comments, string literals (including raw strings) and char
+/// literals with spaces, preserving every newline so offsets keep mapping
+/// to the original line numbers.
+std::string scrub(const std::string& src) {
+  std::string out = src;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  auto blank = [&](std::size_t from, std::size_t to) {
+    for (std::size_t k = from; k < to && k < n; ++k) {
+      if (out[k] != '\n') out[k] = ' ';
+    }
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      std::size_t j = i;
+      while (j < n && src[j] != '\n') ++j;
+      blank(i, j);
+      i = j;
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      std::size_t j = i + 2;
+      while (j + 1 < n && !(src[j] == '*' && src[j + 1] == '/')) ++j;
+      j = std::min(n, j + 2);
+      blank(i, j);
+      i = j;
+    } else if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
+               (i == 0 || !is_ident_char(src[i - 1]))) {
+      // Raw string: R"delim( ... )delim"
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < n && src[p] != '(') delim.push_back(src[p++]);
+      const std::string close = ")" + delim + "\"";
+      const std::size_t end = src.find(close, p);
+      const std::size_t j = end == std::string::npos ? n : end + close.size();
+      blank(i, j);
+      i = j;
+    } else if (c == '"' || c == '\'') {
+      // Skip literals; leave the quotes so token boundaries survive.
+      std::size_t j = i + 1;
+      while (j < n && src[j] != c) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        ++j;
+      }
+      j = std::min(n, j + 1);
+      blank(i + 1, j > i + 1 ? j - 1 : i + 1);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+// ---- Directives -------------------------------------------------------------
+
+struct Directives {
+  bool whole_file_no_alloc = false;
+  /// Inclusive [begin, end] line ranges from begin/end marker pairs.
+  std::vector<std::pair<std::size_t, std::size_t>> no_alloc_regions;
+  /// line -> rules allowed on that line (and the one below it).
+  std::map<std::size_t, std::set<std::string>> allows;
+  std::vector<Finding> errors;
+};
+
+const std::set<std::string>& known_rules() {
+  static const std::set<std::string> rules = {kRuleAtomic, kRuleNoAlloc,
+                                              kRuleWire, kRuleNoIo};
+  return rules;
+}
+
+std::string trim(const std::string& text) {
+  std::size_t b = 0;
+  std::size_t e = text.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(text[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(text[e - 1]))) --e;
+  return text.substr(b, e - b);
+}
+
+/// A directive is recognized only when its tag directly follows a `//`
+/// comment opener (optional whitespace between), so prose that merely
+/// mentions the tag mid-sentence is ignored.
+Directives parse_directives(const std::string& label, const std::string& src) {
+  Directives out;
+  const std::string tag = directive_tag();
+  std::vector<std::size_t> open_begins;
+  std::istringstream stream(src);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    std::size_t pos = 0;
+    std::size_t at = std::string::npos;
+    while ((pos = line.find("//", pos)) != std::string::npos) {
+      std::size_t p = pos + 2;
+      while (p < line.size() && (line[p] == ' ' || line[p] == '\t')) ++p;
+      if (line.compare(p, tag.size(), tag) == 0) {
+        at = p + tag.size();
+        break;
+      }
+      pos += 2;
+    }
+    if (at == std::string::npos) continue;
+    std::string body = trim(line.substr(at));
+    auto word_is = [&](const char* word) {
+      const std::size_t len = std::string(word).size();
+      return starts_with(body, word) &&
+             (body.size() == len || !is_ident_char(body[len]));
+    };
+    if (word_is("no-alloc-begin")) {
+      open_begins.push_back(line_no);
+    } else if (word_is("no-alloc-end")) {
+      if (open_begins.empty()) {
+        out.errors.push_back({label, line_no, kRuleDirective,
+                              "no-alloc-end without a matching begin"});
+      } else {
+        out.no_alloc_regions.emplace_back(open_begins.back(), line_no);
+        open_begins.pop_back();
+      }
+    } else if (word_is("no-alloc")) {
+      out.whole_file_no_alloc = true;
+    } else if (starts_with(body, "allow(")) {
+      const std::size_t close = body.find(')');
+      if (close == std::string::npos) {
+        out.errors.push_back(
+            {label, line_no, kRuleDirective, "unterminated allow("});
+        continue;
+      }
+      const std::string rule = trim(body.substr(6, close - 6));
+      const std::string justification = trim(body.substr(close + 1));
+      if (known_rules().count(rule) == 0) {
+        out.errors.push_back({label, line_no, kRuleDirective,
+                              "allow() names unknown rule '" + rule + "'"});
+        continue;
+      }
+      // Trim leading dashes so "-- because ..." counts by its words.
+      std::size_t j = 0;
+      while (j < justification.size() &&
+             (justification[j] == '-' || justification[j] == ' ')) {
+        ++j;
+      }
+      if (justification.size() - j < 8) {
+        out.errors.push_back(
+            {label, line_no, kRuleDirective,
+             "allow(" + rule + ") requires a justification (>= 8 chars)"});
+        continue;
+      }
+      out.allows[line_no].insert(rule);
+    } else {
+      out.errors.push_back({label, line_no, kRuleDirective,
+                            "unrecognized directive '" + body + "'"});
+    }
+  }
+  for (std::size_t begin : open_begins) {
+    out.errors.push_back({label, begin, kRuleDirective,
+                          "no-alloc-begin without a matching end"});
+  }
+  return out;
+}
+
+bool allowed(const Directives& directives, std::size_t line,
+             const char* rule) {
+  for (std::size_t probe : {line, line > 0 ? line - 1 : 0}) {
+    auto it = directives.allows.find(probe);
+    if (it != directives.allows.end() && it->second.count(rule) != 0) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---- Token scanning helpers -------------------------------------------------
+
+struct Scan {
+  const std::string& text;  ///< scrubbed source
+  std::vector<std::size_t> line_starts;
+
+  explicit Scan(const std::string& scrubbed) : text(scrubbed) {
+    line_starts.push_back(0);
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '\n') line_starts.push_back(i + 1);
+    }
+  }
+
+  std::size_t line_of(std::size_t pos) const {
+    const auto it =
+        std::upper_bound(line_starts.begin(), line_starts.end(), pos);
+    return static_cast<std::size_t>(it - line_starts.begin());
+  }
+
+  /// Last non-whitespace position before `pos`, or npos.
+  std::size_t prev_sig(std::size_t pos) const {
+    while (pos > 0) {
+      --pos;
+      if (!std::isspace(static_cast<unsigned char>(text[pos]))) return pos;
+    }
+    return std::string::npos;
+  }
+
+  /// First non-whitespace position at or after `pos`, or npos.
+  std::size_t next_sig(std::size_t pos) const {
+    while (pos < text.size()) {
+      if (!std::isspace(static_cast<unsigned char>(text[pos]))) return pos;
+      ++pos;
+    }
+    return std::string::npos;
+  }
+
+  /// True when the identifier ending just before `pos` is reached via
+  /// member access (`.` or `->`).
+  bool member_access_before(std::size_t pos) const {
+    const std::size_t p = prev_sig(pos);
+    if (p == std::string::npos) return false;
+    if (text[p] == '.') return true;
+    return text[p] == '>' && p > 0 && text[p - 1] == '-';
+  }
+
+  /// True when the identifier starting at `pos` is `std::`-qualified.
+  bool std_qualified(std::size_t pos) const {
+    std::size_t p = prev_sig(pos);
+    if (p == std::string::npos || text[p] != ':') return false;
+    if (p == 0 || text[p - 1] != ':') return false;
+    p = prev_sig(p - 1);
+    return p != std::string::npos && p >= 2 && text[p] == 'd' &&
+           text[p - 1] == 't' && text[p - 2] == 's' &&
+           (p < 3 || !is_ident_char(text[p - 3]));
+  }
+
+  /// Given the position of an opening '(', return one past its balanced
+  /// close (or end of text).
+  std::size_t balanced_paren_end(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t i = open; i < text.size(); ++i) {
+      if (text[i] == '(') ++depth;
+      if (text[i] == ')' && --depth == 0) return i + 1;
+    }
+    return text.size();
+  }
+
+  /// Skip balanced template angle brackets starting at `open` (position
+  /// of '<'); returns one past the matching '>'.  Naive counting is fine
+  /// for declarations (no shift expressions inside a type).
+  std::size_t balanced_angle_end(std::size_t open) const {
+    int depth = 0;
+    for (std::size_t i = open; i < text.size(); ++i) {
+      if (text[i] == '<') ++depth;
+      if (text[i] == '>' && --depth == 0) return i + 1;
+    }
+    return text.size();
+  }
+};
+
+/// Visit every identifier token in the scrubbed text.
+template <typename Fn>
+void for_each_identifier(const std::string& text, const Fn& fn) {
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  while (i < n) {
+    if (!is_ident_start(text[i]) ||
+        (i > 0 && is_ident_char(text[i - 1]))) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < n && is_ident_char(text[j])) ++j;
+    fn(text.substr(i, j - i), i, j);
+    i = j;
+  }
+}
+
+// ---- Rule: atomic-order -----------------------------------------------------
+
+const std::set<std::string>& atomic_ops() {
+  static const std::set<std::string> ops = {
+      "load",          "store",
+      "exchange",      "fetch_add",
+      "fetch_sub",     "fetch_or",
+      "fetch_and",     "fetch_xor",
+      "compare_exchange_weak", "compare_exchange_strong"};
+  return ops;
+}
+
+void check_atomic_order(const std::string& label, const Scan& scan,
+                        const Directives& directives,
+                        std::vector<Finding>* findings) {
+  for_each_identifier(scan.text, [&](const std::string& word, std::size_t b,
+                                     std::size_t e) {
+    if (atomic_ops().count(word) == 0) return;
+    if (!scan.member_access_before(b)) return;
+    const std::size_t open = scan.next_sig(e);
+    if (open == std::string::npos || scan.text[open] != '(') return;
+    const std::size_t close = scan.balanced_paren_end(open);
+    if (scan.text.compare(open, close - open, "()") == 0 ||
+        scan.text.find("memory_order", open) < close) {
+      if (scan.text.find("memory_order", open) < close) return;
+    }
+    const std::size_t line = scan.line_of(b);
+    if (allowed(directives, line, kRuleAtomic)) return;
+    findings->push_back(
+        {label, line, kRuleAtomic,
+         "atomic ." + word + "() without an explicit std::memory_order "
+         "(implicit seq_cst is banned in the concurrency layers)"});
+  });
+}
+
+// ---- Rule: no-alloc ---------------------------------------------------------
+
+bool in_no_alloc_region(const Directives& directives, std::size_t line) {
+  if (directives.whole_file_no_alloc) return true;
+  for (const auto& region : directives.no_alloc_regions) {
+    if (line >= region.first && line <= region.second) return true;
+  }
+  return false;
+}
+
+const std::set<std::string>& alloc_funcs() {
+  static const std::set<std::string> funcs = {
+      "malloc", "calloc", "realloc", "aligned_alloc", "strdup",
+      "posix_memalign"};
+  return funcs;
+}
+
+const std::set<std::string>& growth_members() {
+  static const std::set<std::string> members = {
+      "resize", "reserve",       "push_back", "emplace_back",
+      "emplace", "insert",       "assign",    "append",
+      "push_front", "emplace_front"};
+  return members;
+}
+
+void check_no_alloc(const std::string& label, const Scan& scan,
+                    const Directives& directives,
+                    std::vector<Finding>* findings) {
+  if (!directives.whole_file_no_alloc && directives.no_alloc_regions.empty()) {
+    return;
+  }
+  auto report = [&](std::size_t pos, const std::string& what) {
+    const std::size_t line = scan.line_of(pos);
+    if (!in_no_alloc_region(directives, line)) return;
+    if (allowed(directives, line, kRuleNoAlloc)) return;
+    findings->push_back({label, line, kRuleNoAlloc,
+                         what + " inside a no-alloc region"});
+  };
+  for_each_identifier(scan.text, [&](const std::string& word, std::size_t b,
+                                     std::size_t e) {
+    if (word == "new") {
+      // `operator new` declarations are interposition plumbing, not use.
+      const std::size_t p = scan.prev_sig(b);
+      const bool after_operator =
+          p != std::string::npos && p >= 7 &&
+          scan.text.compare(p - 7, 8, "operator") == 0;
+      if (!after_operator) report(b, "`new` expression");
+      return;
+    }
+    const std::size_t open = scan.next_sig(e);
+    const bool calls = open != std::string::npos && scan.text[open] == '(';
+    if (calls && alloc_funcs().count(word) != 0) {
+      report(b, "`" + word + "()` call");
+      return;
+    }
+    if (calls && growth_members().count(word) != 0 &&
+        scan.member_access_before(b)) {
+      report(b, "container `." + word + "()`");
+      return;
+    }
+    if (word == "make_shared" || word == "make_unique" ||
+        word == "to_string") {
+      report(b, "`" + word + "`");
+      return;
+    }
+    if ((word == "string" || word == "vector") && scan.std_qualified(b)) {
+      // References and pointers to containers don't allocate; a value
+      // declaration or temporary does.
+      std::size_t after = e;
+      if (const std::size_t q = scan.next_sig(after);
+          q != std::string::npos && scan.text[q] == '<') {
+        after = scan.balanced_angle_end(q);
+      }
+      const std::size_t q = scan.next_sig(after);
+      if (q != std::string::npos &&
+          (scan.text[q] == '&' || scan.text[q] == '*')) {
+        return;
+      }
+      report(b, "`std::" + word + "` constructed by value");
+      return;
+    }
+  });
+}
+
+// ---- Rule: wire-discipline --------------------------------------------------
+
+void check_wire(const std::string& label, const Scan& scan,
+                const Directives& directives,
+                std::vector<Finding>* findings) {
+  const bool is_codec = basename_of(label) == "wire.cpp";
+  const std::string& text = scan.text;
+
+  // Depth map for the reader-scope analysis.
+  std::vector<int> depth(text.size() + 1, 0);
+  {
+    int d = 0;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+      if (text[i] == '{') ++d;
+      depth[i] = d;
+      if (text[i] == '}') --d;
+    }
+  }
+
+  for_each_identifier(text, [&](const std::string& word, std::size_t b,
+                                std::size_t e) {
+    if (!is_codec && (word == "memcpy" || word == "reinterpret_cast")) {
+      const std::size_t line = scan.line_of(b);
+      if (!allowed(directives, line, kRuleWire)) {
+        findings->push_back(
+            {label, line, kRuleWire,
+             "`" + word + "` outside wire.cpp (raw byte punning belongs in "
+             "the codec)"});
+      }
+      return;
+    }
+    if (word != "WireReader") return;
+    // Local declaration: `WireReader name(args);` -- the class's own
+    // declarations (`WireReader(`, `WireReader&`) don't match.
+    std::size_t p = scan.next_sig(e);
+    if (p == std::string::npos || !is_ident_start(text[p])) return;
+    std::size_t q = p;
+    while (q < text.size() && is_ident_char(text[q])) ++q;
+    const std::string name = text.substr(p, q - p);
+    const std::size_t open = scan.next_sig(q);
+    if (open == std::string::npos || text[open] != '(') return;
+    const std::size_t ctor_end = scan.balanced_paren_end(open);
+    const int decl_depth = depth[b];
+
+    // Scan the rest of the declaring scope for either `name.expect_end()`
+    // or `name` escaping (used without member access: passed by reference
+    // to a decoder, bound, returned).
+    bool satisfied = false;
+    std::size_t i = ctor_end;
+    while (i < text.size()) {
+      if (text[i] == '}' && depth[i] - 1 < decl_depth) break;
+      if (is_ident_start(text[i]) && !is_ident_char(text[i - 1])) {
+        std::size_t j = i;
+        while (j < text.size() && is_ident_char(text[j])) ++j;
+        if (text.compare(i, j - i, name) == 0) {
+          const std::size_t after = scan.next_sig(j);
+          if (after != std::string::npos && text[after] == '.') {
+            const std::size_t m = scan.next_sig(after + 1);
+            if (m != std::string::npos &&
+                text.compare(m, 10, "expect_end") == 0) {
+              satisfied = true;
+              break;
+            }
+          } else {
+            satisfied = true;  // escapes to a decoder / another owner
+            break;
+          }
+        }
+        i = j;
+        continue;
+      }
+      ++i;
+    }
+    if (!satisfied) {
+      const std::size_t line = scan.line_of(b);
+      if (!allowed(directives, line, kRuleWire)) {
+        findings->push_back(
+            {label, line, kRuleWire,
+             "WireReader '" + name + "' never reaches expect_end() and is "
+             "never handed off (trailing payload bytes would be dropped "
+             "silently)"});
+      }
+    }
+  });
+}
+
+// ---- Rule: no-io ------------------------------------------------------------
+
+const std::set<std::string>& io_funcs() {
+  static const std::set<std::string> funcs = {
+      "printf", "fprintf", "vprintf", "vfprintf", "puts", "putchar",
+      "fputs",  "fputc"};
+  return funcs;
+}
+
+void check_no_io(const std::string& label, const std::string& raw,
+                 const Scan& scan, const Directives& directives,
+                 std::vector<Finding>* findings) {
+  // Include scan on raw text (scrubbing leaves <...> includes intact, but
+  // raw keeps this independent of quoting details).
+  std::istringstream stream(raw);
+  std::string line;
+  std::size_t line_no = 0;
+  while (std::getline(stream, line)) {
+    ++line_no;
+    if (line.find("#include") != std::string::npos &&
+        line.find("<iostream>") != std::string::npos) {
+      if (!allowed(directives, line_no, kRuleNoIo)) {
+        findings->push_back({label, line_no, kRuleNoIo,
+                             "<iostream> include in library code"});
+      }
+    }
+  }
+  for_each_identifier(scan.text, [&](const std::string& word, std::size_t b,
+                                     std::size_t e) {
+    const std::size_t open = scan.next_sig(e);
+    const bool calls = open != std::string::npos && scan.text[open] == '(';
+    if (calls && io_funcs().count(word) != 0 &&
+        !scan.member_access_before(b)) {
+      const std::size_t line = scan.line_of(b);
+      if (!allowed(directives, line, kRuleNoIo)) {
+        findings->push_back({label, line, kRuleNoIo,
+                             "`" + word + "()` console output in library "
+                             "code (route through a caller-owned stream)"});
+      }
+      return;
+    }
+    if ((word == "cout" || word == "cerr" || word == "clog") &&
+        scan.std_qualified(b)) {
+      const std::size_t line = scan.line_of(b);
+      if (!allowed(directives, line, kRuleNoIo)) {
+        findings->push_back({label, line, kRuleNoIo,
+                             "std::" + word + " in library code"});
+      }
+    }
+  });
+}
+
+}  // namespace
+
+std::string format_finding(const Finding& finding) {
+  return finding.file + ":" + std::to_string(finding.line) + ": [" +
+         finding.rule + "] " + finding.message;
+}
+
+std::vector<Finding> lint_source(const std::string& label,
+                                 const std::string& content) {
+  std::vector<Finding> findings;
+  const Directives directives = parse_directives(label, content);
+  findings.insert(findings.end(), directives.errors.begin(),
+                  directives.errors.end());
+  const std::string scrubbed = scrub(content);
+  const Scan scan(scrubbed);
+
+  const bool concurrency_layer =
+      starts_with(label, "src/api/") || starts_with(label, "src/net/") ||
+      starts_with(label, "src/core/") || starts_with(label, "src/parallel/");
+  if (concurrency_layer) {
+    check_atomic_order(label, scan, directives, &findings);
+  }
+  check_no_alloc(label, scan, directives, &findings);
+  if (starts_with(label, "src/net/")) {
+    check_wire(label, scan, directives, &findings);
+  }
+  if (starts_with(label, "src/")) {
+    check_no_io(label, content, scan, directives, &findings);
+  }
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     return a.line < b.line;
+                   });
+  return findings;
+}
+
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::string& label) {
+  const std::string name = label.empty() ? path : label;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {{name, 0, kRuleDirective, "unreadable file"}};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return lint_source(name, buffer.str());
+}
+
+std::vector<Finding> lint_tree(const std::string& src_root) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> findings;
+  const fs::path root(src_root);
+  std::error_code ec;
+  if (!fs::is_directory(root, ec)) {
+    return {{src_root, 0, kRuleDirective, "not a directory"}};
+  }
+  const std::string prefix = root.filename().string();
+  std::vector<std::pair<std::string, std::string>> files;  // label, path
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext != ".hpp" && ext != ".cpp" && ext != ".h") continue;
+    const std::string rel =
+        fs::relative(it->path(), root).generic_string();
+    files.emplace_back(prefix + "/" + rel, it->path().string());
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& [file_label, path] : files) {
+    const std::vector<Finding> file_findings = lint_file(path, file_label);
+    findings.insert(findings.end(), file_findings.begin(),
+                    file_findings.end());
+  }
+  return findings;
+}
+
+}  // namespace bismo::lint

@@ -1,0 +1,87 @@
+// bismo_lint: in-repo static enforcement of the serving-core invariants.
+//
+// A token/decl-level scanner (no libclang) over the library sources that
+// machine-checks the hand-enforced contracts the ROADMAP architecture
+// rests on.  Four rule families:
+//
+//   atomic-order     every std::atomic load/store/fetch_*/exchange/
+//                    compare_exchange call in the concurrency layers
+//                    (src/api, src/net, src/core, src/parallel) must name
+//                    an explicit std::memory_order -- no implicit seq_cst
+//                    slipping into the Vyukov rings or the dispatcher.
+//   no-alloc         regions annotated with a `bismo-lint: no-alloc`
+//                    comment (whole file) or a matched pair of
+//                    `no-alloc-begin` / `no-alloc-end` comments reject
+//                    heap growth: new, malloc-family calls, container
+//                    resize/reserve/push_back/insert/assign, make_shared/
+//                    make_unique/to_string, and std::string / std::vector
+//                    construction by value.  Applied to the sim workspace
+//                    evaluation paths, the fused pipeline, the FFT kernel
+//                    backends, and the job-queue dispatch fast path.
+//   wire-discipline  in src/net/, raw memcpy / reinterpret_cast pointer
+//                    punning is confined to wire.cpp (the codec), and
+//                    every locally constructed WireReader must either
+//                    reach `expect_end()` or be handed to a decoder --
+//                    silently dropping trailing bytes is how framing bugs
+//                    hide.
+//   no-io            library code (src/**) must not talk to the console:
+//                    no <iostream> include, no printf/fprintf/puts, no
+//                    std::cout/cerr/clog.  Tools, benches, examples and
+//                    tests are outside the scanned tree and exempt.
+//
+// Suppressions: a `bismo-lint: allow(<rule>) <justification>` comment on
+// the violating line or the line directly above silences one rule there; the
+// justification text is mandatory (>= 8 characters) and a bare allow()
+// is itself reported.  Malformed or unmatched region markers are
+// reported under the `lint-directive` pseudo-rule.
+//
+// The scanner works on a scrubbed copy of each file (comments and string
+// literals blanked, line structure preserved), so tokens inside comments
+// or literals never trip rules; directives are parsed from the raw text.
+// This is deliberately a lint, not a verifier: it has no type
+// information, so it errs toward the project's local idioms (atomics are
+// the only `.load(`/`.store(` call sites in the concurrency layers, the
+// codec is the only legitimate punning site) and leaves semantic truth
+// to the sanitizer jobs and core::AllocGuard, which cross-check the same
+// claims dynamically.
+#ifndef BISMO_LINT_LINTER_HPP
+#define BISMO_LINT_LINTER_HPP
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bismo::lint {
+
+/// One rule violation (or directive error) at a source location.
+struct Finding {
+  std::string file;     ///< repo-relative label, e.g. "src/net/frame.cpp"
+  std::size_t line = 0;  ///< 1-based
+  std::string rule;     ///< "atomic-order" | "no-alloc" | "wire-discipline"
+                        ///< | "no-io" | "lint-directive"
+  std::string message;
+};
+
+/// "file:line: [rule] message" -- the canonical report line.
+std::string format_finding(const Finding& finding);
+
+/// Lint one translation unit.  `label` is the repo-relative path that
+/// decides which rules apply (directory prefixes, basename); `content`
+/// is the raw source text.  Findings are ordered by line.
+std::vector<Finding> lint_source(const std::string& label,
+                                 const std::string& content);
+
+/// Read and lint one on-disk file.  `label` defaults to `path`.
+/// Unreadable files produce a single `lint-directive` finding.
+std::vector<Finding> lint_file(const std::string& path,
+                               const std::string& label = "");
+
+/// Recursively lint every .hpp/.h/.cpp under `src_root` (typically the
+/// repo's `src/` directory).  Labels are `<basename(src_root)>/<relative
+/// path>`, so rule scoping matches repo-relative prefixes no matter where
+/// the tree is checked out.  Files are visited in sorted order.
+std::vector<Finding> lint_tree(const std::string& src_root);
+
+}  // namespace bismo::lint
+
+#endif  // BISMO_LINT_LINTER_HPP

@@ -101,6 +101,7 @@ ParseStatus parse_frame(const std::uint8_t* data, std::size_t size,
     throw WireError("net: implausible frame length");
   }
   const std::uint64_t checksum = header.u64();
+  header.expect_end();  // the 20-byte header must be consumed exactly
   if (size - kFrameHeaderSize < length) return ParseStatus::kNeedMore;
   const std::uint8_t* payload = data + kFrameHeaderSize;
   if (frame_checksum(payload, length) != checksum) {
@@ -144,6 +145,7 @@ bool read_frame(int fd, Frame* out) {
   }
   WireReader length_reader(header + 8, 4);
   const std::uint32_t length = length_reader.u32();
+  length_reader.expect_end();
   buffer.resize(kFrameHeaderSize + length);
   if (read_exact(fd, buffer.data() + kFrameHeaderSize, length) < length) {
     throw WireError("net: stream truncated inside a frame payload");

@@ -66,12 +66,14 @@ Socket listen_loopback(std::uint16_t* port) {
   addr.sin_family = AF_INET;
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(*port);
+  // bismo-lint: allow(wire-discipline) POSIX sockaddr interface cast, not frame-buffer punning
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     fail("bind(127.0.0.1:" + std::to_string(*port) + ") failed");
   }
   if (::listen(fd, 64) < 0) fail("listen() failed");
 
   socklen_t len = sizeof(addr);
+  // bismo-lint: allow(wire-discipline) POSIX sockaddr interface cast, not frame-buffer punning
   if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
     fail("getsockname() failed");
   }

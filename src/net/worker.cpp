@@ -47,6 +47,7 @@ Worker::Worker(WorkerOptions options)
   port_ = options_.port;
   listener_ = listen_loopback(&port_);
   if (options_.verbose) {
+    // bismo-lint: allow(no-io) opt-in server-process diagnostics on stderr
     std::fprintf(stderr, "[%s] listening on 127.0.0.1:%u\n",
                  options_.name.c_str(), static_cast<unsigned>(port_));
   }
@@ -153,6 +154,7 @@ void Worker::reader_main(const std::shared_ptr<Connection>& conn) {
     }
   } catch (const std::exception& e) {
     if (options_.verbose) {
+      // bismo-lint: allow(no-io) opt-in server-process diagnostics on stderr
       std::fprintf(stderr, "[%s] connection error: %s\n",
                    options_.name.c_str(), e.what());
     }
@@ -280,6 +282,7 @@ void Worker::teardown(const std::shared_ptr<Connection>& conn) {
   conn->cv.notify_all();
   conn->socket.shutdown_both();
   if (options_.verbose && !open.empty()) {
+    // bismo-lint: allow(no-io) opt-in server-process diagnostics on stderr
     std::fprintf(stderr, "[%s] connection lost; cancelling %zu open jobs\n",
                  options_.name.c_str(), open.size());
   }

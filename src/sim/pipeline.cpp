@@ -61,6 +61,9 @@ bool ImagingPipeline::stale() const noexcept {
   return dim_ != 0 && built_mode_ != fusion_enabled();
 }
 
+// bismo-lint: no-alloc-begin
+// The fused/staged evaluation paths run per outer-loop step on every
+// lane; all buffers are caller-owned and pre-sized by SimWorkspace.
 double ImagingPipeline::forward(const ComplexGrid& o, const BandRef& band,
                                 ComplexGrid& spectrum, std::uint8_t* row_flags,
                                 ComplexGrid& field, RealGrid* acc,
@@ -238,5 +241,6 @@ double ImagingPipeline::adjoint(const double* dldi, double scale,
   }
   return wns;
 }
+// bismo-lint: no-alloc-end
 
 }  // namespace bismo::sim

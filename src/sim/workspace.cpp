@@ -22,11 +22,16 @@ void SimWorkspace::ensure(std::size_t dim) {
   }
 }
 
+// bismo-lint: no-alloc-begin
+// Steady-state evaluation path: after ensure() has sized the buffers,
+// every call below must run without touching the heap (the AllocGuard
+// tests assert this dynamically).
 double SimWorkspace::forward_field(const ComplexGrid& o, const BandRef& band,
                                    RealGrid* acc, double acc_weight,
                                    const double* wns_weights,
                                    ComplexGrid* field_out) {
   ComplexGrid* dest = field_out != nullptr ? field_out : &field_;
+  // bismo-lint: allow(no-alloc) first-use growth of a caller-provided capture grid
   if (dest->rows() != dim_ || dest->cols() != dim_) dest->resize(dim_, dim_);
   return pipeline_.forward(o, band, spectrum_, row_flags_.data(), *dest, acc,
                            acc_weight, wns_weights, fft_scratch_.data());
@@ -114,6 +119,7 @@ void SimWorkspace::adjoint_band_accumulate(const std::uint32_t* bins,
                  });
   }
 }
+// bismo-lint: no-alloc-end
 
 std::vector<std::uint32_t> occupied_rows(const std::vector<std::uint32_t>& bins,
                                          std::size_t cols) {

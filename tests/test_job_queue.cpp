@@ -163,6 +163,66 @@ TEST(JobQueueMpmc, StressDeliversEveryJobExactlyOnce) {
   EXPECT_EQ(queue.size(), 0u);
 }
 
+TEST(JobQueueMpmc, StressSingleShardNoStealDeliversEveryJobExactlyOnce) {
+  // The work_stealing=off service configuration collapses the queue to a
+  // single shard (Service::Config::steal -> shards=1), so every consumer
+  // contends on one ring and the steal scan never runs.  Same
+  // exactly-once contract, no-steal topology; the TSan stress leg runs
+  // this alongside the sharded variant.
+  const std::size_t kProducers = 4;
+  const std::size_t kConsumers = 4;
+  const std::size_t per_producer = stress_items_per_producer();
+  const std::size_t total = kProducers * per_producer;
+
+  JobQueue queue(one_shard(1 << 12));
+
+  std::atomic<std::size_t> popped{0};
+  std::vector<std::vector<std::uint64_t>> received(kConsumers);
+  std::vector<std::thread> consumers;
+  for (std::size_t c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&, c] {
+      std::size_t shard = 0;
+      bool stolen = false;
+      for (;;) {
+        const auto state = queue.pop(c, &shard, &stolen);
+        if (state == nullptr) return;  // closed
+        EXPECT_FALSE(stolen);  // one shard: nothing to steal from
+        received[c].push_back(state->id);
+        popped.fetch_add(1, std::memory_order_acq_rel);
+      }
+    });
+  }
+
+  std::vector<std::thread> producers;
+  for (std::size_t p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (std::size_t i = 0; i < per_producer; ++i) {
+        const auto job = make_job(1 + p * per_producer + i);
+        while (!queue.try_push(job)) {
+          std::this_thread::yield();  // ring momentarily full
+        }
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  while (popped.load(std::memory_order_acquire) < total) {
+    std::this_thread::yield();
+  }
+  queue.close();
+  for (auto& t : consumers) t.join();
+
+  std::vector<std::uint64_t> all;
+  for (const auto& ids : received) {
+    all.insert(all.end(), ids.begin(), ids.end());
+  }
+  ASSERT_EQ(all.size(), total);  // nothing lost, nothing duplicated
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(all.front(), 1u);
+  EXPECT_EQ(all.back(), total);
+  EXPECT_TRUE(std::adjacent_find(all.begin(), all.end()) == all.end());
+  EXPECT_EQ(queue.size(), 0u);
+}
+
 TEST(JobQueueCoalesce, MatchedPopTakesOnlySameKeyHead) {
   JobQueue queue(one_shard());
   ASSERT_TRUE(queue.try_push(make_job(1, 0, /*coalesce_key=*/7)));

@@ -1,0 +1,348 @@
+// Fixture tests for the bismo_lint rule engine (src/lint): each rule
+// family must trip on a known-bad snippet, stay quiet on the idiomatic
+// form, and honor suppressions -- and the live tree must lint clean.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lint/linter.hpp"
+
+namespace {
+
+using bismo::lint::Finding;
+using bismo::lint::format_finding;
+using bismo::lint::lint_source;
+using bismo::lint::lint_tree;
+
+std::vector<Finding> findings_for_rule(const std::vector<Finding>& all,
+                                       const std::string& rule) {
+  std::vector<Finding> out;
+  for (const Finding& f : all) {
+    if (f.rule == rule) out.push_back(f);
+  }
+  return out;
+}
+
+std::string dump(const std::vector<Finding>& all) {
+  std::string out;
+  for (const Finding& f : all) out += format_finding(f) + "\n";
+  return out;
+}
+
+// ---- atomic-order -----------------------------------------------------------
+
+TEST(LintAtomicOrder, ImplicitSeqCstLoadIsFlagged) {
+  const auto all = lint_source("src/api/fixture.cpp",
+                               "int f(std::atomic<int>& a) {\n"
+                               "  return a.load();\n"
+                               "}\n");
+  const auto hits = findings_for_rule(all, "atomic-order");
+  ASSERT_EQ(hits.size(), 1u) << dump(all);
+  EXPECT_EQ(hits[0].line, 2u);
+}
+
+TEST(LintAtomicOrder, ExplicitOrderIsClean) {
+  const auto all = lint_source(
+      "src/api/fixture.cpp",
+      "int f(std::atomic<int>& a) {\n"
+      "  a.store(1, std::memory_order_release);\n"
+      "  a.fetch_add(2, std::memory_order_acq_rel);\n"
+      "  return a.load(std::memory_order_acquire);\n"
+      "}\n");
+  EXPECT_TRUE(findings_for_rule(all, "atomic-order").empty()) << dump(all);
+}
+
+TEST(LintAtomicOrder, MultiLineCallOrderIsSeen) {
+  const auto all = lint_source("src/net/fixture.cpp",
+                               "void f(std::atomic<int>& a) {\n"
+                               "  a.fetch_add(1,\n"
+                               "              std::memory_order_relaxed);\n"
+                               "}\n");
+  EXPECT_TRUE(findings_for_rule(all, "atomic-order").empty()) << dump(all);
+}
+
+TEST(LintAtomicOrder, CompareExchangeNeedsOrder) {
+  const auto bad = lint_source("src/core/fixture.hpp",
+                               "bool f(std::atomic<int>& a, int& e) {\n"
+                               "  return a.compare_exchange_weak(e, 7);\n"
+                               "}\n");
+  EXPECT_EQ(findings_for_rule(bad, "atomic-order").size(), 1u) << dump(bad);
+  const auto good = lint_source(
+      "src/core/fixture.hpp",
+      "bool f(std::atomic<int>& a, int& e) {\n"
+      "  return a.compare_exchange_weak(e, 7, std::memory_order_acq_rel,\n"
+      "                                 std::memory_order_acquire);\n"
+      "}\n");
+  EXPECT_TRUE(findings_for_rule(good, "atomic-order").empty()) << dump(good);
+}
+
+TEST(LintAtomicOrder, RuleIsScopedToConcurrencyLayers) {
+  const auto all = lint_source("src/sim/fixture.cpp",
+                               "int f(std::atomic<int>& a) {\n"
+                               "  return a.load();\n"
+                               "}\n");
+  EXPECT_TRUE(findings_for_rule(all, "atomic-order").empty()) << dump(all);
+}
+
+TEST(LintAtomicOrder, FreeFunctionNamedLoadIsNotAnAtomic) {
+  const auto all = lint_source("src/api/fixture.cpp",
+                               "int f() { return load(); }\n");
+  EXPECT_TRUE(findings_for_rule(all, "atomic-order").empty()) << dump(all);
+}
+
+TEST(LintAtomicOrder, AllowWithJustificationSuppresses) {
+  const auto all = lint_source(
+      "src/api/fixture.cpp",
+      "int f(std::atomic<int>& a) {\n"
+      "  // bismo-lint: allow(atomic-order) fixture needs default ordering\n"
+      "  return a.load();\n"
+      "}\n");
+  EXPECT_TRUE(findings_for_rule(all, "atomic-order").empty()) << dump(all);
+  EXPECT_TRUE(findings_for_rule(all, "lint-directive").empty()) << dump(all);
+}
+
+// ---- no-alloc ---------------------------------------------------------------
+
+TEST(LintNoAlloc, NewInRegionIsFlagged) {
+  const auto all = lint_source("src/sim/fixture.cpp",
+                               "// bismo-lint: no-alloc-begin\n"
+                               "int* f() { return new int(7); }\n"
+                               "// bismo-lint: no-alloc-end\n");
+  const auto hits = findings_for_rule(all, "no-alloc");
+  ASSERT_EQ(hits.size(), 1u) << dump(all);
+  EXPECT_EQ(hits[0].line, 2u);
+}
+
+TEST(LintNoAlloc, OutsideAnnotatedRegionIsIgnored) {
+  const auto all = lint_source("src/sim/fixture.cpp",
+                               "int* f() { return new int(7); }\n");
+  EXPECT_TRUE(findings_for_rule(all, "no-alloc").empty()) << dump(all);
+}
+
+TEST(LintNoAlloc, WholeFileMarkerCoversEverything) {
+  const auto all = lint_source("src/fft/fixture.cpp",
+                               "// bismo-lint: no-alloc\n"
+                               "void* f(std::size_t n) { return malloc(n); }\n");
+  EXPECT_EQ(findings_for_rule(all, "no-alloc").size(), 1u) << dump(all);
+}
+
+TEST(LintNoAlloc, ContainerGrowthIsFlagged) {
+  const auto all = lint_source("src/sim/fixture.cpp",
+                               "// bismo-lint: no-alloc-begin\n"
+                               "void f(std::vector<int>& v) {\n"
+                               "  v.push_back(1);\n"
+                               "  v.resize(8);\n"
+                               "}\n"
+                               "// bismo-lint: no-alloc-end\n");
+  EXPECT_EQ(findings_for_rule(all, "no-alloc").size(), 2u) << dump(all);
+}
+
+TEST(LintNoAlloc, StringByValueFlaggedReferenceClean) {
+  const auto bad = lint_source("src/sim/fixture.cpp",
+                               "// bismo-lint: no-alloc-begin\n"
+                               "void f() { std::string s; }\n"
+                               "// bismo-lint: no-alloc-end\n");
+  EXPECT_EQ(findings_for_rule(bad, "no-alloc").size(), 1u) << dump(bad);
+  const auto good = lint_source("src/sim/fixture.cpp",
+                                "// bismo-lint: no-alloc-begin\n"
+                                "void f(const std::string& s) { (void)s; }\n"
+                                "// bismo-lint: no-alloc-end\n");
+  EXPECT_TRUE(findings_for_rule(good, "no-alloc").empty()) << dump(good);
+}
+
+TEST(LintNoAlloc, SharedPtrConstructionIsFlagged) {
+  const auto all = lint_source(
+      "src/sim/fixture.cpp",
+      "// bismo-lint: no-alloc-begin\n"
+      "auto f() { return std::make_shared<int>(7); }\n"
+      "// bismo-lint: no-alloc-end\n");
+  EXPECT_EQ(findings_for_rule(all, "no-alloc").size(), 1u) << dump(all);
+}
+
+TEST(LintNoAlloc, TokensInCommentsAndStringsAreIgnored) {
+  const auto all = lint_source(
+      "src/sim/fixture.cpp",
+      "// bismo-lint: no-alloc-begin\n"
+      "// a new plan would malloc here, but this is prose\n"
+      "const char* f() { return \"new malloc resize\"; }\n"
+      "// bismo-lint: no-alloc-end\n");
+  EXPECT_TRUE(findings_for_rule(all, "no-alloc").empty()) << dump(all);
+}
+
+TEST(LintNoAlloc, AllowWithJustificationSuppresses) {
+  const auto all = lint_source(
+      "src/sim/fixture.cpp",
+      "// bismo-lint: no-alloc-begin\n"
+      "void f(std::vector<int>& v) {\n"
+      "  // bismo-lint: allow(no-alloc) first-use growth, amortized out\n"
+      "  v.reserve(64);\n"
+      "}\n"
+      "// bismo-lint: no-alloc-end\n");
+  EXPECT_TRUE(findings_for_rule(all, "no-alloc").empty()) << dump(all);
+}
+
+// ---- wire-discipline --------------------------------------------------------
+
+TEST(LintWire, MemcpyOutsideCodecIsFlagged) {
+  const auto all = lint_source(
+      "src/net/frame.cpp",
+      "void f(char* dst, const char* src) { std::memcpy(dst, src, 8); }\n");
+  EXPECT_EQ(findings_for_rule(all, "wire-discipline").size(), 1u)
+      << dump(all);
+}
+
+TEST(LintWire, MemcpyInsideCodecIsAllowed) {
+  const auto all = lint_source(
+      "src/net/wire.cpp",
+      "void f(char* dst, const char* src) { std::memcpy(dst, src, 8); }\n");
+  EXPECT_TRUE(findings_for_rule(all, "wire-discipline").empty()) << dump(all);
+}
+
+TEST(LintWire, RuleIsScopedToNet) {
+  const auto all = lint_source(
+      "src/sim/fixture.cpp",
+      "void f(char* dst, const char* src) { std::memcpy(dst, src, 8); }\n");
+  EXPECT_TRUE(findings_for_rule(all, "wire-discipline").empty()) << dump(all);
+}
+
+TEST(LintWire, ReaderNeverFinishedIsFlagged) {
+  const auto all = lint_source("src/net/fixture.cpp",
+                               "int f(const std::uint8_t* p, std::size_t n) {\n"
+                               "  WireReader r(p, n);\n"
+                               "  return static_cast<int>(r.u32());\n"
+                               "}\n");
+  const auto hits = findings_for_rule(all, "wire-discipline");
+  ASSERT_EQ(hits.size(), 1u) << dump(all);
+  EXPECT_EQ(hits[0].line, 2u);
+}
+
+TEST(LintWire, ReaderReachingExpectEndIsClean) {
+  const auto all = lint_source("src/net/fixture.cpp",
+                               "int f(const std::uint8_t* p, std::size_t n) {\n"
+                               "  WireReader r(p, n);\n"
+                               "  const int v = static_cast<int>(r.u32());\n"
+                               "  r.expect_end();\n"
+                               "  return v;\n"
+                               "}\n");
+  EXPECT_TRUE(findings_for_rule(all, "wire-discipline").empty()) << dump(all);
+}
+
+TEST(LintWire, ReaderHandedToDecoderIsClean) {
+  const auto all = lint_source("src/net/fixture.cpp",
+                               "Msg f(const std::uint8_t* p, std::size_t n) {\n"
+                               "  WireReader r(p, n);\n"
+                               "  return decode_msg(r);\n"
+                               "}\n");
+  EXPECT_TRUE(findings_for_rule(all, "wire-discipline").empty()) << dump(all);
+}
+
+TEST(LintWire, ReferenceParametersAreNotDeclarations) {
+  const auto all = lint_source("src/net/fixture.cpp",
+                               "Msg decode_msg(WireReader& r) {\n"
+                               "  Msg m;\n"
+                               "  m.id = r.u64();\n"
+                               "  return m;\n"
+                               "}\n");
+  EXPECT_TRUE(findings_for_rule(all, "wire-discipline").empty()) << dump(all);
+}
+
+// ---- no-io ------------------------------------------------------------------
+
+TEST(LintNoIo, PrintfFamilyIsFlagged) {
+  const auto all = lint_source(
+      "src/api/fixture.cpp",
+      "void f() { printf(\"x\"); fprintf(stderr, \"y\"); }\n");
+  EXPECT_EQ(findings_for_rule(all, "no-io").size(), 2u) << dump(all);
+}
+
+TEST(LintNoIo, IostreamIncludeIsFlagged) {
+  const auto all =
+      lint_source("src/api/fixture.cpp", "#include <iostream>\n");
+  EXPECT_EQ(findings_for_rule(all, "no-io").size(), 1u) << dump(all);
+}
+
+TEST(LintNoIo, StdCerrIsFlagged) {
+  const auto all = lint_source("src/api/fixture.cpp",
+                               "void f() { std::cerr << 1; }\n");
+  EXPECT_EQ(findings_for_rule(all, "no-io").size(), 1u) << dump(all);
+}
+
+TEST(LintNoIo, SnprintfIntoBuffersIsFine) {
+  const auto all = lint_source(
+      "src/io/fixture.cpp",
+      "void f(char* b) { std::snprintf(b, 8, \"x\"); }\n");
+  EXPECT_TRUE(findings_for_rule(all, "no-io").empty()) << dump(all);
+}
+
+TEST(LintNoIo, ToolsAreOutsideTheRule) {
+  const auto all =
+      lint_source("tools/fixture.cpp", "void f() { printf(\"x\"); }\n");
+  EXPECT_TRUE(findings_for_rule(all, "no-io").empty()) << dump(all);
+}
+
+TEST(LintNoIo, AllowWithJustificationSuppresses) {
+  const auto all = lint_source(
+      "src/net/fixture.cpp",
+      "void f() {\n"
+      "  // bismo-lint: allow(no-io) operator-facing startup banner\n"
+      "  fprintf(stderr, \"up\\n\");\n"
+      "}\n");
+  EXPECT_TRUE(findings_for_rule(all, "no-io").empty()) << dump(all);
+}
+
+// ---- directives -------------------------------------------------------------
+
+TEST(LintDirectives, BareAllowNeedsJustification) {
+  const auto all = lint_source("src/api/fixture.cpp",
+                               "// bismo-lint: allow(no-io)\n"
+                               "void f() { printf(\"x\"); }\n");
+  EXPECT_EQ(findings_for_rule(all, "lint-directive").size(), 1u) << dump(all);
+  // An invalid allow must not silence the rule it names.
+  EXPECT_EQ(findings_for_rule(all, "no-io").size(), 1u) << dump(all);
+}
+
+TEST(LintDirectives, UnknownRuleInAllowIsReported) {
+  const auto all = lint_source(
+      "src/api/fixture.cpp",
+      "// bismo-lint: allow(made-up-rule) some justification text\n");
+  EXPECT_EQ(findings_for_rule(all, "lint-directive").size(), 1u) << dump(all);
+}
+
+TEST(LintDirectives, UnmatchedRegionMarkersAreReported) {
+  const auto begin_only = lint_source("src/api/fixture.cpp",
+                                      "// bismo-lint: no-alloc-begin\n"
+                                      "void f();\n");
+  EXPECT_EQ(findings_for_rule(begin_only, "lint-directive").size(), 1u)
+      << dump(begin_only);
+  const auto end_only = lint_source("src/api/fixture.cpp",
+                                    "void f();\n"
+                                    "// bismo-lint: no-alloc-end\n");
+  EXPECT_EQ(findings_for_rule(end_only, "lint-directive").size(), 1u)
+      << dump(end_only);
+}
+
+TEST(LintDirectives, UnrecognizedDirectiveIsReported) {
+  const auto all = lint_source("src/api/fixture.cpp",
+                               "// bismo-lint: frobnicate everything\n");
+  EXPECT_EQ(findings_for_rule(all, "lint-directive").size(), 1u) << dump(all);
+}
+
+TEST(LintDirectives, ProseMentioningTheTagMidSentenceIsIgnored) {
+  const auto all = lint_source(
+      "src/api/fixture.cpp",
+      "// suppressions use the bismo-lint: syntax described in the README\n"
+      "void f();\n");
+  EXPECT_TRUE(all.empty()) << dump(all);
+}
+
+// ---- live tree --------------------------------------------------------------
+
+#ifdef BISMO_SOURCE_DIR
+TEST(LintLiveTree, SourceTreePassesAllRules) {
+  const auto all = lint_tree(std::string(BISMO_SOURCE_DIR) + "/src");
+  EXPECT_TRUE(all.empty()) << dump(all);
+}
+#endif
+
+}  // namespace

@@ -1,0 +1,60 @@
+// bismo_lint CLI: lint one or more source trees and report violations.
+//
+// Usage: bismo_lint [--verbose] [root ...]
+//
+// Each root is a directory (typically the repo's src/) linted recursively
+// via bismo::lint::lint_tree.  Defaults to "src" when no root is given.
+// Exit 0 when clean, 1 when findings were reported, 2 on usage/IO errors.
+//
+// This is a tool, not library code, so console output is fine here.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint/linter.hpp"
+
+int main(int argc, char** argv) {
+  bool verbose = false;
+  std::vector<std::string> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--verbose" || arg == "-v") {
+      verbose = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: bismo_lint [--verbose] [root ...]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "bismo_lint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    } else {
+      roots.push_back(arg);
+    }
+  }
+  if (roots.empty()) roots.push_back("src");
+
+  std::size_t total = 0;
+  for (const std::string& root : roots) {
+    const std::vector<bismo::lint::Finding> findings =
+        bismo::lint::lint_tree(root);
+    for (const bismo::lint::Finding& finding : findings) {
+      if (finding.line == 0) {
+        std::fprintf(stderr, "bismo_lint: %s: %s\n", finding.file.c_str(),
+                     finding.message.c_str());
+        return 2;
+      }
+      std::fprintf(stderr, "%s\n",
+                   bismo::lint::format_finding(finding).c_str());
+    }
+    total += findings.size();
+    if (verbose) {
+      std::printf("bismo_lint: %s: %zu finding(s)\n", root.c_str(),
+                  findings.size());
+    }
+  }
+  if (total != 0) {
+    std::fprintf(stderr, "bismo_lint: %zu finding(s)\n", total);
+    return 1;
+  }
+  if (verbose) std::printf("bismo_lint: clean\n");
+  return 0;
+}
